@@ -1,0 +1,180 @@
+// Experiment E3 — Theorem 3: the complexity of deciding termination for
+// (simple) linear sets: NL-complete for SL (and for L with bounded
+// arity), PSPACE-complete for unbounded-arity L.
+//
+// Two empirical readings:
+//
+//  (a) Worst-case family. binary_tree(k) is a *simple linear*,
+//      weakly-acyclic set whose critical chase materializes ~2^k atoms.
+//      The paper's point, measured: the syntactic SL characterization
+//      (Theorem 1, the NL procedure) answers in microseconds regardless
+//      of k, while the generic critical-chase exploration pays the
+//      exponential chase. This is exactly the gap between the
+//      class-specialized procedure and the generic one.
+//
+//  (b) Random linear sets with bounded arity: decision time grows mildly
+//      with rule count (the NL-for-bounded-arity regime). Medians are
+//      reported (means are dominated by the occasional large chase).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "acyclicity/dependency_graph.h"
+#include "base/timer.h"
+#include "bench/bench_util.h"
+#include "generator/random_rules.h"
+#include "model/parser.h"
+#include "termination/decider.h"
+
+namespace gchase {
+namespace {
+
+using bench_util::kSeedBase;
+
+/// binary_tree(k): level predicates n0..nk; each level-i node spawns two
+/// level-(i+1) children. SL, weakly acyclic, terminating; the critical
+/// chase builds a binary tree of depth k (~2^k atoms).
+ParsedProgram MakeBinaryTreeFamily(uint32_t depth) {
+  std::string text;
+  for (uint32_t i = 0; i < depth; ++i) {
+    const std::string level = "n" + std::to_string(i);
+    const std::string next = "n" + std::to_string(i + 1);
+    text += level + "(X) -> c(X,Y), c(X,Z), " + next + "(Y), " + next +
+            "(Z).\n";
+  }
+  StatusOr<ParsedProgram> parsed = ParseProgram(text);
+  GCHASE_CHECK(parsed.ok());
+  return *std::move(parsed);
+}
+
+double Median(std::vector<double>* values) {
+  std::sort(values->begin(), values->end());
+  return values->empty() ? 0.0 : (*values)[values->size() / 2];
+}
+
+void PrintWorstCaseTable() {
+  std::printf("--- (a) worst-case family binary_tree(k), SL -------------\n");
+  std::printf("%-6s %-8s %-14s %-14s %-12s\n", "k", "rules", "syntactic_us",
+              "decider_us", "chase_atoms");
+  for (uint32_t k : {6, 8, 10, 12, 14}) {
+    ParsedProgram program = MakeBinaryTreeFamily(k);
+    GCHASE_CHECK(program.rules.IsSimpleLinear());
+
+    // Min over several runs: a single microsecond-scale measurement is
+    // dominated by scheduler noise.
+    double syntactic_us = 1e18;
+    for (int rep = 0; rep < 5; ++rep) {
+      WallTimer timer;
+      const bool wa = CheckWeakAcyclicity(program.rules,
+                                          program.vocabulary.schema).acyclic;
+      syntactic_us = std::min(
+          syntactic_us, static_cast<double>(timer.ElapsedMicros()));
+      GCHASE_CHECK(wa);  // the family is weakly acyclic by construction
+    }
+    WallTimer timer;
+
+    DeciderOptions options;
+    options.max_atoms = 1u << 22;
+    options.max_steps = 1u << 24;
+    timer.Restart();
+    StatusOr<DeciderResult> result = DecideTermination(
+        program.rules, &program.vocabulary, ChaseVariant::kSemiOblivious,
+        options);
+    double decider_us = timer.ElapsedMicros();
+    GCHASE_CHECK(result.ok());
+    GCHASE_CHECK(result->verdict == TerminationVerdict::kTerminating);
+    std::printf("%-6u %-8u %-14.1f %-14.1f %-12llu\n", k,
+                program.rules.size(), syntactic_us, decider_us,
+                static_cast<unsigned long long>(result->chase_atoms));
+  }
+  std::printf(
+      "\nPrediction: chase_atoms and decider_us double per +1 of k, while\n"
+      "syntactic_us stays flat: on SL, Theorem 1's syntactic test is\n"
+      "exponentially cheaper than generic critical-chase exploration.\n\n");
+}
+
+void PrintRandomTable() {
+  constexpr uint32_t kSeedsPerConfig = 30;
+  std::printf("--- (b) random linear sets, arity <= 2 (bounded) ---------\n");
+  std::printf("%-8s %-16s %-16s %-9s\n", "#rules", "SL median_us",
+              "L median_us", "unknown");
+  for (uint32_t num_rules : {4, 8, 16, 32, 64}) {
+    uint32_t unknowns = 0;
+    std::vector<double> sl_us;
+    std::vector<double> l_us;
+    for (uint32_t s = 0; s < kSeedsPerConfig; ++s) {
+      for (bool simple : {true, false}) {
+        Rng rng(kSeedBase + num_rules * 977 + s * 2 + (simple ? 0 : 1));
+        RandomRuleSetOptions options = bench_util::ShapeFor(
+            simple ? RuleClass::kSimpleLinear : RuleClass::kLinear,
+            num_rules, num_rules, /*max_arity=*/2, &rng);
+        options.repeat_variable_probability = 0.4;
+        RandomProgram program = GenerateRandomRuleSet(&rng, options);
+        WallTimer timer;
+        StatusOr<DeciderResult> result = DecideTermination(
+            program.rules, &program.vocabulary,
+            ChaseVariant::kSemiOblivious,
+            bench_util::SweepDeciderOptions());
+        (simple ? sl_us : l_us).push_back(timer.ElapsedMicros());
+        if (result.ok() &&
+            result->verdict == TerminationVerdict::kUnknown) {
+          ++unknowns;
+        }
+      }
+    }
+    std::printf("%-8u %-16.1f %-16.1f %-9u\n", num_rules, Median(&sl_us),
+                Median(&l_us), unknowns);
+  }
+  std::printf(
+      "\nPrediction: with bounded arity, median decision time grows mildly\n"
+      "(low-polynomially) with rule count for both SL and L — the NL\n"
+      "bounded-arity regime of Theorem 3; unknown = 0.\n\n");
+}
+
+void PrintTable() {
+  bench_util::Banner(
+      "E3: complexity of deciding (S)L termination (Theorem 3)",
+      "SL: NL via syntax; L: NL for bounded arity; generic chase "
+      "exploration pays exponential worst cases");
+  PrintWorstCaseTable();
+  PrintRandomTable();
+}
+
+void BM_SyntacticOnTreeFamily(benchmark::State& state) {
+  ParsedProgram program =
+      MakeBinaryTreeFamily(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CheckWeakAcyclicity(program.rules, program.vocabulary.schema)
+            .acyclic);
+  }
+}
+BENCHMARK(BM_SyntacticOnTreeFamily)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_DeciderOnTreeFamily(benchmark::State& state) {
+  ParsedProgram program =
+      MakeBinaryTreeFamily(static_cast<uint32_t>(state.range(0)));
+  DeciderOptions options;
+  options.max_atoms = 1u << 22;
+  options.max_steps = 1u << 24;
+  for (auto _ : state) {
+    StatusOr<DeciderResult> result = DecideTermination(
+        program.rules, &program.vocabulary, ChaseVariant::kSemiOblivious,
+        options);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_DeciderOnTreeFamily)->Arg(6)->Arg(8)->Arg(10);
+
+}  // namespace
+}  // namespace gchase
+
+int main(int argc, char** argv) {
+  gchase::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

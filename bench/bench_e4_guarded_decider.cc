@@ -1,0 +1,143 @@
+// Experiment E4 — Theorem 4: termination is decidable for guarded sets
+// (2EXPTIME in general, EXPTIME for bounded arity). The decider must
+// return a definite verdict on guarded workloads within its caps, with
+// verdicts cross-checked against uninstrumented capped chase runs, and
+// its cost must grow sharply with arity (the exponential dependence) but
+// mildly with rule count at fixed arity.
+
+#include <benchmark/benchmark.h>
+
+#include "base/timer.h"
+#include "bench/bench_util.h"
+#include "chase/chase.h"
+#include "generator/random_rules.h"
+#include "termination/critical_instance.h"
+#include "termination/decider.h"
+
+namespace gchase {
+namespace {
+
+using bench_util::kSeedBase;
+
+constexpr uint32_t kSeedsPerConfig = 30;
+
+struct Row {
+  uint32_t terminating = 0;
+  uint32_t nonterminating = 0;
+  uint32_t unknown = 0;
+  uint32_t crosscheck_failures = 0;
+  double mean_us = 0.0;
+};
+
+Row Sweep(uint32_t num_rules, uint32_t max_arity, uint64_t salt) {
+  Row row;
+  double total_us = 0.0;
+  for (uint32_t s = 0; s < kSeedsPerConfig; ++s) {
+    Rng rng(kSeedBase + salt * 7919 + s);
+    RandomRuleSetOptions options = bench_util::ShapeFor(
+        RuleClass::kGuarded, /*num_predicates=*/num_rules, num_rules,
+        max_arity, &rng);
+    RandomProgram program = GenerateRandomRuleSet(&rng, options);
+    WallTimer timer;
+    StatusOr<DeciderResult> result = DecideTermination(
+        program.rules, &program.vocabulary, ChaseVariant::kSemiOblivious,
+        bench_util::SweepDeciderOptions());
+    total_us += timer.ElapsedMicros();
+    if (!result.ok()) continue;
+    switch (result->verdict) {
+      case TerminationVerdict::kTerminating: {
+        ++row.terminating;
+        // Cross-check: the plain chase must terminate within the bounds
+        // the decider observed.
+        ChaseOptions chase_options;
+        chase_options.variant = ChaseVariant::kSemiOblivious;
+        chase_options.max_atoms = result->chase_atoms + 1;
+        chase_options.max_steps = result->applied_triggers + 1;
+        std::vector<Atom> critical =
+            BuildCriticalInstance(program.rules, &program.vocabulary);
+        if (RunChase(program.rules, chase_options, critical).outcome !=
+            ChaseOutcome::kTerminated) {
+          ++row.crosscheck_failures;
+        }
+        break;
+      }
+      case TerminationVerdict::kNonTerminating: {
+        ++row.nonterminating;
+        // Cross-check: the plain chase must exceed a sizable cap.
+        ChaseOptions chase_options;
+        chase_options.variant = ChaseVariant::kSemiOblivious;
+        chase_options.max_atoms = 20000;
+        chase_options.max_steps = 200000;
+        std::vector<Atom> critical =
+            BuildCriticalInstance(program.rules, &program.vocabulary);
+        if (RunChase(program.rules, chase_options, critical).outcome !=
+            ChaseOutcome::kResourceLimit) {
+          ++row.crosscheck_failures;
+        }
+        break;
+      }
+      case TerminationVerdict::kUnknown:
+        ++row.unknown;
+        break;
+    }
+  }
+  row.mean_us = total_us / kSeedsPerConfig;
+  return row;
+}
+
+void PrintTable() {
+  bench_util::Banner(
+      "E4: guarded decidability (Theorem 4)",
+      "every guarded set gets a definite verdict, and every verdict is "
+      "reproduced by an independent capped chase run");
+
+  std::printf("--- (a) growing rule count, arity <= 2 -------------------\n");
+  std::printf("%-8s %-6s %-6s %-6s %-9s %-10s %-12s\n", "#rules", "T", "N",
+              "?", "xchk_fail", "", "us/set");
+  for (uint32_t num_rules : {3, 6, 12, 24}) {
+    Row row = Sweep(num_rules, 2, num_rules);
+    std::printf("%-8u %-6u %-6u %-6u %-9u %-10s %-12.1f\n", num_rules,
+                row.terminating, row.nonterminating, row.unknown,
+                row.crosscheck_failures, "", row.mean_us);
+  }
+
+  std::printf("\n--- (b) growing arity, 5 rules ---------------------------\n");
+  std::printf("%-8s %-6s %-6s %-6s %-9s %-10s %-12s\n", "arity", "T", "N",
+              "?", "xchk_fail", "", "us/set");
+  for (uint32_t arity : {1, 2, 3, 4}) {
+    Row row = Sweep(5, arity, 1000 + arity);
+    std::printf("%-8u %-6u %-6u %-6u %-9u %-10s %-12.1f\n", arity,
+                row.terminating, row.nonterminating, row.unknown,
+                row.crosscheck_failures, "", row.mean_us);
+  }
+  std::printf(
+      "\nPrediction: xchk_fail = 0 everywhere (every verdict is\n"
+      "reproduced by an independent chase run) and unknown = 0 on these\n"
+      "sizes: the decidability claim of Theorem 4, operationally. Random\n"
+      "guarded sets do not exercise the 2EXPTIME worst case — the\n"
+      "deliberate exponential family is measured in E3(a).\n\n");
+}
+
+void BM_GuardedDeciderByArity(benchmark::State& state) {
+  const uint32_t arity = static_cast<uint32_t>(state.range(0));
+  Rng rng(kSeedBase + 91);
+  RandomProgram program = GenerateRandomRuleSet(
+      &rng, bench_util::ShapeFor(RuleClass::kGuarded, 5, 5, arity, &rng));
+  for (auto _ : state) {
+    StatusOr<DeciderResult> result = DecideTermination(
+        program.rules, &program.vocabulary, ChaseVariant::kSemiOblivious,
+        bench_util::SweepDeciderOptions());
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_GuardedDeciderByArity)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+}  // namespace gchase
+
+int main(int argc, char** argv) {
+  gchase::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Experiment E5 — hierarchy of termination conditions. Validates the
+// known inclusions, on random guarded sets:
+//
+//     RA ⊆ WA ⊆ JA ⊆ CT_so        (syntactic conditions are sound and
+//     RA ⊆ CT_o ⊆ CT_so            increasingly precise)
+//
+// Reported per configuration: how many sets each condition certifies.
+// Every violation counter must stay 0.
+
+#include <benchmark/benchmark.h>
+
+#include "acyclicity/dependency_graph.h"
+#include "acyclicity/joint_acyclicity.h"
+#include "bench/bench_util.h"
+#include "termination/mfa.h"
+#include "generator/random_rules.h"
+#include "termination/decider.h"
+
+namespace gchase {
+namespace {
+
+using bench_util::kSeedBase;
+
+constexpr uint32_t kSeedsPerConfig = 50;
+
+void PrintTable() {
+  bench_util::Banner(
+      "E5: hierarchy of termination conditions",
+      "RA <= WA <= JA <= MFA <= CT_so and RA <= CT_o <= CT_so (accept counts)");
+  std::printf("%-8s %-6s %-5s %-5s %-5s %-5s %-6s %-6s %-11s\n", "#rules",
+              "sets", "RA", "WA", "JA", "MFA", "CT_o", "CT_so", "violations");
+  for (uint32_t num_rules : {3, 5, 8, 12}) {
+    uint32_t ra = 0, wa = 0, ja = 0, mfa = 0, ct_o = 0, ct_so = 0,
+             violations = 0;
+    for (uint32_t s = 0; s < kSeedsPerConfig; ++s) {
+      Rng rng(kSeedBase + num_rules * 65537 + s);
+      RandomProgram program = GenerateRandomRuleSet(
+          &rng, bench_util::ShapeFor(RuleClass::kGuarded, num_rules,
+                                     num_rules, 3, &rng));
+      const Schema& schema = program.vocabulary.schema;
+      const bool is_ra = CheckRichAcyclicity(program.rules, schema).acyclic;
+      const bool is_wa = CheckWeakAcyclicity(program.rules, schema).acyclic;
+      const bool is_ja = CheckJointAcyclicity(program.rules, schema).acyclic;
+      StatusOr<MfaResult> mfa_result = CheckModelFaithfulAcyclicity(
+          program.rules, &program.vocabulary);
+      const bool is_mfa =
+          mfa_result.ok() && mfa_result->status == MfaStatus::kAcyclic;
+      StatusOr<DeciderResult> o = DecideTermination(
+          program.rules, &program.vocabulary, ChaseVariant::kOblivious,
+          bench_util::SweepDeciderOptions());
+      StatusOr<DeciderResult> so = DecideTermination(
+          program.rules, &program.vocabulary, ChaseVariant::kSemiOblivious,
+          bench_util::SweepDeciderOptions());
+      const bool o_term =
+          o.ok() && o->verdict == TerminationVerdict::kTerminating;
+      const bool so_term =
+          so.ok() && so->verdict == TerminationVerdict::kTerminating;
+      const bool o_div =
+          o.ok() && o->verdict == TerminationVerdict::kNonTerminating;
+      const bool so_div =
+          so.ok() && so->verdict == TerminationVerdict::kNonTerminating;
+
+      ra += is_ra;
+      wa += is_wa;
+      ja += is_ja;
+      mfa += is_mfa;
+      ct_o += o_term;
+      ct_so += so_term;
+
+      // Inclusion checks (violations must never happen).
+      if (is_ra && !is_wa) ++violations;   // RA ⊆ WA
+      if (is_wa && !is_ja) ++violations;   // WA ⊆ JA
+      if (is_ja && !is_mfa) ++violations;  // JA ⊆ MFA
+      if (is_mfa && so_div) ++violations;  // MFA ⊆ CT_so
+      if (is_ja && so_div) ++violations;   // JA ⊆ CT_so
+      if (is_ra && o_div) ++violations;    // RA ⊆ CT_o
+      if (o_term && so_div) ++violations;  // CT_o ⊆ CT_so
+    }
+    std::printf("%-8u %-6u %-5u %-5u %-5u %-5u %-6u %-6u %-11u\n",
+                num_rules, kSeedsPerConfig, ra, wa, ja, mfa, ct_o, ct_so,
+                violations);
+  }
+  std::printf(
+      "\nPrediction: per row, RA <= WA <= JA <= MFA <= CT_so and\n"
+      "RA <= CT_o <=\n"
+      "CT_so; violations = 0 everywhere. The widening gaps quantify how\n"
+      "much precision the exact decision procedure buys over the\n"
+      "syntactic conditions.\n\n");
+}
+
+void BM_JointAcyclicity(benchmark::State& state) {
+  const uint32_t num_rules = static_cast<uint32_t>(state.range(0));
+  Rng rng(kSeedBase + 55);
+  RandomProgram program = GenerateRandomRuleSet(
+      &rng, bench_util::ShapeFor(RuleClass::kGuarded, num_rules, num_rules,
+                                 3, &rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CheckJointAcyclicity(program.rules, program.vocabulary.schema)
+            .acyclic);
+  }
+}
+BENCHMARK(BM_JointAcyclicity)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RichAcyclicity(benchmark::State& state) {
+  const uint32_t num_rules = static_cast<uint32_t>(state.range(0));
+  Rng rng(kSeedBase + 56);
+  RandomProgram program = GenerateRandomRuleSet(
+      &rng, bench_util::ShapeFor(RuleClass::kGuarded, num_rules, num_rules,
+                                 3, &rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CheckRichAcyclicity(program.rules, program.vocabulary.schema)
+            .acyclic);
+  }
+}
+BENCHMARK(BM_RichAcyclicity)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace gchase
+
+int main(int argc, char** argv) {
+  gchase::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Experiment E6 — the looping operator. The paper uses Loop(Σ, α) to
+// turn entailment questions into (non-)termination questions; here we
+// validate the reduction end-to-end: on random graph-reachability
+// instances, entailment answered *via the termination decider* must agree
+// with (a) ground truth computed by plain BFS and (b) entailment answered
+// by running the chase and querying. The overhead factor of the reduction
+// is reported.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "base/timer.h"
+#include "bench/bench_util.h"
+#include "chase/chase.h"
+#include "model/parser.h"
+#include "storage/query.h"
+#include "termination/critical_instance.h"
+#include "termination/looping_operator.h"
+
+namespace gchase {
+namespace {
+
+using bench_util::kSeedBase;
+
+struct ReachabilityInstance {
+  ParsedProgram program;
+  DeciderOptions options;           // protected vertex constants
+  std::vector<std::vector<uint32_t>> adjacency;
+  PredicateId reach_predicate;
+  std::vector<Term> vertex_terms;
+};
+
+/// Builds: go() -> {edge facts, start(v0)}; start/edge/reach rules; with
+/// all vertex constants protected (excluded from the critical domain).
+ReachabilityInstance MakeInstance(uint32_t num_vertices, double edge_prob,
+                                  Rng* rng) {
+  std::string text = "go() -> start(v0)";
+  std::vector<std::vector<uint32_t>> adjacency(num_vertices);
+  for (uint32_t a = 0; a < num_vertices; ++a) {
+    for (uint32_t b = 0; b < num_vertices; ++b) {
+      if (a == b || !rng->NextBool(edge_prob)) continue;
+      adjacency[a].push_back(b);
+      text += ", edge(v" + std::to_string(a) + ",v" + std::to_string(b) +
+              ")";
+    }
+  }
+  text += ".\n";
+  text += "start(X) -> reach(X).\n";
+  text += "edge(X,Y), reach(X) -> reach(Y).\n";
+
+  StatusOr<ParsedProgram> parsed = ParseProgram(text);
+  GCHASE_CHECK(parsed.ok());
+  ReachabilityInstance instance{*std::move(parsed), DeciderOptions{},
+                                std::move(adjacency), 0, {}};
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    Term term = Term::Constant(
+        instance.program.vocabulary.constants.Intern("v" +
+                                                     std::to_string(v)));
+    instance.vertex_terms.push_back(term);
+    instance.options.excluded_constants.push_back(term);
+  }
+  instance.reach_predicate =
+      *instance.program.vocabulary.schema.Find("reach");
+  return instance;
+}
+
+/// Ground truth by BFS from v0.
+std::vector<bool> Reachable(const ReachabilityInstance& instance) {
+  std::vector<bool> seen(instance.adjacency.size(), false);
+  std::vector<uint32_t> queue{0};
+  seen[0] = true;
+  while (!queue.empty()) {
+    uint32_t v = queue.back();
+    queue.pop_back();
+    for (uint32_t w : instance.adjacency[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+  return seen;
+}
+
+/// Entailment by chasing the critical database and querying.
+bool EntailsViaChase(ReachabilityInstance* instance, const Atom& alpha) {
+  ChaseOptions options;
+  options.variant = ChaseVariant::kSemiOblivious;
+  options.max_atoms = 100000;
+  CriticalInstanceOptions critical_options;
+  critical_options.excluded_constants =
+      instance->options.excluded_constants;
+  std::vector<Atom> database = BuildCriticalInstance(
+      instance->program.rules, &instance->program.vocabulary,
+      critical_options);
+  ChaseResult result =
+      RunChase(instance->program.rules, options, database);
+  GCHASE_CHECK(result.outcome == ChaseOutcome::kTerminated);
+  return result.instance.Contains(alpha);
+}
+
+void PrintTable() {
+  bench_util::Banner(
+      "E6: looping operator (reduction used for all lower bounds)",
+      "Loop(Σ, α) diverges iff α entailed — agreement with ground truth "
+      "and with direct chase entailment");
+  std::printf("%-10s %-8s %-8s %-10s %-10s %-12s %-12s\n", "#vertices",
+              "queries", "entailed", "agree_bfs", "agree_chs",
+              "loop_us/q", "chase_us/q");
+  for (uint32_t num_vertices : {4, 6, 8, 10}) {
+    uint32_t entailed_count = 0;
+    uint32_t agree_bfs = 0;
+    uint32_t agree_chase = 0;
+    uint32_t total = 0;
+    double loop_us = 0.0;
+    double chase_us = 0.0;
+    for (uint32_t s = 0; s < 5; ++s) {
+      Rng rng(kSeedBase + num_vertices * 100 + s);
+      ReachabilityInstance instance =
+          MakeInstance(num_vertices, 0.25, &rng);
+      std::vector<bool> truth = Reachable(instance);
+      for (uint32_t v = 0; v < num_vertices; ++v) {
+        Atom alpha(instance.reach_predicate, {instance.vertex_terms[v]});
+        WallTimer timer;
+        StatusOr<bool> via_loop = EntailsViaLoopingOperator(
+            instance.program.rules, alpha, &instance.program.vocabulary,
+            ChaseVariant::kSemiOblivious, instance.options);
+        loop_us += timer.ElapsedMicros();
+        timer.Restart();
+        bool via_chase = EntailsViaChase(&instance, alpha);
+        chase_us += timer.ElapsedMicros();
+        GCHASE_CHECK(via_loop.ok());
+        ++total;
+        entailed_count += truth[v] ? 1 : 0;
+        agree_bfs += (*via_loop == truth[v]) ? 1 : 0;
+        agree_chase += (*via_loop == via_chase) ? 1 : 0;
+      }
+    }
+    std::printf("%-10u %-8u %-8u %-10u %-10u %-12.1f %-12.1f\n",
+                num_vertices, total, entailed_count, agree_bfs, agree_chase,
+                loop_us / total, chase_us / total);
+  }
+  std::printf(
+      "\nPrediction: agree_bfs = agree_chs = queries on every row (the\n"
+      "reduction is exact); the loop route costs a small constant factor\n"
+      "over direct chase entailment.\n\n");
+}
+
+void BM_EntailViaLoop(benchmark::State& state) {
+  const uint32_t num_vertices = static_cast<uint32_t>(state.range(0));
+  Rng rng(kSeedBase + 3);
+  ReachabilityInstance instance = MakeInstance(num_vertices, 0.25, &rng);
+  Atom alpha(instance.reach_predicate,
+             {instance.vertex_terms[num_vertices - 1]});
+  for (auto _ : state) {
+    StatusOr<bool> result = EntailsViaLoopingOperator(
+        instance.program.rules, alpha, &instance.program.vocabulary,
+        ChaseVariant::kSemiOblivious, instance.options);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_EntailViaLoop)->Arg(4)->Arg(8)->Arg(12);
+
+}  // namespace
+}  // namespace gchase
+
+int main(int argc, char** argv) {
+  gchase::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Experiment E7 — anatomy of the chase (Grahne & Onet baseline): the
+// three chase variants on terminating workloads with growing databases.
+// Predictions:
+//   - result sizes ordered restricted <= semi-oblivious <= oblivious
+//     (the oblivious chase fires strictly more triggers);
+//   - all three produce models of (D, Σ);
+//   - throughput (atoms/s) is comparable, with the restricted chase
+//     paying its head-satisfaction checks and the oblivious chase paying
+//     redundant trigger applications.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "base/timer.h"
+#include "bench/bench_util.h"
+#include "chase/chase.h"
+#include "generator/workloads.h"
+#include "model/parser.h"
+
+namespace gchase {
+namespace {
+
+/// University ontology + n students each enrolled in a course; half the
+/// enrollments are pre-satisfied to give the restricted chase work to
+/// skip.
+ParsedProgram MakeUniversityInstance(uint32_t num_students) {
+  StatusOr<NamedWorkload> workload = FindWorkload("dl_lite_university");
+  GCHASE_CHECK(workload.ok());
+  std::string text = workload->program;
+  for (uint32_t i = 0; i < num_students; ++i) {
+    text += "student(s" + std::to_string(i) + ").\n";
+    if (i % 2 == 0) {
+      text += "enrolledIn(s" + std::to_string(i) + ", c" +
+              std::to_string(i / 2) + ").\n";
+    }
+  }
+  StatusOr<ParsedProgram> parsed = ParseProgram(text);
+  GCHASE_CHECK(parsed.ok());
+  return *std::move(parsed);
+}
+
+/// Transitive closure over an n-chain (existential-free stress test for
+/// the homomorphism engine: closure has n(n+1)/2 atoms).
+ParsedProgram MakeClosureInstance(uint32_t chain_length) {
+  std::string text = "e(X,Y), e(Y,Z) -> e(X,Z).\n";
+  for (uint32_t i = 0; i < chain_length; ++i) {
+    text += "e(n" + std::to_string(i) + ", n" + std::to_string(i + 1) +
+            ").\n";
+  }
+  StatusOr<ParsedProgram> parsed = ParseProgram(text);
+  GCHASE_CHECK(parsed.ok());
+  return *std::move(parsed);
+}
+
+struct RunStats {
+  uint32_t atoms = 0;
+  uint64_t triggers = 0;
+  double seconds = 0.0;
+  bool model = false;
+};
+
+RunStats RunVariant(const ParsedProgram& program, ChaseVariant variant) {
+  ChaseOptions options;
+  options.variant = variant;
+  options.max_atoms = 2000000;
+  WallTimer timer;
+  ChaseResult result = RunChase(program.rules, options, program.facts);
+  RunStats stats;
+  stats.seconds = timer.ElapsedSeconds();
+  GCHASE_CHECK(result.outcome == ChaseOutcome::kTerminated);
+  stats.atoms = result.instance.size();
+  stats.triggers = result.applied_triggers;
+  stats.model = IsModelOf(result.instance, program.rules);
+  return stats;
+}
+
+void PrintTable() {
+  bench_util::Banner(
+      "E7: chase-variant anatomy (Grahne & Onet baseline)",
+      "restricted <= semi-oblivious <= oblivious result sizes; all are "
+      "models; throughput comparison");
+  std::printf("%-22s %-9s %-9s %-9s %-9s %-9s %-7s %-12s\n", "workload",
+              "variant", "atoms", "triggers", "ms", "katoms/s", "model",
+              "ordering");
+  for (uint32_t n : {50, 200, 800}) {
+    ParsedProgram program = MakeUniversityInstance(n);
+    uint32_t previous = 0;
+    bool ordered = true;
+    for (ChaseVariant variant :
+         {ChaseVariant::kRestricted, ChaseVariant::kSemiOblivious,
+          ChaseVariant::kOblivious}) {
+      RunStats stats = RunVariant(program, variant);
+      ordered = ordered && stats.atoms >= previous;
+      previous = stats.atoms;
+      std::printf("%-22s %-9.9s %-9u %-9llu %-9.2f %-9.0f %-7s %-12s\n",
+                  ("university/" + std::to_string(n)).c_str(),
+                  ChaseVariantName(variant), stats.atoms,
+                  static_cast<unsigned long long>(stats.triggers),
+                  stats.seconds * 1e3,
+                  stats.atoms / stats.seconds / 1e3,
+                  stats.model ? "yes" : "NO",
+                  variant == ChaseVariant::kOblivious
+                      ? (ordered ? "ok" : "VIOLATED")
+                      : "");
+    }
+  }
+  for (uint32_t n : {20, 60, 120}) {
+    ParsedProgram program = MakeClosureInstance(n);
+    for (ChaseVariant variant :
+         {ChaseVariant::kRestricted, ChaseVariant::kSemiOblivious,
+          ChaseVariant::kOblivious}) {
+      RunStats stats = RunVariant(program, variant);
+      std::printf("%-22s %-9.9s %-9u %-9llu %-9.2f %-9.0f %-7s %-12s\n",
+                  ("closure/" + std::to_string(n)).c_str(),
+                  ChaseVariantName(variant), stats.atoms,
+                  static_cast<unsigned long long>(stats.triggers),
+                  stats.seconds * 1e3,
+                  stats.atoms / stats.seconds / 1e3,
+                  stats.model ? "yes" : "NO", "");
+    }
+  }
+  std::printf(
+      "\nPrediction: per university row-group, atoms are non-decreasing\n"
+      "from restricted to oblivious (ordering=ok); on the existential-free\n"
+      "closure workload all variants coincide in atom count; model=yes\n"
+      "everywhere.\n\n");
+}
+
+void BM_ChaseVariant(benchmark::State& state) {
+  const ChaseVariant variant = static_cast<ChaseVariant>(state.range(0));
+  ParsedProgram program = MakeUniversityInstance(200);
+  for (auto _ : state) {
+    ChaseOptions options;
+    options.variant = variant;
+    ChaseResult result = RunChase(program.rules, options, program.facts);
+    benchmark::DoNotOptimize(result.instance.size());
+  }
+  state.SetLabel(ChaseVariantName(variant));
+}
+BENCHMARK(BM_ChaseVariant)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_TransitiveClosure(benchmark::State& state) {
+  const uint32_t chain = static_cast<uint32_t>(state.range(0));
+  ParsedProgram program = MakeClosureInstance(chain);
+  for (auto _ : state) {
+    ChaseOptions options;
+    options.variant = ChaseVariant::kSemiOblivious;
+    ChaseResult result = RunChase(program.rules, options, program.facts);
+    benchmark::DoNotOptimize(result.instance.size());
+  }
+}
+BENCHMARK(BM_TransitiveClosure)->Arg(20)->Arg(60)->Arg(120);
+
+}  // namespace
+}  // namespace gchase
+
+int main(int argc, char** argv) {
+  gchase::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

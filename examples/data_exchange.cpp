@@ -1,0 +1,104 @@
+// Data exchange: the classical application of the chase (Fagin et al.).
+// A source schema is mapped to a target schema by source-to-target TGDs
+// plus target TGDs; the chase of the source data computes a *universal
+// solution*, over which certain answers of target queries are evaluated.
+//
+// This example also shows why the termination check matters: the mapping
+// designer first verifies the TGDs are weakly acyclic / terminating, and
+// only then materializes the solution.
+
+#include <cstdio>
+
+#include "acyclicity/dependency_graph.h"
+#include "chase/chase.h"
+#include "model/parser.h"
+#include "model/printer.h"
+#include "storage/core.h"
+#include "storage/query.h"
+#include "termination/classifier.h"
+
+namespace {
+
+constexpr const char kMapping[] = R"(
+% --- source-to-target TGDs -------------------------------------------
+% Source: works(emp, dept), located(dept, city)
+% Target: employee(emp, office), office(office, city), inCity(emp, city)
+works(E, D), located(D, C) -> employee(E, O), office(O, C).
+
+% --- target TGDs ------------------------------------------------------
+employee(E, O), office(O, C) -> inCity(E, C).
+
+% --- source instance --------------------------------------------------
+works(ann, toys).
+works(bob, toys).
+works(cat, books).
+located(toys, oslo).
+located(books, bergen).
+)";
+
+}  // namespace
+
+int main() {
+  using namespace gchase;
+
+  StatusOr<ParsedProgram> parsed = ParseProgram(kMapping);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  ParsedProgram& program = *parsed;
+
+  // 1. Design-time check: is the mapping weakly acyclic (the classical
+  //    guarantee that the chase computes a finite universal solution)?
+  AcyclicityReport wa =
+      CheckWeakAcyclicity(program.rules, program.vocabulary.schema);
+  std::printf("weakly acyclic: %s\n", wa.acyclic ? "yes" : "no");
+  StatusOr<ClassifierReport> report =
+      ClassifyTermination(program.rules, &program.vocabulary);
+  if (!report.ok()) return 1;
+  std::printf("exact verdicts: CT_o=%s, CT_so=%s\n\n",
+              TerminationVerdictName(report->oblivious.verdict),
+              TerminationVerdictName(report->semi_oblivious.verdict));
+
+  // 2. Materialize the universal solution with the semi-oblivious chase
+  //    (the skolem chase used by practical data-exchange engines).
+  ChaseOptions options;
+  options.variant = ChaseVariant::kSemiOblivious;
+  ChaseResult result = RunChase(program.rules, options, program.facts);
+  if (result.outcome != ChaseOutcome::kTerminated) {
+    std::fprintf(stderr, "chase did not terminate!\n");
+    return 1;
+  }
+  std::printf("universal solution (%u atoms, %llu nulls):\n",
+              result.instance.size(),
+              static_cast<unsigned long long>(result.nulls_created));
+  for (const Atom& atom : result.instance.atoms()) {
+    if (atom.predicate < 2) continue;  // skip the source relations
+    std::printf("  %s\n", AtomToString(atom, program.vocabulary).c_str());
+  }
+
+  // 3. The *core* universal solution: the smallest one (what an actual
+  //    data-exchange system would materialize). Here the skolem chase
+  //    introduced one office null per employee; none fold away (each
+  //    carries real information), so core == solution, and the call
+  //    verifies it.
+  CoreResult core = ComputeCore(result.instance);
+  std::printf("\ncore universal solution: %u atoms (%u retractions)\n",
+              core.core.size(), core.retractions);
+
+  // 4. Certain answers: which employees certainly work in which city?
+  StatusOr<ParsedQuery> query =
+      ParseQuery("inCity(E, C)", &program.vocabulary);
+  if (!query.ok()) return 1;
+  ConjunctiveQuery cq;
+  cq.atoms = query->atoms;
+  cq.num_variables = 2;
+  cq.answer_variables = {0, 1};
+  std::printf("\ncertain answers of inCity(E, C):\n");
+  for (const AnswerTuple& tuple : CertainAnswers(result.instance, cq)) {
+    std::printf("  %s works in %s\n",
+                TermToString(tuple[0], program.vocabulary).c_str(),
+                TermToString(tuple[1], program.vocabulary).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Ontological query answering under guarded existential rules (the
+// setting that motivates the paper): a DL-Lite-style university ontology
+// is checked for chase termination, then queried. The example also
+// demonstrates the paper's looping operator: answering an entailment
+// question purely through the termination decider.
+
+#include <cstdio>
+
+#include "chase/chase.h"
+#include "model/parser.h"
+#include "model/printer.h"
+#include "storage/query.h"
+#include "termination/classifier.h"
+#include "termination/looping_operator.h"
+
+namespace {
+
+constexpr const char kOntology[] = R"(
+% Every student is enrolled in some course, courses are taught by
+% professors, professors are members of some department.
+student(X) -> enrolledIn(X,Y).
+enrolledIn(X,Y) -> course(Y).
+course(X) -> taughtBy(X,Y).
+taughtBy(X,Y) -> professor(Y).
+professor(X) -> memberOf(X,Y).
+memberOf(X,Y) -> dept(Y).
+professor(X) -> person(X).
+student(X) -> person(X).
+
+% Data.
+student(dana).
+enrolledIn(dana, db101).
+)";
+
+}  // namespace
+
+int main() {
+  using namespace gchase;
+
+  StatusOr<ParsedProgram> parsed = ParseProgram(kOntology);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  ParsedProgram& program = *parsed;
+
+  // 1. The ontology is simple linear (DL-Lite style): Theorem 1 gives a
+  //    purely syntactic termination test.
+  StatusOr<ClassifierReport> report =
+      ClassifyTermination(program.rules, &program.vocabulary);
+  if (!report.ok()) return 1;
+  std::printf("== termination analysis ==\n%s\n",
+              ReportToString(*report).c_str());
+  if (report->semi_oblivious.verdict != TerminationVerdict::kTerminating) {
+    std::fprintf(stderr, "ontology chase may diverge; aborting\n");
+    return 1;
+  }
+
+  // 2. Saturate the data and answer queries.
+  ChaseOptions options;
+  options.variant = ChaseVariant::kRestricted;
+  ChaseResult result = RunChase(program.rules, options, program.facts);
+  std::printf("== saturation ==\n%u atoms, %llu fresh nulls\n\n",
+              result.instance.size(),
+              static_cast<unsigned long long>(result.nulls_created));
+
+  StatusOr<ParsedQuery> query = ParseQuery(
+      "enrolledIn(dana, C), taughtBy(C, P)", &program.vocabulary);
+  if (!query.ok()) return 1;
+  ConjunctiveQuery cq;
+  cq.atoms = query->atoms;
+  cq.num_variables = static_cast<uint32_t>(query->variable_names.size());
+  cq.answer_variables = {};  // boolean query
+  std::printf("dana's course is taught by someone: %s\n\n",
+              EntailsBooleanQuery(result.instance, cq) ? "entailed"
+                                                       : "not entailed");
+
+  // 3. The looping operator: the same entailment question, answered by
+  //    the termination decider alone (the paper's reduction). "Does the
+  //    ontology force every course to be taught by a professor?" becomes
+  //    "does Loop(Sigma, professor(*)) diverge on the critical database?".
+  Term star = CriticalConstant(&program.vocabulary);
+  std::optional<PredicateId> professor =
+      program.vocabulary.schema.Find("professor");
+  if (!professor.has_value()) return 1;
+  StatusOr<bool> entailed = EntailsViaLoopingOperator(
+      program.rules, Atom(*professor, {star}), &program.vocabulary,
+      ChaseVariant::kSemiOblivious);
+  if (!entailed.ok()) {
+    std::fprintf(stderr, "%s\n", entailed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "== looping operator ==\n"
+      "professor(*) entailed from the critical database: %s\n"
+      "(decided purely by chase-termination analysis)\n",
+      *entailed ? "yes" : "no");
+  return 0;
+}

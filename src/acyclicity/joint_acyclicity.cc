@@ -1,0 +1,156 @@
+#include "acyclicity/joint_acyclicity.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace gchase {
+
+namespace {
+
+/// Dense position numbering shared with DependencyGraph's convention.
+struct PositionSpace {
+  explicit PositionSpace(const Schema& schema) {
+    offsets.resize(schema.num_predicates());
+    uint32_t offset = 0;
+    for (PredicateId p = 0; p < schema.num_predicates(); ++p) {
+      offsets[p] = offset;
+      offset += schema.arity(p);
+    }
+    size = offset;
+  }
+  uint32_t Node(PredicateId pred, uint32_t index) const {
+    return offsets[pred] + index;
+  }
+  std::vector<uint32_t> offsets;
+  uint32_t size = 0;
+};
+
+/// Positions of each variable in a conjunction.
+std::vector<std::vector<uint32_t>> VarPositions(const std::vector<Atom>& atoms,
+                                                uint32_t num_vars,
+                                                const PositionSpace& space) {
+  std::vector<std::vector<uint32_t>> out(num_vars);
+  for (const Atom& atom : atoms) {
+    for (uint32_t i = 0; i < atom.arity(); ++i) {
+      Term t = atom.args[i];
+      if (t.IsVariable()) out[t.index()].push_back(space.Node(atom.predicate, i));
+    }
+  }
+  return out;
+}
+
+bool AllIn(const std::vector<uint32_t>& positions,
+           const std::vector<bool>& set) {
+  for (uint32_t p : positions) {
+    if (!set[p]) return false;
+  }
+  return !positions.empty();
+}
+
+}  // namespace
+
+JointAcyclicityReport CheckJointAcyclicity(const RuleSet& rules,
+                                           const Schema& schema) {
+  PositionSpace space(schema);
+
+  // Pre-compute variable occurrence positions per rule.
+  struct RuleInfo {
+    std::vector<std::vector<uint32_t>> body_positions;
+    std::vector<std::vector<uint32_t>> head_positions;
+  };
+  std::vector<RuleInfo> info(rules.size());
+  for (uint32_t r = 0; r < rules.size(); ++r) {
+    const Tgd& rule = rules.rule(r);
+    info[r].body_positions =
+        VarPositions(rule.body(), rule.num_variables(), space);
+    info[r].head_positions =
+        VarPositions(rule.head(), rule.num_variables(), space);
+  }
+
+  // Enumerate existential variables.
+  std::vector<ExistentialVar> existentials;
+  for (uint32_t r = 0; r < rules.size(); ++r) {
+    for (VarId z : rules.rule(r).existential_variables()) {
+      existentials.push_back(ExistentialVar{r, z});
+    }
+  }
+  const uint32_t n = static_cast<uint32_t>(existentials.size());
+
+  // Move(z) fixpoints.
+  std::vector<std::vector<bool>> move(n, std::vector<bool>(space.size, false));
+  for (uint32_t i = 0; i < n; ++i) {
+    const ExistentialVar& z = existentials[i];
+    for (uint32_t p : info[z.rule].head_positions[z.var]) move[i][p] = true;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (uint32_t r = 0; r < rules.size(); ++r) {
+        const Tgd& rule = rules.rule(r);
+        for (VarId y : rule.frontier()) {
+          if (!AllIn(info[r].body_positions[y], move[i])) continue;
+          for (uint32_t p : info[r].head_positions[y]) {
+            if (!move[i][p]) {
+              move[i][p] = true;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Existential dependency graph: z -> z' iff rule(z') has a frontier
+  // variable fully supported by Move(z).
+  std::vector<std::vector<uint32_t>> adj(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      const ExistentialVar& target = existentials[j];
+      const Tgd& rule = rules.rule(target.rule);
+      for (VarId y : rule.frontier()) {
+        if (AllIn(info[target.rule].body_positions[y], move[i])) {
+          adj[i].push_back(j);
+          break;
+        }
+      }
+    }
+  }
+
+  // Cycle detection via iterative 3-color DFS, recovering the cycle.
+  JointAcyclicityReport report;
+  std::vector<uint8_t> color(n, 0);  // 0 white, 1 gray, 2 black
+  std::vector<uint32_t> parent(n, 0xffffffffu);
+  for (uint32_t root = 0; root < n && report.cycle.empty(); ++root) {
+    if (color[root] != 0) continue;
+    std::vector<std::pair<uint32_t, uint32_t>> frames{{root, 0}};
+    color[root] = 1;
+    while (!frames.empty() && report.cycle.empty()) {
+      auto& [node, next] = frames.back();
+      if (next < adj[node].size()) {
+        uint32_t target = adj[node][next++];
+        if (color[target] == 0) {
+          color[target] = 1;
+          parent[target] = node;
+          frames.emplace_back(target, 0);
+        } else if (color[target] == 1) {
+          // Found a cycle target -> ... -> node -> target.
+          std::vector<uint32_t> nodes{target};
+          for (uint32_t v = node; v != target; v = parent[v]) {
+            nodes.push_back(v);
+            GCHASE_CHECK(parent[v] != 0xffffffffu);
+          }
+          std::reverse(nodes.begin() + 1, nodes.end());
+          nodes.push_back(target);
+          for (uint32_t v : nodes) report.cycle.push_back(existentials[v]);
+        }
+      } else {
+        color[node] = 2;
+        frames.pop_back();
+      }
+    }
+  }
+  report.acyclic = report.cycle.empty();
+  return report;
+}
+
+}  // namespace gchase

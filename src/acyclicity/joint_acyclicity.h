@@ -1,0 +1,45 @@
+#ifndef GCHASE_ACYCLICITY_JOINT_ACYCLICITY_H_
+#define GCHASE_ACYCLICITY_JOINT_ACYCLICITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/schema.h"
+#include "model/tgd.h"
+
+namespace gchase {
+
+/// An existential variable, identified by its rule and variable id.
+struct ExistentialVar {
+  uint32_t rule = 0;
+  VarId var = 0;
+
+  friend bool operator==(const ExistentialVar& a, const ExistentialVar& b) {
+    return a.rule == b.rule && a.var == b.var;
+  }
+};
+
+/// Result of the joint-acyclicity test.
+struct JointAcyclicityReport {
+  bool acyclic = false;
+  /// A cycle in the existential dependency graph (first element repeated
+  /// at the end) when not acyclic.
+  std::vector<ExistentialVar> cycle;
+};
+
+/// Joint acyclicity (Krötzsch & Rudolph): a sufficient condition for
+/// semi-oblivious (skolem) chase termination that strictly generalizes
+/// weak acyclicity. For each existential variable z, Move(z) is the least
+/// set of schema positions such that
+///   (1) every head position of z is in Move(z), and
+///   (2) for every rule and frontier variable y whose body positions are
+///       all in Move(z), every head position of y is in Move(z).
+/// The existential dependency graph has an edge z -> z' iff the rule of
+/// z' has a frontier variable whose body positions all lie in Move(z).
+/// The set is jointly acyclic iff this graph is acyclic.
+JointAcyclicityReport CheckJointAcyclicity(const RuleSet& rules,
+                                           const Schema& schema);
+
+}  // namespace gchase
+
+#endif  // GCHASE_ACYCLICITY_JOINT_ACYCLICITY_H_

@@ -1,0 +1,100 @@
+#include "acyclicity/stickiness.h"
+
+#include <vector>
+
+namespace gchase {
+
+namespace {
+
+/// Dense (predicate, position) ids, mirroring DependencyGraph's layout.
+struct PositionIds {
+  explicit PositionIds(const Schema& schema) {
+    offsets.resize(schema.num_predicates());
+    uint32_t offset = 0;
+    for (PredicateId p = 0; p < schema.num_predicates(); ++p) {
+      offsets[p] = offset;
+      offset += schema.arity(p);
+    }
+    size = offset;
+  }
+  uint32_t Of(PredicateId pred, uint32_t index) const {
+    return offsets[pred] + index;
+  }
+  std::vector<uint32_t> offsets;
+  uint32_t size = 0;
+};
+
+}  // namespace
+
+StickinessReport CheckStickiness(const RuleSet& rules, const Schema& schema) {
+  PositionIds positions(schema);
+
+  // marked[r][v]: variable v of rule r is marked.
+  std::vector<std::vector<bool>> marked(rules.size());
+  for (uint32_t r = 0; r < rules.size(); ++r) {
+    marked[r].assign(rules.rule(r).num_variables(), false);
+  }
+
+  // Step 1: body variables absent from the head.
+  for (uint32_t r = 0; r < rules.size(); ++r) {
+    const Tgd& rule = rules.rule(r);
+    for (VarId v : rule.universal_variables()) {
+      if (!rule.IsFrontier(v)) marked[r][v] = true;
+    }
+  }
+
+  // Step 2: propagate through head positions to fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Positions carrying a marked body-variable occurrence.
+    std::vector<bool> marked_positions(positions.size, false);
+    for (uint32_t r = 0; r < rules.size(); ++r) {
+      const Tgd& rule = rules.rule(r);
+      for (const Atom& atom : rule.body()) {
+        for (uint32_t i = 0; i < atom.arity(); ++i) {
+          Term t = atom.args[i];
+          if (t.IsVariable() && marked[r][t.index()]) {
+            marked_positions[positions.Of(atom.predicate, i)] = true;
+          }
+        }
+      }
+    }
+    for (uint32_t r = 0; r < rules.size(); ++r) {
+      const Tgd& rule = rules.rule(r);
+      for (const Atom& atom : rule.head()) {
+        for (uint32_t i = 0; i < atom.arity(); ++i) {
+          Term t = atom.args[i];
+          if (!t.IsVariable()) continue;
+          const VarId v = t.index();
+          if (!rule.IsUniversal(v) || marked[r][v]) continue;
+          if (marked_positions[positions.Of(atom.predicate, i)]) {
+            marked[r][v] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Stickiness: no marked variable occurs twice in its rule's body.
+  StickinessReport report;
+  for (uint32_t r = 0; r < rules.size(); ++r) {
+    const Tgd& rule = rules.rule(r);
+    std::vector<uint32_t> occurrences(rule.num_variables(), 0);
+    for (const Atom& atom : rule.body()) {
+      for (Term t : atom.args) {
+        if (t.IsVariable()) ++occurrences[t.index()];
+      }
+    }
+    for (VarId v = 0; v < rule.num_variables(); ++v) {
+      if (marked[r][v] && occurrences[v] > 1) {
+        report.violations.push_back(StickinessViolation{r, v});
+      }
+    }
+  }
+  report.sticky = report.violations.empty();
+  return report;
+}
+
+}  // namespace gchase

@@ -1,0 +1,46 @@
+#ifndef GCHASE_ACYCLICITY_STICKINESS_H_
+#define GCHASE_ACYCLICITY_STICKINESS_H_
+
+#include <vector>
+
+#include "model/schema.h"
+#include "model/tgd.h"
+
+namespace gchase {
+
+/// A marked variable occurrence witnessing non-stickiness.
+struct StickinessViolation {
+  uint32_t rule = 0;
+  VarId variable = 0;
+};
+
+/// Result of the stickiness test.
+struct StickinessReport {
+  bool sticky = false;
+  /// When not sticky: a rule and a marked variable with multiple body
+  /// occurrences.
+  std::vector<StickinessViolation> violations;
+};
+
+/// Stickiness (Calì, Gottlob & Pieris) — the other major Datalog±
+/// decidability paradigm from the paper's authors, orthogonal to
+/// guardedness: it restricts *joins* instead of requiring guards, and
+/// guarantees decidable query answering even though the chase is
+/// typically infinite. Included here because the termination advisor
+/// reports it alongside the guardedness-based classes: a set that is
+/// neither terminating nor guarded may still be sticky and hence
+/// queryable.
+///
+/// The syntactic marking procedure:
+///  1. For every rule σ and body variable x not occurring in head(σ),
+///     mark x (in σ).
+///  2. Propagate to fixpoint: if x occurs in head(σ) at a schema
+///     position where some rule has a *marked* body-variable occurrence,
+///     mark x (in σ).
+/// Σ is sticky iff no marked variable occurs more than once in its
+/// rule's body.
+StickinessReport CheckStickiness(const RuleSet& rules, const Schema& schema);
+
+}  // namespace gchase
+
+#endif  // GCHASE_ACYCLICITY_STICKINESS_H_

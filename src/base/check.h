@@ -1,0 +1,42 @@
+#ifndef GCHASE_BASE_CHECK_H_
+#define GCHASE_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Invariant-checking macros. The library does not use C++ exceptions
+/// (Google style); internal invariant violations abort with a message,
+/// while recoverable errors flow through gchase::Status.
+
+/// Aborts the process with a formatted message if `condition` is false.
+/// Always enabled (also in release builds): chase correctness depends on
+/// these invariants, and the cost is negligible relative to hashing work.
+#define GCHASE_CHECK(condition)                                            \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,        \
+                   __LINE__, #condition);                                  \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Like GCHASE_CHECK but prints an extra explanatory C-string.
+#define GCHASE_CHECK_MSG(condition, msg)                                   \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,   \
+                   __LINE__, #condition, (msg));                           \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Marks unreachable code paths.
+#define GCHASE_UNREACHABLE()                                               \
+  do {                                                                     \
+    std::fprintf(stderr, "Unreachable code reached at %s:%d\n", __FILE__,  \
+                 __LINE__);                                                \
+    std::abort();                                                          \
+  } while (0)
+
+#endif  // GCHASE_BASE_CHECK_H_

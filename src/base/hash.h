@@ -1,0 +1,29 @@
+#ifndef GCHASE_BASE_HASH_H_
+#define GCHASE_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace gchase {
+
+/// Mixes `value` into the running hash `seed` (boost::hash_combine style,
+/// with a 64-bit golden-ratio constant). Used to hash atoms, triggers and
+/// type signatures.
+inline void HashCombine(std::size_t* seed, std::size_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+/// Hashes a range of elements using std::hash on each.
+template <typename It>
+std::size_t HashRange(It first, It last) {
+  std::size_t seed = 0xcbf29ce484222325ULL;
+  for (It it = first; it != last; ++it) {
+    HashCombine(&seed, std::hash<typename std::iterator_traits<It>::value_type>{}(*it));
+  }
+  return seed;
+}
+
+}  // namespace gchase
+
+#endif  // GCHASE_BASE_HASH_H_

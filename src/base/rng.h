@@ -1,0 +1,63 @@
+#ifndef GCHASE_BASE_RNG_H_
+#define GCHASE_BASE_RNG_H_
+
+#include <cstdint>
+
+#include "base/check.h"
+
+namespace gchase {
+
+/// Deterministic pseudo-random number generator (splitmix64 core).
+///
+/// All randomized workload generation is seeded so that experiments and
+/// property tests are reproducible run to run.
+class Rng {
+ public:
+  /// Creates a generator from an explicit 64-bit seed.
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t NextUint64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Returns a uniform integer in [0, bound). `bound` must be positive.
+  uint64_t NextBelow(uint64_t bound) {
+    GCHASE_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = NextUint64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Returns a uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    GCHASE_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Returns true with probability `p` (clamped to [0,1]).
+  bool NextBool(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace gchase
+
+#endif  // GCHASE_BASE_RNG_H_

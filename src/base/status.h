@@ -1,0 +1,124 @@
+#ifndef GCHASE_BASE_STATUS_H_
+#define GCHASE_BASE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "base/check.h"
+
+namespace gchase {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (e.g. parse errors, bad rule).
+  kNotFound,          ///< A named entity does not exist.
+  kFailedPrecondition,///< Operation not applicable to this input class.
+  kResourceExhausted, ///< A configured cap (steps/atoms/time) was hit.
+  kInternal,          ///< Invariant violation surfaced as an error.
+};
+
+/// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight error-or-success result, used instead of exceptions.
+///
+/// Functions that can fail return `Status` (no payload) or `StatusOr<T>`
+/// (payload on success). Both are cheap to move and carry a message only
+/// in the error case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with `code` and diagnostic `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result type holding either a value of type `T` or an error `Status`.
+///
+/// Usage:
+///   StatusOr<RuleSet> parsed = ParseRules(text);
+///   if (!parsed.ok()) return parsed.status();
+///   const RuleSet& rules = *parsed;
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit, mirroring absl::StatusOr).
+  StatusOr(T value) : payload_(std::move(value)) {}
+  /// Constructs from a non-OK status. CHECK-fails on an OK status.
+  StatusOr(Status status) : payload_(std::move(status)) {
+    GCHASE_CHECK(!std::get<Status>(payload_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns the error status (OK if a value is held).
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(payload_);
+  }
+
+  /// Value accessors; CHECK-fail if holding an error.
+  const T& value() const& {
+    GCHASE_CHECK_MSG(ok(), status().message().c_str());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    GCHASE_CHECK_MSG(ok(), status().message().c_str());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    GCHASE_CHECK_MSG(ok(), status().message().c_str());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> payload_;
+};
+
+/// Propagates an error status from an expression returning Status.
+#define GCHASE_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::gchase::Status gchase_status_ = (expr);         \
+    if (!gchase_status_.ok()) return gchase_status_;  \
+  } while (0)
+
+}  // namespace gchase
+
+#endif  // GCHASE_BASE_STATUS_H_

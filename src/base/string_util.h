@@ -1,0 +1,24 @@
+#ifndef GCHASE_BASE_STRING_UTIL_H_
+#define GCHASE_BASE_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gchase {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` at every occurrence of `sep` (no trimming, keeps empties).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Returns `text` without leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Returns true if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace gchase
+
+#endif  // GCHASE_BASE_STRING_UTIL_H_

@@ -1,0 +1,36 @@
+#ifndef GCHASE_BASE_TIMER_H_
+#define GCHASE_BASE_TIMER_H_
+
+#include <chrono>
+
+namespace gchase {
+
+/// Monotonic wall-clock stopwatch used for experiment timings and the
+/// chase engine's time-based resource cap.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gchase
+
+#endif  // GCHASE_BASE_TIMER_H_

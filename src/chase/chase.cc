@@ -1,0 +1,293 @@
+#include "chase/chase.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/hash.h"
+#include "base/rng.h"
+
+namespace gchase {
+
+const char* ChaseVariantName(ChaseVariant variant) {
+  switch (variant) {
+    case ChaseVariant::kOblivious:
+      return "oblivious";
+    case ChaseVariant::kSemiOblivious:
+      return "semi-oblivious";
+    case ChaseVariant::kRestricted:
+      return "restricted";
+  }
+  return "?";
+}
+
+std::size_t ChaseRun::KeyHash::operator()(
+    const std::vector<uint32_t>& key) const noexcept {
+  return HashRange(key.begin(), key.end());
+}
+
+ChaseRun::ChaseRun(const RuleSet& rules, ChaseOptions options,
+                   const std::vector<Atom>& database)
+    : rules_(rules), options_(options) {
+  for (const Atom& atom : database) {
+    auto [id, inserted] = instance_.Insert(atom);
+    if (inserted && options_.track_provenance) {
+      provenance_.push_back(AtomProvenance{});
+      GCHASE_CHECK(provenance_.size() == instance_.size());
+      (void)id;
+    }
+  }
+}
+
+std::vector<uint32_t> ChaseRun::TriggerKey(uint32_t rule_index,
+                                           const Binding& binding) const {
+  const Tgd& rule = rules_.rule(rule_index);
+  const std::vector<VarId>& vars =
+      options_.variant == ChaseVariant::kOblivious ? rule.universal_variables()
+                                                   : rule.frontier();
+  std::vector<uint32_t> key;
+  key.reserve(vars.size() + 1);
+  key.push_back(rule_index);
+  for (VarId v : vars) {
+    GCHASE_CHECK(IsBound(binding[v]));
+    key.push_back(binding[v].raw());
+  }
+  return key;
+}
+
+bool ChaseRun::HeadSatisfied(const Tgd& rule, const Binding& binding) const {
+  Binding frontier_binding(rule.num_variables(), UnboundTerm());
+  for (VarId v : rule.frontier()) frontier_binding[v] = binding[v];
+  HomomorphismFinder finder(instance_);
+  return finder.Exists(rule.head(), rule.num_variables(), frontier_binding);
+}
+
+bool ChaseRun::ApplyTrigger(uint32_t rule_index, const Binding& binding,
+                            const AtomObserver& observer,
+                            ChaseOutcome* outcome) {
+  const Tgd& rule = rules_.rule(rule_index);
+
+  if (applied_triggers_ >= options_.max_steps) {
+    *outcome = ChaseOutcome::kResourceLimit;
+    return false;
+  }
+  if (next_null_ + rule.existential_variables().size() > options_.max_nulls) {
+    *outcome = ChaseOutcome::kResourceLimit;
+    return false;
+  }
+  ++applied_triggers_;
+
+  // Extend the homomorphism with fresh nulls for the existential variables.
+  Binding extended = binding;
+  TriggerRecord record;
+  if (options_.track_provenance) {
+    record.rule = rule_index;
+    record.binding = binding;
+    record.body_atoms.reserve(rule.body().size());
+    for (const Atom& body_atom : rule.body()) {
+      std::optional<AtomId> id =
+          instance_.Find(SubstituteAtom(body_atom, binding));
+      GCHASE_CHECK(id.has_value());
+      record.body_atoms.push_back(*id);
+    }
+  }
+  for (VarId v : rule.existential_variables()) {
+    Term null = Term::Null(next_null_++);
+    extended[v] = null;
+    if (options_.track_provenance) record.created_nulls.push_back(null);
+  }
+
+  const uint32_t trigger_index = static_cast<uint32_t>(triggers_.size());
+  AtomId parent_id = kNoAtomId;
+  uint32_t parent_depth = 0;
+  if (options_.track_provenance) {
+    const uint32_t guard = rule.guard_index().value_or(0);
+    parent_id = record.body_atoms[guard];
+    parent_depth = provenance_[parent_id].depth;
+  }
+
+  std::vector<AtomId> new_atoms;
+  bool over_atom_cap = false;
+  for (uint32_t h = 0; h < rule.head().size(); ++h) {
+    Atom derived = SubstituteAtom(rule.head()[h], extended);
+    auto [id, inserted] = instance_.Insert(derived);
+    if (inserted) new_atoms.push_back(id);
+    if (options_.track_provenance) {
+      record.produced.push_back(id);
+      if (inserted) {
+        AtomProvenance prov;
+        prov.rule = rule_index;
+        prov.head_index = h;
+        prov.parent = parent_id;
+        prov.depth = parent_depth + 1;
+        prov.trigger = trigger_index;
+        provenance_.push_back(prov);
+        GCHASE_CHECK(provenance_.size() == instance_.size());
+      }
+    }
+    if (instance_.size() > options_.max_atoms) {
+      over_atom_cap = true;
+      break;
+    }
+  }
+  if (options_.track_provenance) triggers_.push_back(std::move(record));
+  // Notify only after the trigger record is in place: observers (e.g. the
+  // pump detector) follow provenance into triggers().
+  if (observer != nullptr) {
+    for (AtomId id : new_atoms) {
+      if (!observer(id)) {
+        abort_requested_ = true;
+        break;
+      }
+    }
+  }
+  if (abort_requested_) {
+    *outcome = ChaseOutcome::kAborted;
+    return false;
+  }
+  if (over_atom_cap) {
+    *outcome = ChaseOutcome::kResourceLimit;
+    return false;
+  }
+  return true;
+}
+
+ChaseOutcome ChaseRun::Execute(const AtomObserver& observer) {
+  GCHASE_CHECK_MSG(!executed_, "ChaseRun::Execute called twice");
+  executed_ = true;
+
+  struct PendingTrigger {
+    uint32_t rule;
+    Binding binding;
+  };
+
+  AtomId watermark = 0;
+  ChaseOutcome outcome = ChaseOutcome::kTerminated;
+  for (;;) {
+    const AtomId frontier_end = instance_.size();
+    std::vector<PendingTrigger> pending;
+
+    // Discover triggers whose homomorphism touches the latest delta:
+    // pivot decomposition guarantees each homomorphism is found once.
+    // Discovery itself is bounded by the step cap — unguarded bodies can
+    // otherwise enumerate combinatorially many homomorphisms in a single
+    // round before any trigger is applied.
+    bool discovery_capped = false;
+    for (uint32_t r = 0; r < rules_.size() && !discovery_capped; ++r) {
+      const Tgd& rule = rules_.rule(r);
+      const std::size_t body_size = rule.body().size();
+      HomomorphismFinder finder(instance_);
+      for (std::size_t pivot = 0; pivot < body_size && !discovery_capped;
+           ++pivot) {
+        HomSearchOptions search;
+        search.watermark = watermark;
+        search.ranges.assign(body_size, MatchRange::kAll);
+        for (std::size_t i = 0; i < pivot; ++i) {
+          search.ranges[i] = MatchRange::kOldOnly;
+        }
+        search.ranges[pivot] = MatchRange::kDeltaOnly;
+        search.max_candidate_visits =
+            options_.max_join_work > join_work_
+                ? options_.max_join_work - join_work_
+                : 0;
+        search.visits = &join_work_;
+        search.budget_exhausted = &discovery_capped;
+        finder.FindAllWithOptions(
+            rule.body(), rule.num_variables(), search, Binding(),
+            [&](const Binding& binding) {
+              ++hom_discoveries_;
+              std::vector<uint32_t> key = TriggerKey(r, binding);
+              if (applied_keys_.insert(std::move(key)).second) {
+                pending.push_back(PendingTrigger{r, binding});
+              }
+              if (applied_triggers_ + pending.size() >= options_.max_steps ||
+                  hom_discoveries_ >= options_.max_hom_discoveries) {
+                discovery_capped = true;
+                return false;
+              }
+              return true;
+            });
+      }
+    }
+
+    if (pending.empty()) {
+      // A capped discovery may have dropped homomorphisms that will not
+      // be re-found (their atoms are no longer delta): the run is
+      // incomplete, not terminated.
+      return discovery_capped ? ChaseOutcome::kResourceLimit
+                              : ChaseOutcome::kTerminated;
+    }
+    ++rounds_;
+
+    // Reorder within the round per the configured strategy. Every
+    // strategy applies all discovered triggers before the next round, so
+    // fairness is preserved.
+    switch (options_.order) {
+      case TriggerOrder::kFifo:
+        break;
+      case TriggerOrder::kDatalogFirst:
+        std::stable_partition(
+            pending.begin(), pending.end(), [this](const PendingTrigger& t) {
+              return rules_.rule(t.rule).IsFull();
+            });
+        break;
+      case TriggerOrder::kRandom: {
+        Rng rng(options_.order_seed + rounds_);
+        for (std::size_t i = pending.size(); i > 1; --i) {
+          std::swap(pending[i - 1], pending[rng.NextBelow(i)]);
+        }
+        break;
+      }
+    }
+
+    // Apply in the chosen order.
+    for (const PendingTrigger& trigger : pending) {
+      const Tgd& rule = rules_.rule(trigger.rule);
+      if (options_.variant == ChaseVariant::kRestricted &&
+          HeadSatisfied(rule, trigger.binding)) {
+        continue;  // Satisfied triggers are skipped, permanently (monotone).
+      }
+      if (!ApplyTrigger(trigger.rule, trigger.binding, observer, &outcome)) {
+        return outcome;
+      }
+    }
+    if (discovery_capped) return ChaseOutcome::kResourceLimit;
+    watermark = frontier_end;
+  }
+}
+
+ChaseResult RunChase(const RuleSet& rules, const ChaseOptions& options,
+                     const std::vector<Atom>& database) {
+  ChaseRun run(rules, options, database);
+  ChaseResult result;
+  result.outcome = run.Execute();
+  result.applied_triggers = run.applied_triggers();
+  result.rounds = run.rounds();
+  result.nulls_created = run.nulls_created();
+  result.instance = run.instance();
+  return result;
+}
+
+bool IsModelOf(const Instance& instance, const RuleSet& rules) {
+  HomomorphismFinder finder(instance);
+  for (const Tgd& rule : rules.rules()) {
+    bool violated = false;
+    finder.FindAll(rule.body(), rule.num_variables(),
+                   [&](const Binding& binding) {
+                     Binding frontier_binding(rule.num_variables(),
+                                              UnboundTerm());
+                     for (VarId v : rule.frontier()) {
+                       frontier_binding[v] = binding[v];
+                     }
+                     if (!finder.Exists(rule.head(), rule.num_variables(),
+                                        frontier_binding)) {
+                       violated = true;
+                       return false;
+                     }
+                     return true;
+                   });
+    if (violated) return false;
+  }
+  return true;
+}
+
+}  // namespace gchase

@@ -1,0 +1,191 @@
+#ifndef GCHASE_CHASE_CHASE_H_
+#define GCHASE_CHASE_CHASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_set>
+#include <vector>
+
+#include "model/tgd.h"
+#include "storage/homomorphism.h"
+#include "storage/instance.h"
+
+namespace gchase {
+
+/// Which chase procedure to run. The variants differ in when a trigger
+/// (rule, homomorphism) is considered "already applied":
+///  - oblivious: one application per (rule, full body homomorphism);
+///  - semi-oblivious: one application per (rule, frontier restriction) —
+///    homomorphisms agreeing on the frontier are indistinguishable;
+///  - restricted (standard): like semi-oblivious, but a trigger is skipped
+///    if its head is already satisfied by an extension into the instance.
+enum class ChaseVariant { kOblivious, kSemiOblivious, kRestricted };
+
+/// Returns "oblivious", "semi-oblivious" or "restricted".
+const char* ChaseVariantName(ChaseVariant variant);
+
+/// In which order discovered triggers are applied within a round. The
+/// (semi-)oblivious chase result does not depend on this (every trigger
+/// fires eventually); the *restricted* chase is order-sensitive — one
+/// order may terminate while another diverges — which is why deciding
+/// its termination is substantially harder (the paper's future work).
+enum class TriggerOrder {
+  kFifo,          ///< Discovery order (round-robin; the default).
+  kDatalogFirst,  ///< Existential-free rules first within each round: a
+                  ///< satisfaction-eager heuristic that lets the
+                  ///< restricted chase skip more triggers.
+  kRandom,        ///< Seeded shuffle per round (for order-sensitivity
+                  ///< probing).
+};
+
+/// Resource caps and feature toggles for one chase execution.
+struct ChaseOptions {
+  ChaseVariant variant = ChaseVariant::kRestricted;
+  /// Trigger application order within a round.
+  TriggerOrder order = TriggerOrder::kFifo;
+  /// Seed for TriggerOrder::kRandom.
+  uint64_t order_seed = 0;
+  /// Cap on applied triggers (chase steps).
+  uint64_t max_steps = std::numeric_limits<uint64_t>::max();
+  /// Cap on total atoms in the instance.
+  uint64_t max_atoms = std::numeric_limits<uint64_t>::max();
+  /// Cap on fresh labeled nulls.
+  uint64_t max_nulls = std::numeric_limits<uint64_t>::max();
+  /// Cap on homomorphisms enumerated during trigger discovery across the
+  /// whole run (each homomorphism is discovered exactly once). Unguarded
+  /// bodies can have |instance|^k homomorphisms, far more than the
+  /// triggers that survive dedup; this cap bounds that work.
+  uint64_t max_hom_discoveries = std::numeric_limits<uint64_t>::max();
+  /// Cap on candidate atoms visited by the join search across the run
+  /// (bounds backtracking *work*, which can dwarf the homomorphism count
+  /// on high-fanout unguarded joins).
+  uint64_t max_join_work = std::numeric_limits<uint64_t>::max();
+  /// Record per-atom and per-trigger provenance (costs memory; required by
+  /// the termination deciders' pump detection).
+  bool track_provenance = false;
+};
+
+/// How a chase execution ended.
+enum class ChaseOutcome {
+  kTerminated,     ///< No unapplied trigger remains: a universal model.
+  kResourceLimit,  ///< A cap in ChaseOptions was hit.
+  kAborted,        ///< The observer callback requested a stop.
+};
+
+/// Sentinel ids for provenance of database atoms.
+inline constexpr uint32_t kNoRule = 0xffffffffu;
+inline constexpr uint32_t kNoAtomId = 0xffffffffu;
+inline constexpr uint32_t kNoTriggerId = 0xffffffffu;
+
+/// Where an instance atom came from.
+struct AtomProvenance {
+  uint32_t rule = kNoRule;          ///< Producing rule index (kNoRule = DB atom).
+  uint32_t head_index = 0;          ///< Which head atom of the rule.
+  AtomId parent = kNoAtomId;        ///< Image of the rule's guard body atom.
+  uint32_t depth = 0;               ///< 1 + parent depth (0 for DB atoms).
+  uint32_t trigger = kNoTriggerId;  ///< Index into triggers().
+};
+
+/// One applied trigger, recorded when track_provenance is on.
+struct TriggerRecord {
+  uint32_t rule = 0;
+  std::vector<AtomId> body_atoms;  ///< Images of the body conjuncts, in order.
+  Binding binding;                 ///< The full body homomorphism.
+  std::vector<Term> created_nulls; ///< Fresh nulls, in existential-var order.
+  std::vector<AtomId> produced;    ///< Ids of the head-atom images.
+};
+
+/// A single chase execution. Construct, Execute() once, then inspect.
+///
+/// The engine uses round-based semi-naive trigger discovery: in each round
+/// it enumerates homomorphisms that touch at least one atom added in the
+/// previous round (pivot decomposition), filters them through the
+/// variant's dedup key, and applies the survivors FIFO. This realizes the
+/// fairness condition of the chase definition.
+class ChaseRun {
+ public:
+  /// `rules` must outlive the run. `database` atoms must be ground.
+  ChaseRun(const RuleSet& rules, ChaseOptions options,
+           const std::vector<Atom>& database);
+
+  /// Observer invoked after each newly derived atom; return false to abort
+  /// the run (outcome kAborted). May inspect the run through the getters.
+  using AtomObserver = std::function<bool(AtomId)>;
+
+  /// Runs the chase to completion, cap, or abort. Call exactly once.
+  ChaseOutcome Execute(const AtomObserver& observer = nullptr);
+
+  const Instance& instance() const { return instance_; }
+  const RuleSet& rules() const { return rules_; }
+  const std::vector<AtomProvenance>& provenance() const { return provenance_; }
+  const std::vector<TriggerRecord>& triggers() const { return triggers_; }
+
+  uint64_t applied_triggers() const { return applied_triggers_; }
+  uint64_t rounds() const { return rounds_; }
+  uint64_t nulls_created() const { return next_null_; }
+  uint64_t hom_discoveries() const { return hom_discoveries_; }
+  uint64_t join_work() const { return join_work_; }
+
+  /// Variant-specific dedup key: rule id followed by the raw images of the
+  /// relevant variables (all universals for oblivious, frontier otherwise).
+  /// Exposed for the termination deciders' pump-replay verification.
+  std::vector<uint32_t> TriggerKey(uint32_t rule_index,
+                                   const Binding& binding) const;
+
+  /// True if a trigger with this key has already been applied (or marked
+  /// satisfied, for the restricted variant).
+  bool WasKeyApplied(const std::vector<uint32_t>& key) const {
+    return applied_keys_.find(key) != applied_keys_.end();
+  }
+
+ private:
+
+  /// True if the rule head, under the frontier part of `binding`, already
+  /// maps into the instance (restricted-chase satisfaction check).
+  bool HeadSatisfied(const Tgd& rule, const Binding& binding) const;
+
+  /// Applies one trigger; returns false if a resource cap was hit.
+  bool ApplyTrigger(uint32_t rule_index, const Binding& binding,
+                    const AtomObserver& observer, ChaseOutcome* outcome);
+
+  const RuleSet& rules_;
+  ChaseOptions options_;
+  Instance instance_;
+  std::vector<AtomProvenance> provenance_;
+  std::vector<TriggerRecord> triggers_;
+
+  struct KeyHash {
+    std::size_t operator()(const std::vector<uint32_t>& key) const noexcept;
+  };
+  std::unordered_set<std::vector<uint32_t>, KeyHash> applied_keys_;
+
+  uint64_t applied_triggers_ = 0;
+  uint64_t rounds_ = 0;
+  uint64_t hom_discoveries_ = 0;
+  uint64_t join_work_ = 0;
+  uint32_t next_null_ = 0;
+  bool executed_ = false;
+  bool abort_requested_ = false;
+};
+
+/// Convenience result bundle for RunChase().
+struct ChaseResult {
+  ChaseOutcome outcome = ChaseOutcome::kTerminated;
+  Instance instance;
+  uint64_t applied_triggers = 0;
+  uint64_t rounds = 0;
+  uint64_t nulls_created = 0;
+};
+
+/// One-shot helper: runs the chase of `database` w.r.t. `rules`.
+ChaseResult RunChase(const RuleSet& rules, const ChaseOptions& options,
+                     const std::vector<Atom>& database);
+
+/// Checks that `instance` satisfies every rule (every body homomorphism
+/// extends to a head homomorphism). A terminated chase must satisfy this.
+bool IsModelOf(const Instance& instance, const RuleSet& rules);
+
+}  // namespace gchase
+
+#endif  // GCHASE_CHASE_CHASE_H_

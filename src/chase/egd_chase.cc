@@ -1,0 +1,183 @@
+#include "chase/egd_chase.h"
+
+#include <unordered_map>
+
+#include "storage/homomorphism.h"
+
+namespace gchase {
+
+namespace {
+
+/// Union-find over packed terms with constant-preferring representatives.
+class TermUnion {
+ public:
+  enum class UnifyResult { kMerged, kNoop, kClash };
+
+  uint32_t Find(uint32_t raw) {
+    auto it = parent_.find(raw);
+    if (it == parent_.end() || it->second == raw) return raw;
+    uint32_t root = Find(it->second);
+    parent_[raw] = root;
+    return root;
+  }
+
+  UnifyResult Unify(Term a, Term b) {
+    uint32_t ra = Find(a.raw());
+    uint32_t rb = Find(b.raw());
+    if (ra == rb) return UnifyResult::kNoop;
+    const bool a_const = (ra >> 30) == 0;
+    const bool b_const = (rb >> 30) == 0;
+    if (a_const && b_const) return UnifyResult::kClash;
+    if (a_const) {
+      parent_[rb] = ra;
+    } else if (b_const) {
+      parent_[ra] = rb;
+    } else {
+      // Null-null merge: keep the lower id (older null) as representative.
+      if (ra < rb) {
+        parent_[rb] = ra;
+      } else {
+        parent_[ra] = rb;
+      }
+    }
+    return UnifyResult::kMerged;
+  }
+
+  Term Canonical(Term t) {
+    uint32_t root = Find(t.raw());
+    uint32_t index = root & ((1u << 30) - 1);
+    switch (root >> 30) {
+      case 0:
+        return Term::Constant(index);
+      case 1:
+        return Term::Variable(index);
+      default:
+        return Term::Null(index);
+    }
+  }
+
+ private:
+  std::unordered_map<uint32_t, uint32_t> parent_;
+};
+
+/// Resolves an EGD equality term under a homomorphism.
+Term Resolve(Term t, const Binding& binding) {
+  if (!t.IsVariable()) return t;
+  GCHASE_CHECK(t.index() < binding.size());
+  Term image = binding[t.index()];
+  GCHASE_CHECK(IsBound(image));
+  return image;
+}
+
+}  // namespace
+
+EgdChaseResult RunStandardChaseWithEgds(const RuleSet& rules,
+                                        const std::vector<Egd>& egds,
+                                        const EgdChaseOptions& options,
+                                        const std::vector<Atom>& database) {
+  EgdChaseResult result;
+  uint32_t next_null = 0;
+  for (const Atom& atom : database) {
+    result.instance.Insert(atom);
+    for (Term t : atom.args) {
+      if (t.IsNull()) next_null = std::max(next_null, t.index() + 1);
+    }
+  }
+
+  for (;;) {
+    bool progress = false;
+
+    // --- EGD fixpoint: unify until no merge (or failure). --------------
+    for (;;) {
+      TermUnion unionfind;
+      bool merged = false;
+      bool clash = false;
+      for (const Egd& egd : egds) {
+        HomomorphismFinder finder(result.instance);
+        finder.FindAll(egd.body(), egd.num_variables(),
+                       [&](const Binding& binding) {
+                         for (const Egd::Equality& eq : egd.equalities()) {
+                           Term lhs = Resolve(eq.first, binding);
+                           Term rhs = Resolve(eq.second, binding);
+                           switch (unionfind.Unify(lhs, rhs)) {
+                             case TermUnion::UnifyResult::kClash:
+                               clash = true;
+                               return false;
+                             case TermUnion::UnifyResult::kMerged:
+                               ++result.egd_applications;
+                               merged = true;
+                               break;
+                             case TermUnion::UnifyResult::kNoop:
+                               break;
+                           }
+                         }
+                         return true;
+                       });
+        if (clash) {
+          result.outcome = EgdChaseOutcome::kFailed;
+          return result;
+        }
+      }
+      if (!merged) break;
+      // Renormalize the whole instance under the merged terms.
+      Instance normalized;
+      for (const Atom& atom : result.instance.atoms()) {
+        Atom canonical = atom;
+        for (Term& t : canonical.args) t = unionfind.Canonical(t);
+        normalized.Insert(canonical);
+      }
+      result.instance = std::move(normalized);
+      progress = true;
+    }
+
+    // --- One restricted TGD pass. --------------------------------------
+    for (uint32_t r = 0; r < rules.size(); ++r) {
+      const Tgd& rule = rules.rule(r);
+      // Collect body homomorphisms first: applications mutate the
+      // instance, and new triggers are picked up by the next pass.
+      std::vector<Binding> bindings;
+      {
+        HomomorphismFinder finder(result.instance);
+        finder.FindAll(rule.body(), rule.num_variables(),
+                       [&bindings](const Binding& binding) {
+                         bindings.push_back(binding);
+                         return true;
+                       });
+      }
+      for (const Binding& binding : bindings) {
+        // Restricted semantics: skip satisfied triggers (checked against
+        // the *current* instance).
+        Binding frontier(rule.num_variables(), UnboundTerm());
+        for (VarId v : rule.frontier()) frontier[v] = binding[v];
+        HomomorphismFinder finder(result.instance);
+        if (finder.Exists(rule.head(), rule.num_variables(), frontier)) {
+          continue;
+        }
+        if (result.tgd_applications >= options.max_steps ||
+            result.instance.size() >= options.max_atoms ||
+            result.nulls_created + rule.existential_variables().size() >
+                options.max_nulls) {
+          result.outcome = EgdChaseOutcome::kResourceLimit;
+          return result;
+        }
+        Binding extended = binding;
+        for (VarId v : rule.existential_variables()) {
+          extended[v] = Term::Null(next_null++);
+          ++result.nulls_created;
+        }
+        for (const Atom& head : rule.head()) {
+          result.instance.Insert(SubstituteAtom(head, extended));
+        }
+        ++result.tgd_applications;
+        progress = true;
+      }
+    }
+
+    if (!progress) {
+      result.outcome = EgdChaseOutcome::kTerminated;
+      return result;
+    }
+  }
+}
+
+}  // namespace gchase

@@ -1,0 +1,56 @@
+#ifndef GCHASE_CHASE_EGD_CHASE_H_
+#define GCHASE_CHASE_EGD_CHASE_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "chase/chase.h"
+#include "model/egd.h"
+#include "model/tgd.h"
+
+namespace gchase {
+
+/// How a chase with EGDs ended.
+enum class EgdChaseOutcome {
+  kTerminated,     ///< Fixpoint: the result satisfies all TGDs and EGDs.
+  kFailed,         ///< An EGD equated two distinct constants: no model
+                   ///< of (D, Σ) exists (hard constraint violation).
+  kResourceLimit,  ///< A cap was hit.
+};
+
+/// Options for the standard chase with EGDs.
+struct EgdChaseOptions {
+  uint64_t max_steps = std::numeric_limits<uint64_t>::max();
+  uint64_t max_atoms = std::numeric_limits<uint64_t>::max();
+  uint64_t max_nulls = std::numeric_limits<uint64_t>::max();
+};
+
+/// Result of RunStandardChaseWithEgds.
+struct EgdChaseResult {
+  EgdChaseOutcome outcome = EgdChaseOutcome::kTerminated;
+  Instance instance;
+  uint64_t tgd_applications = 0;
+  uint64_t egd_applications = 0;  ///< Null unifications performed.
+  uint64_t nulls_created = 0;
+};
+
+/// The standard (restricted) chase for TGDs *and* EGDs — the full
+/// classical procedure of data exchange: TGD triggers fire only when
+/// their head is unsatisfied; EGD triggers unify terms, preferring to
+/// eliminate labeled nulls, and *fail* the chase when two distinct
+/// constants are equated.
+///
+/// EGD unification merges nulls globally (union-find + instance
+/// renormalization), which can shrink the instance and re-expose TGD
+/// triggers; the engine alternates EGD fixpoints with TGD passes until
+/// neither makes progress. Termination is, as always, not guaranteed —
+/// use the caps.
+EgdChaseResult RunStandardChaseWithEgds(const RuleSet& rules,
+                                        const std::vector<Egd>& egds,
+                                        const EgdChaseOptions& options,
+                                        const std::vector<Atom>& database);
+
+}  // namespace gchase
+
+#endif  // GCHASE_CHASE_EGD_CHASE_H_

@@ -1,0 +1,74 @@
+#ifndef GCHASE_CHASE_FOREST_H_
+#define GCHASE_CHASE_FOREST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "chase/chase.h"
+#include "model/vocabulary.h"
+
+namespace gchase {
+
+/// One node of the guarded chase forest (one per instance atom).
+struct ForestNode {
+  AtomId parent = kNoAtomId;  ///< Guard image (kNoAtomId for DB atoms).
+  uint32_t depth = 0;
+  std::vector<AtomId> children;
+};
+
+/// Aggregate shape statistics of a forest.
+struct ForestStats {
+  uint32_t roots = 0;          ///< Database atoms.
+  uint32_t max_depth = 0;
+  uint32_t max_branching = 0;  ///< Largest child count of any node.
+  /// Largest "bag": atoms of the final instance whose terms are all
+  /// among one node's terms. The paper's guarded-chase-forest types are
+  /// (atom, bag) pairs; the doubly exponential type count behind the
+  /// 2EXPTIME bound comes from the bag component.
+  uint32_t max_bag_size = 0;
+  /// True iff every applied trigger satisfied the guardedness invariant:
+  /// each body-atom image uses only constants and terms of the guard
+  /// image. Holds by construction for guarded rule sets; reported so
+  /// tests can assert it mechanically.
+  bool guarded_invariant = true;
+};
+
+/// A structural view of a provenance-tracked chase run as the guarded
+/// chase forest: nodes are atoms, each derived atom hangs off the image
+/// of its trigger's guard atom. This is the object the paper's Theorem 4
+/// algorithm walks; the inspector exists to make it observable (tests
+/// assert its invariants, and the stats quantify the tree-likeness that
+/// guardedness buys).
+class ChaseForest {
+ public:
+  /// Builds the forest from a finished run. Fails with
+  /// kFailedPrecondition if the run did not track provenance.
+  static StatusOr<ChaseForest> Build(const ChaseRun& run);
+
+  const std::vector<ForestNode>& nodes() const { return nodes_; }
+  const ForestNode& node(AtomId id) const {
+    GCHASE_CHECK(id < nodes_.size());
+    return nodes_[id];
+  }
+
+  /// Computes shape statistics (bag computation scans the instance; cost
+  /// is |instance| * max-arity term-index lookups).
+  ForestStats Stats() const;
+
+  /// Renders the forest in Graphviz DOT: one node per atom (database
+  /// atoms boxed), guard edges solid, labels via `vocabulary`. Paste into
+  /// `dot -Tsvg` to see the guarded chase forest the deciders walk.
+  std::string ToDot(const Vocabulary& vocabulary) const;
+
+ private:
+  explicit ChaseForest(const ChaseRun& run) : run_(run) {}
+
+  const ChaseRun& run_;
+  std::vector<ForestNode> nodes_;
+};
+
+}  // namespace gchase
+
+#endif  // GCHASE_CHASE_FOREST_H_

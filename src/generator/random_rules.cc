@@ -1,0 +1,171 @@
+#include "generator/random_rules.h"
+
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+
+namespace gchase {
+
+namespace {
+
+/// Mutable variable pool for one rule under construction.
+struct RuleBuilder {
+  std::vector<std::string> names;
+
+  uint32_t Fresh() {
+    uint32_t id = static_cast<uint32_t>(names.size());
+    names.push_back("V" + std::to_string(id));
+    return id;
+  }
+};
+
+/// Builds one body atom for a linear rule (optionally with repeats).
+Atom MakeBodyAtom(PredicateId pred, uint32_t arity, double repeat_probability,
+                  Rng* rng, RuleBuilder* builder,
+                  std::vector<VarId>* atom_vars) {
+  Atom atom;
+  atom.predicate = pred;
+  for (uint32_t i = 0; i < arity; ++i) {
+    VarId var;
+    if (!atom_vars->empty() && rng->NextBool(repeat_probability)) {
+      var = (*atom_vars)[rng->NextBelow(atom_vars->size())];
+    } else {
+      var = builder->Fresh();
+      atom_vars->push_back(var);
+    }
+    atom.args.push_back(Term::Variable(var));
+  }
+  return atom;
+}
+
+}  // namespace
+
+RandomProgram GenerateRandomRuleSet(Rng* rng,
+                                    const RandomRuleSetOptions& options) {
+  GCHASE_CHECK(options.num_predicates > 0);
+  GCHASE_CHECK(options.min_arity <= options.max_arity);
+
+  RandomProgram program;
+  Schema& schema = program.vocabulary.schema;
+  std::vector<PredicateId> preds;
+  for (uint32_t i = 0; i < options.num_predicates; ++i) {
+    uint32_t arity = static_cast<uint32_t>(
+        rng->NextInRange(options.min_arity, options.max_arity));
+    StatusOr<PredicateId> pred =
+        schema.GetOrAdd("p" + std::to_string(i), arity);
+    GCHASE_CHECK(pred.ok());
+    preds.push_back(*pred);
+  }
+
+  for (uint32_t r = 0; r < options.num_rules; ++r) {
+    RuleBuilder builder;
+    std::vector<Atom> body;
+    std::vector<VarId> universal;
+
+    switch (options.rule_class) {
+      case RuleClass::kSimpleLinear: {
+        PredicateId pred = preds[rng->NextBelow(preds.size())];
+        Atom atom;
+        atom.predicate = pred;
+        for (uint32_t i = 0; i < schema.arity(pred); ++i) {
+          VarId var = builder.Fresh();
+          universal.push_back(var);
+          atom.args.push_back(Term::Variable(var));
+        }
+        body.push_back(std::move(atom));
+        break;
+      }
+      case RuleClass::kLinear: {
+        PredicateId pred = preds[rng->NextBelow(preds.size())];
+        body.push_back(MakeBodyAtom(pred, schema.arity(pred),
+                                    options.repeat_variable_probability, rng,
+                                    &builder, &universal));
+        break;
+      }
+      case RuleClass::kGuarded: {
+        PredicateId guard = preds[rng->NextBelow(preds.size())];
+        body.push_back(MakeBodyAtom(guard, schema.arity(guard),
+                                    options.repeat_variable_probability, rng,
+                                    &builder, &universal));
+        // Side atoms draw variables from the guard only, preserving
+        // guardedness.
+        if (!universal.empty() && options.max_body_atoms > 1) {
+          uint32_t sides = static_cast<uint32_t>(
+              rng->NextBelow(options.max_body_atoms));
+          for (uint32_t s = 0; s < sides; ++s) {
+            PredicateId pred = preds[rng->NextBelow(preds.size())];
+            Atom atom;
+            atom.predicate = pred;
+            for (uint32_t i = 0; i < schema.arity(pred); ++i) {
+              atom.args.push_back(Term::Variable(
+                  universal[rng->NextBelow(universal.size())]));
+            }
+            body.push_back(std::move(atom));
+          }
+        }
+        break;
+      }
+      case RuleClass::kGeneral: {
+        uint32_t count = static_cast<uint32_t>(
+            rng->NextInRange(1, options.max_body_atoms));
+        for (uint32_t b = 0; b < count; ++b) {
+          PredicateId pred = preds[rng->NextBelow(preds.size())];
+          Atom atom;
+          atom.predicate = pred;
+          for (uint32_t i = 0; i < schema.arity(pred); ++i) {
+            VarId var;
+            if (!universal.empty() &&
+                rng->NextBool(1.0 - options.repeat_variable_probability)) {
+              // Reuse across atoms to create joins.
+              var = universal[rng->NextBelow(universal.size())];
+            } else {
+              var = builder.Fresh();
+              universal.push_back(var);
+            }
+            atom.args.push_back(Term::Variable(var));
+          }
+          body.push_back(std::move(atom));
+        }
+        break;
+      }
+    }
+
+    // Head: frontier variables from `universal`, or existentials.
+    std::vector<Atom> head;
+    std::vector<VarId> existentials;
+    uint32_t head_count = static_cast<uint32_t>(
+        rng->NextInRange(1, options.max_head_atoms));
+    for (uint32_t h = 0; h < head_count; ++h) {
+      PredicateId pred = preds[rng->NextBelow(preds.size())];
+      Atom atom;
+      atom.predicate = pred;
+      for (uint32_t i = 0; i < schema.arity(pred); ++i) {
+        const bool want_existential =
+            universal.empty() || rng->NextBool(options.existential_probability);
+        VarId var;
+        if (want_existential) {
+          // Occasionally reuse an existential to join fresh nulls.
+          if (!existentials.empty() && rng->NextBool(0.3)) {
+            var = existentials[rng->NextBelow(existentials.size())];
+          } else {
+            var = builder.Fresh();
+            existentials.push_back(var);
+          }
+        } else {
+          var = universal[rng->NextBelow(universal.size())];
+        }
+        atom.args.push_back(Term::Variable(var));
+      }
+      head.push_back(std::move(atom));
+    }
+
+    StatusOr<Tgd> rule =
+        Tgd::Create(std::move(body), std::move(head), builder.names, schema);
+    GCHASE_CHECK_MSG(rule.ok(), rule.status().message().c_str());
+    program.rules.Add(*std::move(rule));
+  }
+  return program;
+}
+
+}  // namespace gchase

@@ -1,0 +1,49 @@
+#ifndef GCHASE_GENERATOR_RANDOM_RULES_H_
+#define GCHASE_GENERATOR_RANDOM_RULES_H_
+
+#include "base/rng.h"
+#include "model/tgd.h"
+#include "model/vocabulary.h"
+
+namespace gchase {
+
+/// Knobs for the random TGD generator. All generation is seeded and
+/// deterministic; experiments record their seeds.
+struct RandomRuleSetOptions {
+  /// Schema shape.
+  uint32_t num_predicates = 6;
+  uint32_t min_arity = 1;
+  uint32_t max_arity = 3;
+  /// Number of rules to generate.
+  uint32_t num_rules = 6;
+  /// Class constraint for every generated rule.
+  RuleClass rule_class = RuleClass::kGuarded;
+  /// Body/head width (bodies beyond 1 atom only for kGuarded/kGeneral).
+  uint32_t max_body_atoms = 3;
+  uint32_t max_head_atoms = 2;
+  /// Probability that a head position gets an existential variable
+  /// (instead of a frontier variable).
+  double existential_probability = 0.4;
+  /// For kLinear/kGuarded/kGeneral: probability that a body position
+  /// repeats an earlier variable of the same atom.
+  double repeat_variable_probability = 0.25;
+};
+
+/// A generated program: schema + rules (no facts).
+struct RandomProgram {
+  Vocabulary vocabulary;
+  RuleSet rules;
+};
+
+/// Generates a random rule set honoring `options.rule_class`:
+///  - kSimpleLinear: one body atom with pairwise-distinct variables;
+///  - kLinear: one body atom, repeated variables allowed;
+///  - kGuarded: a guard atom containing all variables plus side atoms
+///    over subsets of them;
+///  - kGeneral: unconstrained multi-atom bodies.
+RandomProgram GenerateRandomRuleSet(Rng* rng,
+                                    const RandomRuleSetOptions& options);
+
+}  // namespace gchase
+
+#endif  // GCHASE_GENERATOR_RANDOM_RULES_H_

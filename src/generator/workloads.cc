@@ -1,0 +1,250 @@
+#include "generator/workloads.h"
+
+namespace gchase {
+
+namespace {
+
+std::vector<NamedWorkload> BuildWorkloads() {
+  std::vector<NamedWorkload> w;
+
+  w.push_back(NamedWorkload{
+      "paper_ex1_person",
+      "Paper Example 1: every person has a father who is a person; the "
+      "chase diverges for both variants.",
+      "person(X) -> hasFather(X,Y), person(Y).\n",
+      /*oblivious_terminates=*/false, /*semi_oblivious_terminates=*/false});
+
+  w.push_back(NamedWorkload{
+      "paper_ex2_successor",
+      "Paper Example 2: p(X,Y) -> exists Z p(Y,Z); the canonical infinite "
+      "successor chain.",
+      "p(X,Y) -> p(Y,Z).\n",
+      false, false});
+
+  w.push_back(NamedWorkload{
+      "sl_o_div_so_term",
+      "Simple linear separator between the chase variants: the oblivious "
+      "chase re-fires per body homomorphism (Y is not exported), the "
+      "semi-oblivious chase fires once per frontier value. Richly cyclic "
+      "but weakly acyclic (Theorem 1 separation).",
+      "p(X,Y) -> p(X,Z).\n",
+      false, true});
+
+  w.push_back(NamedWorkload{
+      "sl_inclusion_chain",
+      "Acyclic inclusion-dependency chain (SL, terminating).",
+      "emp(X,Y) -> dept(Y).\n"
+      "dept(X) -> mgr(X,Y).\n"
+      "mgr(X,Y) -> person(Y).\n",
+      true, true});
+
+  w.push_back(NamedWorkload{
+      "sl_mutual_recursion",
+      "SL mutual recursion through an existential: diverges for both "
+      "variants.",
+      "p(X) -> q(X,Y).\n"
+      "q(X,Y) -> p(Y).\n",
+      false, false});
+
+  w.push_back(NamedWorkload{
+      "sl_frontier_drop",
+      "Like sl_mutual_recursion but the null is dropped on the way back "
+      "(p(X) instead of p(Y)): terminating for both variants, weakly and "
+      "richly acyclic.",
+      "p(X) -> q(X,Y).\n"
+      "q(X,Y) -> p(X).\n",
+      true, true});
+
+  w.push_back(NamedWorkload{
+      "linear_wa_incomplete",
+      "Linear (repeated body variable) set that is weakly *cyclic* yet "
+      "terminating: the dangerous cycle needs q(a,a) atoms the chase "
+      "never produces. Motivates critical-weak-acyclicity (Theorem 2).",
+      "p(X,Y) -> q(Y,Z).\n"
+      "q(X,X) -> p(X,X).\n",
+      true, true});
+
+  w.push_back(NamedWorkload{
+      "linear_repeat_o_div_so_term",
+      "Linear with repeated variables and an empty frontier: the "
+      "semi-oblivious chase applies the rule once ever; the oblivious "
+      "chase re-fires on each fresh null.",
+      "p(X,X) -> p(Y,Y).\n",
+      false, true});
+
+  w.push_back(NamedWorkload{
+      "linear_repeat_nonterm",
+      "Linear with repeated variables, diverging for both variants "
+      "(the frontier variable is re-seeded through the head).",
+      "p(X,X) -> s(X,Y), p(Y,Y).\n",
+      false, false});
+
+  w.push_back(NamedWorkload{
+      "guarded_side_term",
+      "Guarded rules with side atoms, terminating.",
+      "e(X,Y), a(X) -> f(Y,Z).\n"
+      "f(X,Y) -> b(Y).\n",
+      true, true});
+
+  w.push_back(NamedWorkload{
+      "guarded_nonterm",
+      "Guarded null-chain: each fresh null is re-marked and re-extended.",
+      "e(X,Y), mark(Y) -> e(Y,Z), mark(Z).\n",
+      false, false});
+
+  w.push_back(NamedWorkload{
+      "guarded_side_blocks",
+      "Guarded, weakly cyclic but terminating: the side atom root(Y) is "
+      "never derivable for nulls, so the dangerous cycle is vacuous. "
+      "Jointly acyclic (JA sees that root's position never carries "
+      "nulls).",
+      "e(X,Y), root(Y) -> e(Y,Z).\n",
+      true, true});
+
+  w.push_back(NamedWorkload{
+      "ja_not_wa",
+      "Weakly cyclic, jointly acyclic, terminating: the null created in "
+      "q's second position cannot pass the aux(Y) side condition.",
+      "p(X,Y) -> q(Y,Z).\n"
+      "q(X,Y), aux(Y) -> p(X,Y).\n",
+      true, true});
+
+  w.push_back(NamedWorkload{
+      "all_acyclicity_fail_but_terminates",
+      "Terminating guarded set rejected by WA, RA, JA *and* MFA: the "
+      "chase nests one null under the same skolem tag (so MFA sees a "
+      "cyclic term) but then stops because aux(X) only ever holds the "
+      "critical constant. Only the exact decider accepts it.",
+      "p(X,Y) -> q(Y,Z).\n"
+      "q(X,Y), aux(X) -> p(X,Y).\n",
+      true, true});
+
+  w.push_back(NamedWorkload{
+      "datalog_transitivity",
+      "Full (existential-free) transitivity: not guarded, but trivially "
+      "terminating for every variant.",
+      "e(X,Y), e(Y,Z) -> e(X,Z).\n",
+      true, true});
+
+  w.push_back(NamedWorkload{
+      "guarded_pair_nonterm",
+      "Guarded two-atom body (e(X,Y) guards both variables) that keeps "
+      "re-seeding itself with fresh nulls; diverges for both variants.",
+      "e(X,Y), e(Y,X) -> e(X,Z), e(Z,X).\n",
+      false, false});
+
+  w.push_back(NamedWorkload{
+      "general_nonterm",
+      "Genuinely non-guarded body (no atom covers X, Y and Z) that "
+      "re-seeds itself with fresh nulls; diverges for both variants.",
+      "e(X,Y), e(Y,Z) -> e(Z,W), e(W,X).\n",
+      false, false});
+
+  w.push_back(NamedWorkload{
+      "dl_lite_university",
+      "DL-Lite-style university ontology (SL, terminating): concept and "
+      "role inclusions with existential restrictions.",
+      "student(X) -> enrolledIn(X,Y).\n"
+      "enrolledIn(X,Y) -> course(Y).\n"
+      "course(X) -> taughtBy(X,Y).\n"
+      "taughtBy(X,Y) -> professor(Y).\n"
+      "professor(X) -> memberOf(X,Y).\n"
+      "memberOf(X,Y) -> dept(Y).\n"
+      "professor(X) -> person(X).\n"
+      "student(X) -> person(X).\n",
+      true, true});
+
+  w.push_back(NamedWorkload{
+      "ontology_cyclic_nonterm",
+      "University ontology with a cyclic existential dependency "
+      "(professor -> teaches -> course -> taughtBy -> professor).",
+      "professor(X) -> teaches(X,Y).\n"
+      "teaches(X,Y) -> course(Y).\n"
+      "course(X) -> taughtBy(X,Y).\n"
+      "taughtBy(X,Y) -> professor(Y).\n",
+      false, false});
+
+  w.push_back(NamedWorkload{
+      "lubm_style_tbox",
+      "LUBM-flavoured university TBox (17 SL rules): concept hierarchy "
+      "plus existential role restrictions, all chains acyclic.",
+      "graduateStudent(X) -> student(X).\n"
+      "undergradStudent(X) -> student(X).\n"
+      "student(X) -> memberOfUniv(X,Y).\n"
+      "memberOfUniv(X,Y) -> university(Y).\n"
+      "fullProfessor(X) -> professor(X).\n"
+      "assistantProfessor(X) -> professor(X).\n"
+      "professor(X) -> faculty(X).\n"
+      "faculty(X) -> worksFor(X,Y).\n"
+      "worksFor(X,Y) -> department(Y).\n"
+      "department(X) -> subOrgOf(X,Y).\n"
+      "subOrgOf(X,Y) -> university(Y).\n"
+      "university(X) -> org(X).\n"
+      "department(X) -> org(X).\n"
+      "course(X) -> taughtAt(X,Y).\n"
+      "taughtAt(X,Y) -> department(Y).\n"
+      "student(X) -> takes(X,Y).\n"
+      "takes(X,Y) -> course(Y).\n",
+      true, true});
+
+  w.push_back(NamedWorkload{
+      "sl_role_hierarchy",
+      "Role-inclusion chain with inverse-style flips (SL, terminating).",
+      "hasHead(X,Y) -> manages(Y,X).\n"
+      "manages(X,Y) -> supervises(X,Y).\n"
+      "supervises(X,Y) -> knows(X,Y).\n"
+      "knows(X,Y) -> person(X).\n"
+      "knows(X,Y) -> person(Y).\n"
+      "person(X) -> hasId(X,Y).\n"
+      "hasId(X,Y) -> id(Y).\n",
+      true, true});
+
+  w.push_back(NamedWorkload{
+      "guarded_management_chain",
+      "Guarded management spiral: every managed employee manages someone "
+      "fresh; diverges for both variants.",
+      "mgr(X,Y), emp(Y) -> mgr(Y,Z), emp(Z).\n",
+      false, false});
+
+  w.push_back(NamedWorkload{
+      "restricted_order_sensitive",
+      "Order-sensitive restricted chase (the phenomenon behind the "
+      "paper's open future-work problem): applying the existential rule "
+      "first diverges, applying the symmetric full rule first satisfies "
+      "every head and terminates. The (semi-)oblivious chase diverges "
+      "regardless.",
+      "p(X,Y) -> p(Y,Z).\n"
+      "p(X,Y) -> p(Y,X).\n",
+      false, false});
+
+  w.push_back(NamedWorkload{
+      "data_exchange_two_level",
+      "Source-to-target TGDs of a small data-exchange scenario (weakly "
+      "acyclic with rank 2).",
+      "src(X,Y) -> t1(X,Z).\n"
+      "t1(X,Y) -> t2(Y,W).\n",
+      true, true});
+
+  return w;
+}
+
+}  // namespace
+
+const std::vector<NamedWorkload>& CuratedWorkloads() {
+  static const std::vector<NamedWorkload>* const kWorkloads =
+      new std::vector<NamedWorkload>(BuildWorkloads());
+  return *kWorkloads;
+}
+
+StatusOr<NamedWorkload> FindWorkload(const std::string& name) {
+  for (const NamedWorkload& workload : CuratedWorkloads()) {
+    if (workload.name == name) return workload;
+  }
+  return Status::NotFound("no curated workload named '" + name + "'");
+}
+
+StatusOr<ParsedProgram> LoadWorkload(const NamedWorkload& workload) {
+  return ParseProgram(workload.program);
+}
+
+}  // namespace gchase

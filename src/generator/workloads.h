@@ -1,0 +1,39 @@
+#ifndef GCHASE_GENERATOR_WORKLOADS_H_
+#define GCHASE_GENERATOR_WORKLOADS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "model/parser.h"
+
+namespace gchase {
+
+/// A curated, named rule set with hand-verified ground truth.
+struct NamedWorkload {
+  std::string name;
+  std::string description;
+  /// Program text in the library's rule syntax (rules only, no facts).
+  std::string program;
+  /// All-instance termination ground truth (nullopt = not established by
+  /// hand; the deciders establish it).
+  std::optional<bool> oblivious_terminates;
+  std::optional<bool> semi_oblivious_terminates;
+};
+
+/// The curated workload library: the paper's running examples, the
+/// canonical separators between the acyclicity notions and chase
+/// variants, ontology-style sets, and data-exchange style sets. Used by
+/// the integration tests and the experiment benches.
+const std::vector<NamedWorkload>& CuratedWorkloads();
+
+/// Finds a workload by name.
+StatusOr<NamedWorkload> FindWorkload(const std::string& name);
+
+/// Parses a workload's program text.
+StatusOr<ParsedProgram> LoadWorkload(const NamedWorkload& workload);
+
+}  // namespace gchase
+
+#endif  // GCHASE_GENERATOR_WORKLOADS_H_

@@ -1,0 +1,70 @@
+#ifndef GCHASE_MODEL_ATOM_H_
+#define GCHASE_MODEL_ATOM_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "base/hash.h"
+#include "model/schema.h"
+#include "model/term.h"
+
+namespace gchase {
+
+/// A (possibly non-ground) atom `p(t1, ..., tk)`. Atoms appear in rule
+/// bodies/heads (with variables) and in instances (ground: constants and
+/// nulls only).
+struct Atom {
+  PredicateId predicate = 0;
+  std::vector<Term> args;
+
+  Atom() = default;
+  Atom(PredicateId pred, std::vector<Term> arguments)
+      : predicate(pred), args(std::move(arguments)) {}
+
+  uint32_t arity() const { return static_cast<uint32_t>(args.size()); }
+
+  /// True if no argument is a variable.
+  bool IsGround() const {
+    for (Term t : args) {
+      if (t.IsVariable()) return false;
+    }
+    return true;
+  }
+
+  /// True if some argument is a labeled null.
+  bool HasNull() const {
+    for (Term t : args) {
+      if (t.IsNull()) return true;
+    }
+    return false;
+  }
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.predicate == b.predicate && a.args == b.args;
+  }
+  friend bool operator!=(const Atom& a, const Atom& b) { return !(a == b); }
+  friend bool operator<(const Atom& a, const Atom& b) {
+    if (a.predicate != b.predicate) return a.predicate < b.predicate;
+    return a.args < b.args;
+  }
+};
+
+/// Stable content hash of an atom.
+inline std::size_t HashAtom(const Atom& atom) {
+  std::size_t seed = 0x9ae16a3b2f90404fULL;
+  HashCombine(&seed, atom.predicate);
+  for (Term t : atom.args) HashCombine(&seed, t.raw());
+  return seed;
+}
+
+}  // namespace gchase
+
+template <>
+struct std::hash<gchase::Atom> {
+  std::size_t operator()(const gchase::Atom& a) const noexcept {
+    return gchase::HashAtom(a);
+  }
+};
+
+#endif  // GCHASE_MODEL_ATOM_H_

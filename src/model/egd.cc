@@ -1,0 +1,58 @@
+#include "model/egd.h"
+
+#include <vector>
+
+namespace gchase {
+
+StatusOr<Egd> Egd::Create(std::vector<Atom> body,
+                          std::vector<Equality> equalities,
+                          std::vector<std::string> variable_names,
+                          const Schema& schema) {
+  if (body.empty()) {
+    return Status::InvalidArgument("EGD body must be non-empty");
+  }
+  if (equalities.empty()) {
+    return Status::InvalidArgument("EGD needs at least one equality");
+  }
+  const uint32_t num_vars = static_cast<uint32_t>(variable_names.size());
+  std::vector<bool> in_body(num_vars, false);
+  for (const Atom& atom : body) {
+    if (atom.predicate >= schema.num_predicates()) {
+      return Status::InvalidArgument("EGD atom uses unregistered predicate");
+    }
+    if (atom.arity() != schema.arity(atom.predicate)) {
+      return Status::InvalidArgument("EGD atom arity mismatch");
+    }
+    for (Term t : atom.args) {
+      if (t.IsNull()) {
+        return Status::InvalidArgument("EGD atoms must not contain nulls");
+      }
+      if (t.IsVariable()) {
+        if (t.index() >= num_vars) {
+          return Status::InvalidArgument("variable id out of range in EGD");
+        }
+        in_body[t.index()] = true;
+      }
+    }
+  }
+  for (const Equality& eq : equalities) {
+    for (Term t : {eq.first, eq.second}) {
+      if (t.IsNull()) {
+        return Status::InvalidArgument("EGD equalities must not use nulls");
+      }
+      if (t.IsVariable() &&
+          (t.index() >= num_vars || !in_body[t.index()])) {
+        return Status::InvalidArgument(
+            "EGD equality variable must occur in the body");
+      }
+    }
+  }
+
+  Egd egd;
+  egd.body_ = std::move(body);
+  egd.equalities_ = std::move(equalities);
+  egd.variable_names_ = std::move(variable_names);
+  return egd;
+}
+
+}  // namespace gchase

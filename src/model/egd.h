@@ -1,0 +1,54 @@
+#ifndef GCHASE_MODEL_EGD_H_
+#define GCHASE_MODEL_EGD_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "model/atom.h"
+#include "model/schema.h"
+
+namespace gchase {
+
+/// An equality-generating dependency
+///
+///     forall X ( phi(X) -> x_i = x_j )
+///
+/// written `phi -> Xi = Xj.` (conjunction of equalities allowed). EGDs
+/// capture functional dependencies and keys; the chase applies them by
+/// unifying labeled nulls (and *fails* when two distinct constants are
+/// equated).
+class Egd {
+ public:
+  /// An equality between two terms of the rule (variables or constants).
+  using Equality = std::pair<Term, Term>;
+
+  /// Builds and validates an EGD: body non-empty, at least one equality,
+  /// equality terms are body variables or constants.
+  static StatusOr<Egd> Create(std::vector<Atom> body,
+                              std::vector<Equality> equalities,
+                              std::vector<std::string> variable_names,
+                              const Schema& schema);
+
+  const std::vector<Atom>& body() const { return body_; }
+  const std::vector<Equality>& equalities() const { return equalities_; }
+  const std::vector<std::string>& variable_names() const {
+    return variable_names_;
+  }
+  uint32_t num_variables() const {
+    return static_cast<uint32_t>(variable_names_.size());
+  }
+
+ private:
+  Egd() = default;
+
+  std::vector<Atom> body_;
+  std::vector<Equality> equalities_;
+  std::vector<std::string> variable_names_;
+};
+
+}  // namespace gchase
+
+#endif  // GCHASE_MODEL_EGD_H_

@@ -1,0 +1,351 @@
+#include "model/parser.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace gchase {
+
+namespace {
+
+enum class TokenKind {
+  kIdentifier,  // bare word or number or quoted constant
+  kVariable,    // starts with upper case or '_'
+  kLParen,
+  kRParen,
+  kComma,
+  kArrow,   // ->
+  kEquals,  // =
+  kPeriod,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 1;
+  int column = 1;
+};
+
+/// Hand-written tokenizer with line/column tracking and '%' comments.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  StatusOr<Token> Next() {
+    SkipWhitespaceAndComments();
+    Token token;
+    token.line = line_;
+    token.column = column_;
+    if (pos_ >= text_.size()) {
+      token.kind = TokenKind::kEnd;
+      return token;
+    }
+    char c = text_[pos_];
+    if (c == '(') {
+      Advance();
+      token.kind = TokenKind::kLParen;
+      return token;
+    }
+    if (c == ')') {
+      Advance();
+      token.kind = TokenKind::kRParen;
+      return token;
+    }
+    if (c == ',') {
+      Advance();
+      token.kind = TokenKind::kComma;
+      return token;
+    }
+    if (c == '.') {
+      Advance();
+      token.kind = TokenKind::kPeriod;
+      return token;
+    }
+    if (c == '=') {
+      Advance();
+      token.kind = TokenKind::kEquals;
+      return token;
+    }
+    if (c == '-') {
+      Advance();
+      if (pos_ < text_.size() && text_[pos_] == '>') {
+        Advance();
+        token.kind = TokenKind::kArrow;
+        return token;
+      }
+      return Error(token, "expected '>' after '-'");
+    }
+    if (c == '\'') {
+      // Quoted constant: '...' (no escape support needed for workloads).
+      Advance();
+      std::string value;
+      while (pos_ < text_.size() && text_[pos_] != '\'') {
+        value.push_back(text_[pos_]);
+        Advance();
+      }
+      if (pos_ >= text_.size()) return Error(token, "unterminated quote");
+      Advance();  // closing quote
+      token.kind = TokenKind::kIdentifier;
+      token.text = std::move(value);
+      return token;
+    }
+    if (IsWordChar(c)) {
+      std::string word;
+      while (pos_ < text_.size() && IsWordChar(text_[pos_])) {
+        word.push_back(text_[pos_]);
+        Advance();
+      }
+      token.kind = (std::isupper(static_cast<unsigned char>(word[0])) ||
+                    word[0] == '_')
+                       ? TokenKind::kVariable
+                       : TokenKind::kIdentifier;
+      token.text = std::move(word);
+      return token;
+    }
+    return Error(token, std::string("unexpected character '") + c + "'");
+  }
+
+ private:
+  static bool IsWordChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  }
+
+  void Advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '%') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status Error(const Token& at, std::string message) const {
+    return Status::InvalidArgument("parse error at " +
+                                   std::to_string(at.line) + ":" +
+                                   std::to_string(at.column) + ": " +
+                                   std::move(message));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(std::string_view text, Vocabulary* vocabulary)
+      : lexer_(text), vocabulary_(vocabulary) {}
+
+  Status Init() { return Consume(); }
+
+  bool AtEnd() const { return current_.kind == TokenKind::kEnd; }
+
+  /// Parses one statement (rule, EGD or fact) and appends it to the
+  /// outputs.
+  Status ParseStatement(RuleSet* rules, std::vector<Egd>* egds,
+                        std::vector<Atom>* facts) {
+    var_ids_.clear();
+    var_names_.clear();
+    std::vector<Atom> first;
+    GCHASE_RETURN_IF_ERROR(ParseConjunction(&first));
+    if (current_.kind == TokenKind::kArrow) {
+      GCHASE_RETURN_IF_ERROR(Consume());
+      std::vector<Atom> head;
+      std::vector<Egd::Equality> equalities;
+      GCHASE_RETURN_IF_ERROR(ParseHead(&head, &equalities));
+      GCHASE_RETURN_IF_ERROR(Expect(TokenKind::kPeriod, "'.'"));
+      if (!head.empty() && !equalities.empty()) {
+        return ErrorHere(
+            "a head must be all atoms (TGD) or all equalities (EGD)");
+      }
+      if (!equalities.empty()) {
+        StatusOr<Egd> egd = Egd::Create(std::move(first),
+                                        std::move(equalities), var_names_,
+                                        vocabulary_->schema);
+        if (!egd.ok()) return egd.status();
+        egds->push_back(*std::move(egd));
+        return Status::Ok();
+      }
+      StatusOr<Tgd> tgd = Tgd::Create(std::move(first), std::move(head),
+                                      var_names_, vocabulary_->schema);
+      if (!tgd.ok()) return tgd.status();
+      rules->Add(*std::move(tgd));
+      return Status::Ok();
+    }
+    GCHASE_RETURN_IF_ERROR(Expect(TokenKind::kPeriod, "'.' or '->'"));
+    for (Atom& atom : first) {
+      if (!atom.IsGround()) {
+        return ErrorHere("facts must be ground (no variables)");
+      }
+      facts->push_back(std::move(atom));
+    }
+    return Status::Ok();
+  }
+
+  Status ParseConjunction(std::vector<Atom>* out) {
+    for (;;) {
+      GCHASE_RETURN_IF_ERROR(ParseAtom(out));
+      if (current_.kind != TokenKind::kComma) return Status::Ok();
+      GCHASE_RETURN_IF_ERROR(Consume());
+    }
+  }
+
+  /// Parses a rule head: a comma list whose items are atoms or term
+  /// equalities (`X = Y`).
+  Status ParseHead(std::vector<Atom>* atoms,
+                   std::vector<Egd::Equality>* equalities) {
+    for (;;) {
+      if (current_.kind == TokenKind::kVariable) {
+        // Must be an equality: variables cannot start an atom.
+        StatusOr<Term> lhs = ParseTerm();
+        if (!lhs.ok()) return lhs.status();
+        GCHASE_RETURN_IF_ERROR(Expect(TokenKind::kEquals, "'='"));
+        StatusOr<Term> rhs = ParseTerm();
+        if (!rhs.ok()) return rhs.status();
+        equalities->emplace_back(*lhs, *rhs);
+      } else if (current_.kind == TokenKind::kIdentifier) {
+        std::string name = current_.text;
+        GCHASE_RETURN_IF_ERROR(Consume());
+        if (current_.kind == TokenKind::kEquals) {
+          GCHASE_RETURN_IF_ERROR(Consume());
+          Term lhs = Term::Constant(vocabulary_->constants.Intern(name));
+          StatusOr<Term> rhs = ParseTerm();
+          if (!rhs.ok()) return rhs.status();
+          equalities->emplace_back(lhs, *rhs);
+        } else {
+          GCHASE_RETURN_IF_ERROR(ParseAtomWithName(name, atoms));
+        }
+      } else {
+        return ErrorHere("expected atom or equality in head");
+      }
+      if (current_.kind != TokenKind::kComma) return Status::Ok();
+      GCHASE_RETURN_IF_ERROR(Consume());
+    }
+  }
+
+  const std::vector<std::string>& var_names() const { return var_names_; }
+
+ private:
+  Status ParseAtom(std::vector<Atom>* out) {
+    if (current_.kind != TokenKind::kIdentifier) {
+      return ErrorHere("expected predicate name");
+    }
+    std::string pred_name = current_.text;
+    GCHASE_RETURN_IF_ERROR(Consume());
+    return ParseAtomWithName(pred_name, out);
+  }
+
+  /// Parses the remainder of an atom whose predicate name has already
+  /// been consumed.
+  Status ParseAtomWithName(const std::string& pred_name,
+                           std::vector<Atom>* out) {
+    GCHASE_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    std::vector<Term> args;
+    if (current_.kind != TokenKind::kRParen) {
+      for (;;) {
+        StatusOr<Term> term = ParseTerm();
+        if (!term.ok()) return term.status();
+        args.push_back(*term);
+        if (current_.kind != TokenKind::kComma) break;
+        GCHASE_RETURN_IF_ERROR(Consume());
+      }
+    }
+    GCHASE_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    StatusOr<PredicateId> pred = vocabulary_->schema.GetOrAdd(
+        pred_name, static_cast<uint32_t>(args.size()));
+    if (!pred.ok()) return pred.status();
+    out->emplace_back(*pred, std::move(args));
+    return Status::Ok();
+  }
+
+  StatusOr<Term> ParseTerm() {
+    if (current_.kind == TokenKind::kVariable) {
+      std::string name = current_.text;
+      GCHASE_RETURN_IF_ERROR(Consume());
+      auto it = var_ids_.find(name);
+      if (it != var_ids_.end()) return Term::Variable(it->second);
+      uint32_t id = static_cast<uint32_t>(var_names_.size());
+      var_names_.push_back(name);
+      var_ids_.emplace(std::move(name), id);
+      return Term::Variable(id);
+    }
+    if (current_.kind == TokenKind::kIdentifier) {
+      uint32_t id = vocabulary_->constants.Intern(current_.text);
+      GCHASE_RETURN_IF_ERROR(Consume());
+      return Term::Constant(id);
+    }
+    return Status(StatusCode::kInvalidArgument,
+                  "parse error at " + std::to_string(current_.line) + ":" +
+                      std::to_string(current_.column) + ": expected term");
+  }
+
+  Status Consume() {
+    StatusOr<Token> token = lexer_.Next();
+    if (!token.ok()) return token.status();
+    current_ = *std::move(token);
+    return Status::Ok();
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (current_.kind != kind) {
+      return ErrorHere(std::string("expected ") + what);
+    }
+    return Consume();
+  }
+
+  Status ErrorHere(std::string message) const {
+    return Status::InvalidArgument(
+        "parse error at " + std::to_string(current_.line) + ":" +
+        std::to_string(current_.column) + ": " + std::move(message));
+  }
+
+  Lexer lexer_;
+  Token current_{TokenKind::kEnd, "", 1, 1};
+  Vocabulary* vocabulary_;
+  std::unordered_map<std::string, uint32_t> var_ids_;
+  std::vector<std::string> var_names_;
+};
+
+}  // namespace
+
+StatusOr<ParsedProgram> ParseProgram(std::string_view text) {
+  ParsedProgram program;
+  Parser parser(text, &program.vocabulary);
+  GCHASE_RETURN_IF_ERROR(parser.Init());
+  while (!parser.AtEnd()) {
+    GCHASE_RETURN_IF_ERROR(parser.ParseStatement(
+        &program.rules, &program.egds, &program.facts));
+  }
+  return program;
+}
+
+StatusOr<ParsedQuery> ParseQuery(std::string_view text,
+                                 Vocabulary* vocabulary) {
+  Parser parser(text, vocabulary);
+  GCHASE_RETURN_IF_ERROR(parser.Init());
+  ParsedQuery query;
+  GCHASE_RETURN_IF_ERROR(parser.ParseConjunction(&query.atoms));
+  if (!parser.AtEnd()) {
+    return Status::InvalidArgument("trailing input after query conjunction");
+  }
+  query.variable_names = parser.var_names();
+  return query;
+}
+
+}  // namespace gchase

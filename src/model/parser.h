@@ -1,0 +1,52 @@
+#ifndef GCHASE_MODEL_PARSER_H_
+#define GCHASE_MODEL_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "model/atom.h"
+#include "model/egd.h"
+#include "model/tgd.h"
+#include "model/vocabulary.h"
+
+namespace gchase {
+
+/// A parsed program: rules plus ground facts over one vocabulary.
+///
+/// Input syntax (DLGP-flavoured):
+///
+///     % a comment
+///     person(X) -> hasFather(X,Y), person(Y).   % a TGD
+///     p(X,Y), q(Y) -> r(Y,Z).                   % conjunctive body/head
+///     emp(X,D1), emp(X,D2) -> D1 = D2.           % an EGD (key/FD)
+///     person(bob).                               % a ground fact
+///
+/// Tokens starting with an upper-case letter or '_' are variables
+/// (rule-scoped); other identifiers, numbers and 'quoted strings' are
+/// constants. Zero-ary atoms are written `alpha()`.
+struct ParsedProgram {
+  Vocabulary vocabulary;
+  RuleSet rules;
+  std::vector<Egd> egds;
+  std::vector<Atom> facts;
+};
+
+/// Parses a full program. On error, the message includes line and column.
+StatusOr<ParsedProgram> ParseProgram(std::string_view text);
+
+/// A parsed conjunctive query: `body` with query-scoped variables.
+struct ParsedQuery {
+  std::vector<Atom> atoms;
+  std::vector<std::string> variable_names;
+};
+
+/// Parses a conjunction of atoms (e.g. "p(X,Y), q(Y)") against an existing
+/// vocabulary. New predicates/constants are added to `vocabulary`.
+StatusOr<ParsedQuery> ParseQuery(std::string_view text,
+                                 Vocabulary* vocabulary);
+
+}  // namespace gchase
+
+#endif  // GCHASE_MODEL_PARSER_H_

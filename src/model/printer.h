@@ -1,0 +1,43 @@
+#ifndef GCHASE_MODEL_PRINTER_H_
+#define GCHASE_MODEL_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "model/atom.h"
+#include "model/egd.h"
+#include "model/tgd.h"
+#include "model/vocabulary.h"
+
+namespace gchase {
+
+/// Renders a term. Variables are looked up in `variable_names` when
+/// provided (else printed as `?<id>`); nulls print as `_:n<id>`.
+std::string TermToString(Term term, const Vocabulary& vocabulary,
+                         const std::vector<std::string>* variable_names =
+                             nullptr);
+
+/// Renders `p(t1,...,tk)`.
+std::string AtomToString(const Atom& atom, const Vocabulary& vocabulary,
+                         const std::vector<std::string>* variable_names =
+                             nullptr);
+
+/// Renders a conjunction `a1, a2, ...`.
+std::string ConjunctionToString(const std::vector<Atom>& atoms,
+                                const Vocabulary& vocabulary,
+                                const std::vector<std::string>*
+                                    variable_names = nullptr);
+
+/// Renders `body -> head .` in re-parsable syntax.
+std::string RuleToString(const Tgd& rule, const Vocabulary& vocabulary);
+
+/// Renders a whole rule set, one rule per line.
+std::string RuleSetToString(const RuleSet& rules,
+                            const Vocabulary& vocabulary);
+
+/// Renders `body -> t1 = t2, ... .` in re-parsable syntax.
+std::string EgdToString(const Egd& egd, const Vocabulary& vocabulary);
+
+}  // namespace gchase
+
+#endif  // GCHASE_MODEL_PRINTER_H_

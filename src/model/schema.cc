@@ -1,0 +1,47 @@
+#include "model/schema.h"
+
+namespace gchase {
+
+StatusOr<PredicateId> Schema::GetOrAdd(std::string_view name, uint32_t arity) {
+  if (arity > kMaxArity) {
+    return Status::InvalidArgument("predicate arity exceeds " +
+                                   std::to_string(kMaxArity));
+  }
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) {
+    const PredicateInfo& info = predicates_[it->second];
+    if (info.arity != arity) {
+      return Status::InvalidArgument("predicate '" + info.name +
+                                     "' used with arity " +
+                                     std::to_string(arity) + " but declared " +
+                                     std::to_string(info.arity));
+    }
+    return it->second;
+  }
+  PredicateId id = static_cast<PredicateId>(predicates_.size());
+  predicates_.push_back(PredicateInfo{std::string(name), arity});
+  index_.emplace(predicates_.back().name, id);
+  return id;
+}
+
+std::optional<PredicateId> Schema::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+uint32_t Schema::num_positions() const {
+  uint32_t total = 0;
+  for (const PredicateInfo& info : predicates_) total += info.arity;
+  return total;
+}
+
+uint32_t Schema::max_arity() const {
+  uint32_t max = 0;
+  for (const PredicateInfo& info : predicates_) {
+    if (info.arity > max) max = info.arity;
+  }
+  return max;
+}
+
+}  // namespace gchase

@@ -1,0 +1,68 @@
+#ifndef GCHASE_MODEL_SCHEMA_H_
+#define GCHASE_MODEL_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+
+namespace gchase {
+
+/// Dense id of a predicate within a Schema.
+using PredicateId = uint32_t;
+
+/// Name and arity of one predicate.
+struct PredicateInfo {
+  std::string name;
+  uint32_t arity = 0;
+};
+
+/// Largest supported predicate arity (the instance position index packs
+/// positions into 8 bits).
+inline constexpr uint32_t kMaxArity = 255;
+
+/// The relational schema: a registry of predicates with fixed arities.
+/// Predicate ids are dense and stable.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Returns the id of predicate `name/arity`, registering it if new.
+  /// Fails with kInvalidArgument if `name` exists with a different arity
+  /// or `arity` exceeds kMaxArity.
+  StatusOr<PredicateId> GetOrAdd(std::string_view name, uint32_t arity);
+
+  /// Returns the id of `name` if registered.
+  std::optional<PredicateId> Find(std::string_view name) const;
+
+  const PredicateInfo& predicate(PredicateId id) const {
+    GCHASE_CHECK(id < predicates_.size());
+    return predicates_[id];
+  }
+
+  uint32_t arity(PredicateId id) const { return predicate(id).arity; }
+  const std::string& name(PredicateId id) const { return predicate(id).name; }
+
+  uint32_t num_predicates() const {
+    return static_cast<uint32_t>(predicates_.size());
+  }
+
+  /// Sum of arities over all predicates (the number of *positions*);
+  /// positions drive the dependency-graph constructions.
+  uint32_t num_positions() const;
+
+  /// Largest arity over all predicates (0 for an empty schema).
+  uint32_t max_arity() const;
+
+ private:
+  std::vector<PredicateInfo> predicates_;
+  std::unordered_map<std::string, PredicateId> index_;
+};
+
+}  // namespace gchase
+
+#endif  // GCHASE_MODEL_SCHEMA_H_

@@ -1,0 +1,27 @@
+#include "model/symbol_table.h"
+
+#include "base/check.h"
+
+namespace gchase {
+
+uint32_t SymbolTable::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<uint32_t> SymbolTable::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& SymbolTable::NameOf(uint32_t id) const {
+  GCHASE_CHECK(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace gchase

@@ -1,0 +1,38 @@
+#ifndef GCHASE_MODEL_SYMBOL_TABLE_H_
+#define GCHASE_MODEL_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gchase {
+
+/// Bidirectional string interner used for constant names (and reusable for
+/// any name space). Ids are dense, starting at 0, stable for the lifetime
+/// of the table.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  /// Returns the id of `name`, interning it if new.
+  uint32_t Intern(std::string_view name);
+
+  /// Returns the id of `name` if present.
+  std::optional<uint32_t> Find(std::string_view name) const;
+
+  /// Returns the name for `id`. CHECK-fails on out-of-range ids.
+  const std::string& NameOf(uint32_t id) const;
+
+  uint32_t size() const { return static_cast<uint32_t>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+}  // namespace gchase
+
+#endif  // GCHASE_MODEL_SYMBOL_TABLE_H_

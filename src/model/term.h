@@ -1,0 +1,67 @@
+#ifndef GCHASE_MODEL_TERM_H_
+#define GCHASE_MODEL_TERM_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "base/check.h"
+#include "base/hash.h"
+
+namespace gchase {
+
+/// A term is a constant, a (rule- or query-scoped) variable, or a labeled
+/// null. Packed into 32 bits: 2 tag bits + 30 index bits.
+///
+/// - Constants index a Vocabulary's constant symbol table.
+/// - Variables index the owning rule/query's variable table; they never
+///   appear in stored instances.
+/// - Nulls are numbered by the chase's null factory ("fresh values").
+class Term {
+ public:
+  enum class Kind : uint32_t { kConstant = 0, kVariable = 1, kNull = 2 };
+
+  /// Default-constructed term is constant #0; prefer the factories below.
+  constexpr Term() : raw_(0) {}
+
+  static Term Constant(uint32_t index) { return Term(Kind::kConstant, index); }
+  static Term Variable(uint32_t index) { return Term(Kind::kVariable, index); }
+  static Term Null(uint32_t index) { return Term(Kind::kNull, index); }
+
+  Kind kind() const { return static_cast<Kind>(raw_ >> 30); }
+  uint32_t index() const { return raw_ & kIndexMask; }
+
+  bool IsConstant() const { return kind() == Kind::kConstant; }
+  bool IsVariable() const { return kind() == Kind::kVariable; }
+  bool IsNull() const { return kind() == Kind::kNull; }
+  /// True for constants and nulls (legal in stored instances).
+  bool IsGround() const { return !IsVariable(); }
+
+  /// Raw packed value; useful as a dense hash/map key.
+  uint32_t raw() const { return raw_; }
+
+  friend bool operator==(Term a, Term b) { return a.raw_ == b.raw_; }
+  friend bool operator!=(Term a, Term b) { return a.raw_ != b.raw_; }
+  friend bool operator<(Term a, Term b) { return a.raw_ < b.raw_; }
+
+ private:
+  static constexpr uint32_t kIndexMask = (1u << 30) - 1;
+
+  Term(Kind kind, uint32_t index)
+      : raw_((static_cast<uint32_t>(kind) << 30) | index) {
+    GCHASE_CHECK(index <= kIndexMask);
+  }
+
+  uint32_t raw_;
+};
+
+}  // namespace gchase
+
+template <>
+struct std::hash<gchase::Term> {
+  std::size_t operator()(gchase::Term t) const noexcept {
+    // Simple multiplicative mix over the packed representation.
+    return static_cast<std::size_t>(t.raw()) * 0x9e3779b97f4a7c15ULL;
+  }
+};
+
+#endif  // GCHASE_MODEL_TERM_H_

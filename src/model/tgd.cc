@@ -1,0 +1,136 @@
+#include "model/tgd.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gchase {
+
+namespace {
+
+// Validates atom arities and variable ids; collects variable occurrence.
+Status ScanAtoms(const std::vector<Atom>& atoms, const Schema& schema,
+                 uint32_t num_vars, std::vector<bool>* occurs) {
+  for (const Atom& atom : atoms) {
+    if (atom.predicate >= schema.num_predicates()) {
+      return Status::InvalidArgument("atom uses unregistered predicate id");
+    }
+    if (atom.arity() != schema.arity(atom.predicate)) {
+      return Status::InvalidArgument("atom arity mismatch for predicate '" +
+                                     schema.name(atom.predicate) + "'");
+    }
+    for (Term t : atom.args) {
+      if (t.IsNull()) {
+        return Status::InvalidArgument("rule atoms must not contain nulls");
+      }
+      if (t.IsVariable()) {
+        if (t.index() >= num_vars) {
+          return Status::InvalidArgument("variable id out of range in rule");
+        }
+        (*occurs)[t.index()] = true;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<Tgd> Tgd::Create(std::vector<Atom> body, std::vector<Atom> head,
+                          std::vector<std::string> variable_names,
+                          const Schema& schema) {
+  if (body.empty()) {
+    return Status::InvalidArgument("TGD body must be non-empty");
+  }
+  if (head.empty()) {
+    return Status::InvalidArgument("TGD head must be non-empty");
+  }
+  const uint32_t num_vars = static_cast<uint32_t>(variable_names.size());
+  std::vector<bool> in_body(num_vars, false);
+  std::vector<bool> in_head(num_vars, false);
+  GCHASE_RETURN_IF_ERROR(ScanAtoms(body, schema, num_vars, &in_body));
+  GCHASE_RETURN_IF_ERROR(ScanAtoms(head, schema, num_vars, &in_head));
+
+  Tgd tgd;
+  tgd.body_ = std::move(body);
+  tgd.head_ = std::move(head);
+  tgd.variable_names_ = std::move(variable_names);
+  tgd.is_universal_.assign(num_vars, false);
+  tgd.is_existential_.assign(num_vars, false);
+  tgd.is_frontier_.assign(num_vars, false);
+
+  for (VarId v = 0; v < num_vars; ++v) {
+    if (in_body[v]) {
+      tgd.universal_.push_back(v);
+      tgd.is_universal_[v] = true;
+      if (in_head[v]) {
+        tgd.frontier_.push_back(v);
+        tgd.is_frontier_[v] = true;
+      }
+    } else if (in_head[v]) {
+      tgd.existential_.push_back(v);
+      tgd.is_existential_[v] = true;
+    }
+    // Variables occurring nowhere are tolerated (unused names).
+  }
+
+  // Guard detection: first body atom whose variables cover all universal
+  // variables.
+  const std::size_t num_universal = tgd.universal_.size();
+  for (uint32_t i = 0; i < tgd.body_.size(); ++i) {
+    std::unordered_set<VarId> vars;
+    for (Term t : tgd.body_[i].args) {
+      if (t.IsVariable()) vars.insert(t.index());
+    }
+    if (vars.size() == num_universal) {
+      tgd.guard_index_ = i;
+      break;
+    }
+  }
+
+  // Simple linearity: one body atom, arguments pairwise-distinct variables.
+  if (tgd.body_.size() == 1) {
+    const Atom& b = tgd.body_[0];
+    std::unordered_set<uint32_t> seen;
+    bool simple = true;
+    for (Term t : b.args) {
+      if (!t.IsVariable() || !seen.insert(t.index()).second) {
+        simple = false;
+        break;
+      }
+    }
+    tgd.is_simple_linear_ = simple;
+  }
+
+  return tgd;
+}
+
+const char* RuleClassName(RuleClass c) {
+  switch (c) {
+    case RuleClass::kSimpleLinear:
+      return "SL";
+    case RuleClass::kLinear:
+      return "L";
+    case RuleClass::kGuarded:
+      return "G";
+    case RuleClass::kGeneral:
+      return "general";
+  }
+  return "?";
+}
+
+RuleClass RuleSet::Classify() const {
+  bool all_simple_linear = true;
+  bool all_linear = true;
+  bool all_guarded = true;
+  for (const Tgd& rule : rules_) {
+    all_simple_linear = all_simple_linear && rule.IsSimpleLinear();
+    all_linear = all_linear && rule.IsLinear();
+    all_guarded = all_guarded && rule.IsGuarded();
+  }
+  if (all_simple_linear) return RuleClass::kSimpleLinear;
+  if (all_linear) return RuleClass::kLinear;
+  if (all_guarded) return RuleClass::kGuarded;
+  return RuleClass::kGeneral;
+}
+
+}  // namespace gchase

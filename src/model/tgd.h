@@ -1,0 +1,133 @@
+#ifndef GCHASE_MODEL_TGD_H_
+#define GCHASE_MODEL_TGD_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "model/atom.h"
+#include "model/schema.h"
+
+namespace gchase {
+
+/// Dense id of a variable within one rule (index into variable_names()).
+using VarId = uint32_t;
+
+/// A tuple-generating dependency (existential rule)
+///
+///   forall X,Y ( phi(X,Y) -> exists Z ( psi(Y,Z) ) )
+///
+/// written `phi -> psi` with body conjunction `phi` and head conjunction
+/// `psi`. Variables are rule-scoped dense ids. Derived structure (frontier,
+/// existential variables, guard, class membership) is computed once at
+/// construction via Create().
+class Tgd {
+ public:
+  /// Builds and validates a TGD. Fails with kInvalidArgument if the body or
+  /// head is empty, an atom's arity disagrees with `schema`, or a variable
+  /// id is out of range of `variable_names`.
+  static StatusOr<Tgd> Create(std::vector<Atom> body, std::vector<Atom> head,
+                              std::vector<std::string> variable_names,
+                              const Schema& schema);
+
+  const std::vector<Atom>& body() const { return body_; }
+  const std::vector<Atom>& head() const { return head_; }
+
+  /// Names of this rule's variables, indexed by VarId.
+  const std::vector<std::string>& variable_names() const {
+    return variable_names_;
+  }
+  uint32_t num_variables() const {
+    return static_cast<uint32_t>(variable_names_.size());
+  }
+
+  /// Variables occurring in the body (universally quantified), ascending.
+  const std::vector<VarId>& universal_variables() const { return universal_; }
+  /// Variables occurring in the head but not the body, ascending.
+  const std::vector<VarId>& existential_variables() const {
+    return existential_;
+  }
+  /// Variables occurring in both body and head, ascending. The
+  /// semi-oblivious chase identifies triggers agreeing on the frontier.
+  const std::vector<VarId>& frontier() const { return frontier_; }
+
+  bool IsExistential(VarId v) const { return is_existential_[v]; }
+  bool IsFrontier(VarId v) const { return is_frontier_[v]; }
+  bool IsUniversal(VarId v) const { return is_universal_[v]; }
+
+  /// Index (into body()) of the first body atom containing all universal
+  /// variables, if any. Present iff the rule is guarded.
+  std::optional<uint32_t> guard_index() const { return guard_index_; }
+
+  /// Single body atom (linear TGD).
+  bool IsLinear() const { return body_.size() == 1; }
+  /// Linear with pairwise-distinct variables (and no constants) in the body
+  /// atom; captures inclusion dependencies and DL-Lite axioms.
+  bool IsSimpleLinear() const { return is_simple_linear_; }
+  /// Some body atom guards (contains) all universally quantified variables.
+  bool IsGuarded() const { return guard_index_.has_value(); }
+  /// No existential variables (plain datalog rule).
+  bool IsFull() const { return existential_.empty(); }
+
+ private:
+  Tgd() = default;
+
+  std::vector<Atom> body_;
+  std::vector<Atom> head_;
+  std::vector<std::string> variable_names_;
+
+  std::vector<VarId> universal_;
+  std::vector<VarId> existential_;
+  std::vector<VarId> frontier_;
+  std::vector<bool> is_universal_;
+  std::vector<bool> is_existential_;
+  std::vector<bool> is_frontier_;
+  std::optional<uint32_t> guard_index_;
+  bool is_simple_linear_ = false;
+};
+
+/// How restrictive a set of TGDs is; ordered from most to least specific.
+enum class RuleClass {
+  kSimpleLinear,  ///< SL: every rule simple linear.
+  kLinear,        ///< L: every rule linear.
+  kGuarded,       ///< G: every rule guarded.
+  kGeneral,       ///< Arbitrary TGDs.
+};
+
+/// Returns "SL", "L", "G" or "general".
+const char* RuleClassName(RuleClass c);
+
+/// An ordered collection of TGDs over one schema.
+class RuleSet {
+ public:
+  RuleSet() = default;
+
+  void Add(Tgd rule) { rules_.push_back(std::move(rule)); }
+
+  const std::vector<Tgd>& rules() const { return rules_; }
+  const Tgd& rule(uint32_t i) const {
+    GCHASE_CHECK(i < rules_.size());
+    return rules_[i];
+  }
+  uint32_t size() const { return static_cast<uint32_t>(rules_.size()); }
+  bool empty() const { return rules_.empty(); }
+
+  /// The most specific class (SL before L before G) containing every rule.
+  RuleClass Classify() const;
+
+  bool IsSimpleLinear() const { return Classify() == RuleClass::kSimpleLinear; }
+  bool IsLinear() const {
+    RuleClass c = Classify();
+    return c == RuleClass::kSimpleLinear || c == RuleClass::kLinear;
+  }
+  bool IsGuarded() const { return Classify() != RuleClass::kGeneral; }
+
+ private:
+  std::vector<Tgd> rules_;
+};
+
+}  // namespace gchase
+
+#endif  // GCHASE_MODEL_TGD_H_

@@ -1,0 +1,19 @@
+#ifndef GCHASE_MODEL_VOCABULARY_H_
+#define GCHASE_MODEL_VOCABULARY_H_
+
+#include "model/schema.h"
+#include "model/symbol_table.h"
+
+namespace gchase {
+
+/// Shared naming context for a program: the predicate schema plus the
+/// constant symbol table. Rules, facts and instances store dense ids; a
+/// Vocabulary is needed to print or parse them.
+struct Vocabulary {
+  Schema schema;
+  SymbolTable constants;
+};
+
+}  // namespace gchase
+
+#endif  // GCHASE_MODEL_VOCABULARY_H_

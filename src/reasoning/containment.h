@@ -1,0 +1,50 @@
+#ifndef GCHASE_REASONING_CONTAINMENT_H_
+#define GCHASE_REASONING_CONTAINMENT_H_
+
+#include <cstdint>
+
+#include "base/status.h"
+#include "model/tgd.h"
+#include "model/vocabulary.h"
+#include "storage/query.h"
+
+namespace gchase {
+
+/// Outcome of a containment test.
+enum class ContainmentVerdict {
+  kContained,     ///< Q1 ⊆_Σ Q2: every answer of Q1 is an answer of Q2
+                  ///< on every database satisfying Σ.
+  kNotContained,  ///< A counterexample database exists (the chased
+                  ///< canonical database of Q1).
+  kUnknown,       ///< The chase hit its caps before Q2 mapped; with
+                  ///< non-terminating Σ the problem may need more budget
+                  ///< (or be genuinely undecidable machinery).
+};
+
+struct ContainmentOptions {
+  uint64_t max_atoms = 1u << 18;
+  uint64_t max_steps = 1u << 20;
+};
+
+/// Conjunctive-query containment under TGDs — the second classical
+/// application of the chase (alongside data exchange): Q1 ⊆_Σ Q2 iff
+/// Q2 has a match in chase(freeze(Q1), Σ) sending Q2's answer variables
+/// to the frozen images of Q1's answer variables (Q1 and Q2 must have
+/// the same number of answer variables, compared positionally).
+///
+/// freeze(Q1) turns each variable of Q1 into a distinct fresh constant
+/// (interned with a reserved "@frz" prefix that user programs cannot
+/// produce). A match found in a chase *prefix* already proves
+/// containment (the prefix is entailed), so kContained is sound even
+/// when the chase was capped; kNotContained requires the chase to have
+/// terminated.
+StatusOr<ContainmentVerdict> IsContainedIn(const ConjunctiveQuery& q1,
+                                           const ConjunctiveQuery& q2,
+                                           const RuleSet& rules,
+                                           Vocabulary* vocabulary,
+                                           const ContainmentOptions&
+                                               options = {});
+
+}  // namespace gchase
+
+#endif  // GCHASE_REASONING_CONTAINMENT_H_

@@ -1,0 +1,43 @@
+#ifndef GCHASE_STORAGE_CORE_H_
+#define GCHASE_STORAGE_CORE_H_
+
+#include <cstdint>
+
+#include "storage/instance.h"
+
+namespace gchase {
+
+/// Options for ComputeCore.
+struct CoreOptions {
+  /// Budget on endomorphism searches (each is a CQ evaluation of the
+  /// instance into itself; cores are NP-hard in general).
+  uint64_t max_fold_attempts = 100000;
+};
+
+/// Result of a core computation.
+struct CoreResult {
+  Instance core;
+  /// Folding steps performed (nulls eliminated or merged).
+  uint32_t retractions = 0;
+  /// False if the attempt budget ran out before reaching a fixpoint; the
+  /// returned instance is then hom-equivalent to the input but possibly
+  /// not minimal.
+  bool minimized_fully = true;
+};
+
+/// Computes the core of `instance` by iterated null folding: while some
+/// labeled null n admits an endomorphism h of the instance with
+/// h(n) != n, replace the instance by its image under h. The result is
+/// hom-equivalent to the input with no foldable null left — i.e. the
+/// core, the unique (up to isomorphism) minimal universal model when the
+/// input is a chase result.
+///
+/// Exponential in the worst case (like every core algorithm); intended
+/// for chase results of moderate size (data-exchange solutions,
+/// saturated ontology ABoxes).
+CoreResult ComputeCore(const Instance& instance,
+                       const CoreOptions& options = {});
+
+}  // namespace gchase
+
+#endif  // GCHASE_STORAGE_CORE_H_

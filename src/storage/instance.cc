@@ -1,0 +1,56 @@
+#include "storage/instance.h"
+
+#include <unordered_set>
+
+namespace gchase {
+
+namespace {
+const std::vector<AtomId>& EmptyIdList() {
+  static const std::vector<AtomId>* const kEmpty = new std::vector<AtomId>();
+  return *kEmpty;
+}
+}  // namespace
+
+std::pair<AtomId, bool> Instance::Insert(const Atom& atom) {
+  GCHASE_CHECK_MSG(atom.IsGround(), "instances hold ground atoms only");
+  auto it = dedup_.find(atom);
+  if (it != dedup_.end()) return {it->second, false};
+  AtomId id = static_cast<AtomId>(atoms_.size());
+  atoms_.push_back(atom);
+  dedup_.emplace(atom, id);
+  if (atom.predicate >= by_predicate_.size()) {
+    by_predicate_.resize(atom.predicate + 1);
+  }
+  by_predicate_[atom.predicate].push_back(id);
+  for (uint32_t pos = 0; pos < atom.arity(); ++pos) {
+    position_index_[PositionKey(atom.predicate, pos, atom.args[pos])]
+        .push_back(id);
+  }
+  return {id, true};
+}
+
+const std::vector<AtomId>& Instance::AtomsWithPredicate(
+    PredicateId pred) const {
+  if (pred >= by_predicate_.size()) return EmptyIdList();
+  return by_predicate_[pred];
+}
+
+const std::vector<AtomId>& Instance::AtomsWithTermAt(PredicateId pred,
+                                                     uint32_t position,
+                                                     Term term) const {
+  auto it = position_index_.find(PositionKey(pred, position, term));
+  if (it == position_index_.end()) return EmptyIdList();
+  return it->second;
+}
+
+uint32_t Instance::CountNulls() const {
+  std::unordered_set<uint32_t> nulls;
+  for (const Atom& atom : atoms_) {
+    for (Term t : atom.args) {
+      if (t.IsNull()) nulls.insert(t.index());
+    }
+  }
+  return static_cast<uint32_t>(nulls.size());
+}
+
+}  // namespace gchase

@@ -1,0 +1,79 @@
+#ifndef GCHASE_STORAGE_INSTANCE_H_
+#define GCHASE_STORAGE_INSTANCE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/check.h"
+#include "model/atom.h"
+
+namespace gchase {
+
+/// Dense id of an atom within an Instance; ids are append-ordered and
+/// stable, which lets callers use an id watermark as a "delta" boundary
+/// for semi-naive evaluation.
+using AtomId = uint32_t;
+
+/// A set of ground atoms (facts over constants and labeled nulls) with:
+///  - content-hash deduplication,
+///  - a per-predicate atom list,
+///  - a position index (predicate, position, term) -> atoms, used by the
+///    homomorphism engine to seed joins.
+class Instance {
+ public:
+  Instance() = default;
+
+  /// Inserts `atom` (must be ground). Returns its id and whether it was new.
+  std::pair<AtomId, bool> Insert(const Atom& atom);
+
+  bool Contains(const Atom& atom) const {
+    return dedup_.find(atom) != dedup_.end();
+  }
+
+  /// Returns the id of `atom` if present.
+  std::optional<AtomId> Find(const Atom& atom) const {
+    auto it = dedup_.find(atom);
+    if (it == dedup_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  const Atom& atom(AtomId id) const {
+    GCHASE_CHECK(id < atoms_.size());
+    return atoms_[id];
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(atoms_.size()); }
+  bool empty() const { return atoms_.empty(); }
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+
+  /// Ids of atoms with this predicate (append order).
+  const std::vector<AtomId>& AtomsWithPredicate(PredicateId pred) const;
+
+  /// Ids of atoms with `term` at `position` of `pred` (append order).
+  const std::vector<AtomId>& AtomsWithTermAt(PredicateId pred,
+                                             uint32_t position,
+                                             Term term) const;
+
+  /// Number of distinct labeled nulls occurring in the instance.
+  uint32_t CountNulls() const;
+
+ private:
+  static uint64_t PositionKey(PredicateId pred, uint32_t position, Term term) {
+    GCHASE_CHECK(position < 256);
+    GCHASE_CHECK(pred < (1u << 24));
+    return (static_cast<uint64_t>(term.raw()) << 32) |
+           (static_cast<uint64_t>(pred) << 8) | position;
+  }
+
+  std::vector<Atom> atoms_;
+  std::unordered_map<Atom, AtomId> dedup_;
+  std::vector<std::vector<AtomId>> by_predicate_;
+  std::unordered_map<uint64_t, std::vector<AtomId>> position_index_;
+};
+
+}  // namespace gchase
+
+#endif  // GCHASE_STORAGE_INSTANCE_H_

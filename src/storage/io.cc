@@ -1,0 +1,59 @@
+#include "storage/io.h"
+
+#include "model/parser.h"
+#include "model/printer.h"
+
+namespace gchase {
+
+std::string WriteInstanceText(const Instance& instance,
+                              const Vocabulary& vocabulary) {
+  std::string out;
+  for (const Atom& atom : instance.atoms()) {
+    out += vocabulary.schema.name(atom.predicate);
+    out += '(';
+    for (uint32_t i = 0; i < atom.arity(); ++i) {
+      if (i > 0) out += ',';
+      Term t = atom.args[i];
+      if (t.IsNull()) {
+        out += "'_:n" + std::to_string(t.index()) + "'";
+      } else {
+        out += TermToString(t, vocabulary);
+      }
+    }
+    out += ").\n";
+  }
+  return out;
+}
+
+StatusOr<Instance> ReadInstanceText(const std::string& text,
+                                    Vocabulary* vocabulary) {
+  // Reuse the program parser on a private vocabulary snapshot: facts are
+  // validated and interned, rules are rejected below.
+  StatusOr<ParsedProgram> parsed = ParseProgram(text);
+  if (!parsed.ok()) return parsed.status();
+  if (!parsed->rules.empty() || !parsed->egds.empty()) {
+    return Status::InvalidArgument("fact files must not contain rules");
+  }
+  // Re-intern every symbol into the caller's vocabulary (the parse used
+  // a fresh one), preserving names.
+  Instance instance;
+  for (const Atom& atom : parsed->facts) {
+    const PredicateInfo& info =
+        parsed->vocabulary.schema.predicate(atom.predicate);
+    StatusOr<PredicateId> pred =
+        vocabulary->schema.GetOrAdd(info.name, info.arity);
+    if (!pred.ok()) return pred.status();
+    Atom mapped;
+    mapped.predicate = *pred;
+    mapped.args.reserve(atom.arity());
+    for (Term t : atom.args) {
+      GCHASE_CHECK(t.IsConstant());  // parser only yields ground constants
+      mapped.args.push_back(Term::Constant(vocabulary->constants.Intern(
+          parsed->vocabulary.constants.NameOf(t.index()))));
+    }
+    instance.Insert(mapped);
+  }
+  return instance;
+}
+
+}  // namespace gchase

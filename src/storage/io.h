@@ -1,0 +1,28 @@
+#ifndef GCHASE_STORAGE_IO_H_
+#define GCHASE_STORAGE_IO_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "model/vocabulary.h"
+#include "storage/instance.h"
+
+namespace gchase {
+
+/// Serializes `instance` in the library's fact syntax, one atom per line
+/// (`p(a,b).`). Labeled nulls are written as quoted reserved constants
+/// (`'_:n7'`) so the output stays re-parsable; round-tripping maps each
+/// null to a distinct fresh constant (sound for certain-answer use, as
+/// nulls only ever stand for *some* value).
+std::string WriteInstanceText(const Instance& instance,
+                              const Vocabulary& vocabulary);
+
+/// Parses a fact file produced by WriteInstanceText (or hand-written in
+/// the same syntax) into an instance over `vocabulary`. New predicates
+/// and constants are interned. Rules in the input are rejected.
+StatusOr<Instance> ReadInstanceText(const std::string& text,
+                                    Vocabulary* vocabulary);
+
+}  // namespace gchase
+
+#endif  // GCHASE_STORAGE_IO_H_

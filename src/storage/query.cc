@@ -1,0 +1,45 @@
+#include "storage/query.h"
+
+namespace gchase {
+
+std::set<AnswerTuple> EvaluateQuery(const Instance& instance,
+                                    const ConjunctiveQuery& query) {
+  std::set<AnswerTuple> answers;
+  HomomorphismFinder finder(instance);
+  finder.FindAll(query.atoms, query.num_variables,
+                 [&](const Binding& binding) {
+                   AnswerTuple tuple;
+                   tuple.reserve(query.answer_variables.size());
+                   for (uint32_t v : query.answer_variables) {
+                     GCHASE_CHECK(v < binding.size());
+                     tuple.push_back(binding[v]);
+                   }
+                   answers.insert(std::move(tuple));
+                   return true;
+                 });
+  return answers;
+}
+
+std::set<AnswerTuple> CertainAnswers(const Instance& instance,
+                                     const ConjunctiveQuery& query) {
+  std::set<AnswerTuple> certain;
+  for (const AnswerTuple& tuple : EvaluateQuery(instance, query)) {
+    bool has_null = false;
+    for (Term t : tuple) {
+      if (t.IsNull()) {
+        has_null = true;
+        break;
+      }
+    }
+    if (!has_null) certain.insert(tuple);
+  }
+  return certain;
+}
+
+bool EntailsBooleanQuery(const Instance& instance,
+                         const ConjunctiveQuery& query) {
+  HomomorphismFinder finder(instance);
+  return finder.Exists(query.atoms, query.num_variables);
+}
+
+}  // namespace gchase

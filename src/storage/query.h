@@ -1,0 +1,41 @@
+#ifndef GCHASE_STORAGE_QUERY_H_
+#define GCHASE_STORAGE_QUERY_H_
+
+#include <set>
+#include <vector>
+
+#include "model/atom.h"
+#include "storage/homomorphism.h"
+#include "storage/instance.h"
+
+namespace gchase {
+
+/// A conjunctive query: body atoms plus the answer (distinguished)
+/// variables, all with query-scoped dense variable ids.
+struct ConjunctiveQuery {
+  std::vector<Atom> atoms;
+  uint32_t num_variables = 0;
+  std::vector<uint32_t> answer_variables;
+};
+
+/// One answer tuple: images of the answer variables, in order.
+using AnswerTuple = std::vector<Term>;
+
+/// Evaluates `query` over `instance`; returns the deduplicated answer set
+/// (tuples may contain labeled nulls).
+std::set<AnswerTuple> EvaluateQuery(const Instance& instance,
+                                    const ConjunctiveQuery& query);
+
+/// Certain answers over a universal model: answers containing no nulls.
+/// When `instance` is a chase result for (D, Σ), these are exactly the
+/// certain answers of the query under (D, Σ).
+std::set<AnswerTuple> CertainAnswers(const Instance& instance,
+                                     const ConjunctiveQuery& query);
+
+/// Boolean CQ entailment: true if the query body maps into `instance`.
+bool EntailsBooleanQuery(const Instance& instance,
+                         const ConjunctiveQuery& query);
+
+}  // namespace gchase
+
+#endif  // GCHASE_STORAGE_QUERY_H_

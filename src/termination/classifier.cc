@@ -1,0 +1,94 @@
+#include "termination/classifier.h"
+
+#include "base/timer.h"
+
+namespace gchase {
+
+StatusOr<ClassifierReport> ClassifyTermination(
+    const RuleSet& rules, Vocabulary* vocabulary,
+    const ClassifierOptions& options) {
+  ClassifierReport report;
+  report.rule_class = rules.Classify();
+
+  const Schema& schema = vocabulary->schema;
+  report.weakly_acyclic = CheckWeakAcyclicity(rules, schema).acyclic;
+  report.richly_acyclic = CheckRichAcyclicity(rules, schema).acyclic;
+  report.jointly_acyclic = CheckJointAcyclicity(rules, schema).acyclic;
+  StatusOr<MfaResult> mfa = CheckModelFaithfulAcyclicity(rules, vocabulary);
+  report.mfa = mfa.ok() && mfa->status == MfaStatus::kAcyclic;
+  report.sticky = CheckStickiness(rules, schema).sticky;
+
+  const bool use_syntactic =
+      report.rule_class == RuleClass::kSimpleLinear && !options.force_decider;
+
+  auto analyze = [&](ChaseVariant variant,
+                     VariantAnalysis* analysis) -> Status {
+    WallTimer timer;
+    if (use_syntactic) {
+      // Theorem 1: CT_o ∩ SL = RA ∩ SL and CT_so ∩ SL = WA ∩ SL.
+      const bool acyclic = variant == ChaseVariant::kOblivious
+                               ? report.richly_acyclic
+                               : report.weakly_acyclic;
+      analysis->verdict = acyclic ? TerminationVerdict::kTerminating
+                                  : TerminationVerdict::kNonTerminating;
+      analysis->method = "syntactic (Thm 1)";
+    } else {
+      StatusOr<DeciderResult> result =
+          DecideTermination(rules, vocabulary, variant, options.decider);
+      if (!result.ok()) return result.status();
+      analysis->verdict = result->verdict;
+      analysis->method = "critical-instance decider (Thm 2/4)";
+      analysis->decider = *std::move(result);
+    }
+    analysis->seconds = timer.ElapsedSeconds();
+    return Status::Ok();
+  };
+
+  GCHASE_RETURN_IF_ERROR(
+      analyze(ChaseVariant::kOblivious, &report.oblivious));
+  GCHASE_RETURN_IF_ERROR(
+      analyze(ChaseVariant::kSemiOblivious, &report.semi_oblivious));
+  return report;
+}
+
+std::string ReportToString(const ClassifierReport& report) {
+  std::string out;
+  out += "rule class:        ";
+  out += RuleClassName(report.rule_class);
+  out += '\n';
+  out += "weakly acyclic:    ";
+  out += report.weakly_acyclic ? "yes" : "no";
+  out += '\n';
+  out += "richly acyclic:    ";
+  out += report.richly_acyclic ? "yes" : "no";
+  out += '\n';
+  out += "jointly acyclic:   ";
+  out += report.jointly_acyclic ? "yes" : "no";
+  out += '\n';
+  out += "MFA:               ";
+  out += report.mfa ? "yes" : "no";
+  out += '\n';
+  out += "sticky:            ";
+  out += report.sticky ? "yes" : "no";
+  out += '\n';
+  auto render = [&out](const char* label, const VariantAnalysis& analysis) {
+    out += label;
+    out += TerminationVerdictName(analysis.verdict);
+    out += "  [";
+    out += analysis.method;
+    out += ", ";
+    out += std::to_string(analysis.seconds * 1e3);
+    out += " ms]\n";
+    if (analysis.decider.has_value() &&
+        !analysis.decider->certificate_text.empty()) {
+      out += "                   ";
+      out += analysis.decider->certificate_text;
+      out += '\n';
+    }
+  };
+  render("oblivious chase:   ", report.oblivious);
+  render("semi-oblivious:    ", report.semi_oblivious);
+  return out;
+}
+
+}  // namespace gchase

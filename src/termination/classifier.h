@@ -1,0 +1,70 @@
+#ifndef GCHASE_TERMINATION_CLASSIFIER_H_
+#define GCHASE_TERMINATION_CLASSIFIER_H_
+
+#include <string>
+
+#include "acyclicity/dependency_graph.h"
+#include "acyclicity/joint_acyclicity.h"
+#include "acyclicity/stickiness.h"
+#include "base/status.h"
+#include "model/tgd.h"
+#include "model/vocabulary.h"
+#include "termination/decider.h"
+#include "termination/mfa.h"
+
+namespace gchase {
+
+/// Options for ClassifyTermination.
+struct ClassifierOptions {
+  /// Resource policy forwarded to the critical-instance decider.
+  DeciderOptions decider;
+  /// Run the decider even on simple linear sets (where the syntactic
+  /// characterizations of Theorem 1 are exact and much cheaper). Useful
+  /// for cross-validation.
+  bool force_decider = false;
+};
+
+/// One chase variant's analysis.
+struct VariantAnalysis {
+  TerminationVerdict verdict = TerminationVerdict::kUnknown;
+  /// "syntactic (Thm 1)" or "critical-instance decider (Thm 2/4)".
+  std::string method;
+  /// Wall-clock seconds for this analysis.
+  double seconds = 0.0;
+  /// Decider details when the decider ran.
+  std::optional<DeciderResult> decider;
+};
+
+/// Full report of one rule set's termination analysis.
+struct ClassifierReport {
+  RuleClass rule_class = RuleClass::kGeneral;
+  /// Syntactic sufficient conditions (each implies the corresponding
+  /// chase terminates on all databases).
+  bool weakly_acyclic = false;    ///< implies so-termination
+  bool richly_acyclic = false;    ///< implies o-termination
+  bool jointly_acyclic = false;   ///< implies so-termination
+  bool mfa = false;               ///< model-faithful acyclicity; implies so-termination
+  /// Stickiness (Calì-Gottlob-Pieris): decidable query answering even
+  /// with a non-terminating chase; orthogonal to the verdicts below.
+  bool sticky = false;
+  VariantAnalysis oblivious;
+  VariantAnalysis semi_oblivious;
+};
+
+/// One-call analysis facade: classifies the rule set (SL/L/G/general),
+/// evaluates the syntactic acyclicity conditions, and decides oblivious
+/// and semi-oblivious all-instance termination using the cheapest exact
+/// method available:
+///  - SL: rich/weak acyclicity (exact by Theorem 1);
+///  - L, G, general: the critical-instance decider (Theorems 2 and 4;
+///    kUnknown possible only if the resource caps are exhausted).
+StatusOr<ClassifierReport> ClassifyTermination(
+    const RuleSet& rules, Vocabulary* vocabulary,
+    const ClassifierOptions& options = {});
+
+/// Renders a human-readable multi-line report.
+std::string ReportToString(const ClassifierReport& report);
+
+}  // namespace gchase
+
+#endif  // GCHASE_TERMINATION_CLASSIFIER_H_

@@ -1,0 +1,70 @@
+#include "termination/critical_instance.h"
+
+#include <algorithm>
+#include <string>
+
+namespace gchase {
+
+Term CriticalConstant(Vocabulary* vocabulary) {
+  return Term::Constant(vocabulary->constants.Intern(kCriticalConstantName));
+}
+
+std::vector<Atom> BuildCriticalInstance(const RuleSet& rules,
+                                        Vocabulary* vocabulary,
+                                        const CriticalInstanceOptions&
+                                            options) {
+  std::vector<Term> domain;
+  domain.push_back(CriticalConstant(vocabulary));
+  if (options.standard_database) {
+    domain.push_back(Term::Constant(vocabulary->constants.Intern("0")));
+    domain.push_back(Term::Constant(vocabulary->constants.Intern("1")));
+  }
+  // Constants occurring in the rules are part of the domain (minus the
+  // explicit exclusions).
+  auto add_constant = [&](Term t) {
+    if (!t.IsConstant()) return;
+    if (std::find(domain.begin(), domain.end(), t) != domain.end()) return;
+    if (std::find(options.excluded_constants.begin(),
+                  options.excluded_constants.end(),
+                  t) != options.excluded_constants.end()) {
+      return;
+    }
+    domain.push_back(t);
+  };
+  for (const Tgd& rule : rules.rules()) {
+    for (const Atom& atom : rule.body()) {
+      for (Term t : atom.args) add_constant(t);
+    }
+    for (const Atom& atom : rule.head()) {
+      for (Term t : atom.args) add_constant(t);
+    }
+  }
+
+  std::vector<Atom> atoms;
+  const Schema& schema = vocabulary->schema;
+  for (PredicateId p = 0; p < schema.num_predicates(); ++p) {
+    const uint32_t arity = schema.arity(p);
+    // Enumerate all |domain|^arity argument vectors (just one when the
+    // domain is the single critical constant).
+    std::vector<uint32_t> odometer(arity, 0);
+    for (;;) {
+      Atom atom;
+      atom.predicate = p;
+      atom.args.reserve(arity);
+      for (uint32_t i = 0; i < arity; ++i) {
+        atom.args.push_back(domain[odometer[i]]);
+      }
+      atoms.push_back(std::move(atom));
+      if (arity == 0) break;  // single empty tuple already emitted
+      uint32_t pos = 0;
+      while (pos < arity && ++odometer[pos] == domain.size()) {
+        odometer[pos] = 0;
+        ++pos;
+      }
+      if (pos == arity) break;
+    }
+  }
+  return atoms;
+}
+
+}  // namespace gchase

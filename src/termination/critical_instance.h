@@ -1,0 +1,52 @@
+#ifndef GCHASE_TERMINATION_CRITICAL_INSTANCE_H_
+#define GCHASE_TERMINATION_CRITICAL_INSTANCE_H_
+
+#include <vector>
+
+#include "model/atom.h"
+#include "model/tgd.h"
+#include "model/vocabulary.h"
+
+namespace gchase {
+
+/// Name interned for the critical constant.
+inline constexpr const char kCriticalConstantName[] = "*";
+
+/// Options for building the critical instance.
+struct CriticalInstanceOptions {
+  /// Paper's "standard database" variant: besides the critical constant,
+  /// two distinguished constants 0 and 1 are part of the domain. Only the
+  /// hardness proofs need this; the deciders' upper bounds work with the
+  /// plain instance.
+  bool standard_database = false;
+  /// Constants to leave out of the domain even if they occur in the rules
+  /// (used by the looping operator, whose anchor constant must only be
+  /// introducible by the gadget itself).
+  std::vector<Term> excluded_constants;
+};
+
+/// Builds the critical instance for `rules` over `vocabulary`'s schema:
+/// every atom whose arguments range over the domain
+///
+///     { * } ∪ { constants occurring in rules } ∖ excluded
+///     (∪ {0, 1} for standard databases).
+///
+/// Rule constants must be included because homomorphisms fix them: the
+/// critical instance dominates a database D via the map sending every
+/// other constant to *.
+///
+/// Key fact (Marnette; Grahne & Onet): for the oblivious and the
+/// semi-oblivious chase, a TGD set terminates on *every* database iff it
+/// terminates on the critical instance. The deciders in this module rely
+/// on this reduction.
+std::vector<Atom> BuildCriticalInstance(const RuleSet& rules,
+                                        Vocabulary* vocabulary,
+                                        const CriticalInstanceOptions&
+                                            options = {});
+
+/// Returns the Term of the critical constant, interning it if necessary.
+Term CriticalConstant(Vocabulary* vocabulary);
+
+}  // namespace gchase
+
+#endif  // GCHASE_TERMINATION_CRITICAL_INSTANCE_H_

@@ -1,0 +1,89 @@
+#include "termination/decider.h"
+
+#include "model/printer.h"
+
+namespace gchase {
+
+const char* TerminationVerdictName(TerminationVerdict verdict) {
+  switch (verdict) {
+    case TerminationVerdict::kTerminating:
+      return "terminating";
+    case TerminationVerdict::kNonTerminating:
+      return "non-terminating";
+    case TerminationVerdict::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+StatusOr<DeciderResult> DecideTermination(const RuleSet& rules,
+                                          Vocabulary* vocabulary,
+                                          ChaseVariant variant,
+                                          const DeciderOptions& options) {
+  if (variant == ChaseVariant::kRestricted) {
+    return Status::FailedPrecondition(
+        "the critical-instance reduction does not apply to the restricted "
+        "chase; use kOblivious or kSemiOblivious");
+  }
+
+  CriticalInstanceOptions critical_options;
+  critical_options.standard_database = options.standard_database;
+  critical_options.excluded_constants = options.excluded_constants;
+  std::vector<Atom> database =
+      BuildCriticalInstance(rules, vocabulary, critical_options);
+
+  ChaseOptions chase_options;
+  chase_options.variant = variant;
+  chase_options.max_atoms = options.max_atoms;
+  chase_options.max_steps = options.max_steps;
+  chase_options.max_hom_discoveries = options.max_hom_discoveries;
+  chase_options.max_join_work = options.max_join_work;
+  chase_options.track_provenance = true;
+
+  ChaseRun run(rules, chase_options, database);
+  PumpDetector detector(run, options.pump);
+
+  DeciderResult result;
+  ChaseOutcome outcome = run.Execute([&](AtomId atom) {
+    std::optional<PumpCertificate> certificate = detector.OnAtom(atom);
+    if (certificate.has_value()) {
+      result.certificate = std::move(certificate);
+      return false;  // abort the chase: non-termination proven
+    }
+    return true;
+  });
+
+  result.chase_atoms = run.instance().size();
+  result.applied_triggers = run.applied_triggers();
+  result.replays_attempted = detector.replays_attempted();
+  switch (outcome) {
+    case ChaseOutcome::kTerminated:
+      result.verdict = TerminationVerdict::kTerminating;
+      break;
+    case ChaseOutcome::kAborted: {
+      GCHASE_CHECK(result.certificate.has_value());
+      result.verdict = TerminationVerdict::kNonTerminating;
+      const PumpCertificate& certificate = *result.certificate;
+      std::string text = "pump: ";
+      text += AtomToString(run.instance().atom(certificate.ancestor),
+                           *vocabulary);
+      text += "  ~>  ";
+      text += AtomToString(run.instance().atom(certificate.descendant),
+                           *vocabulary);
+      text += "  via rules [";
+      for (std::size_t i = 0; i < certificate.segment_rules.size(); ++i) {
+        if (i > 0) text += ", ";
+        text += std::to_string(certificate.segment_rules[i]);
+      }
+      text += "], replayable forever";
+      result.certificate_text = std::move(text);
+      break;
+    }
+    case ChaseOutcome::kResourceLimit:
+      result.verdict = TerminationVerdict::kUnknown;
+      break;
+  }
+  return result;
+}
+
+}  // namespace gchase

@@ -1,0 +1,88 @@
+#ifndef GCHASE_TERMINATION_DECIDER_H_
+#define GCHASE_TERMINATION_DECIDER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "base/status.h"
+#include "chase/chase.h"
+#include "model/tgd.h"
+#include "model/vocabulary.h"
+#include "termination/critical_instance.h"
+#include "termination/pump_detector.h"
+
+namespace gchase {
+
+/// Verdict of a termination analysis.
+enum class TerminationVerdict {
+  kTerminating,     ///< The chase terminates for every database.
+  kNonTerminating,  ///< Some database (the critical one) has an infinite chase.
+  kUnknown,         ///< Resource caps hit without a proof either way.
+};
+
+/// Returns "terminating", "non-terminating" or "unknown".
+const char* TerminationVerdictName(TerminationVerdict verdict);
+
+/// Resource policy for one DecideTermination call.
+struct DeciderOptions {
+  /// Caps on the exploratory chase of the critical instance. The chase of
+  /// the critical instance either completes below the caps (terminating),
+  /// is interrupted by a verified pump (non-terminating), or exhausts the
+  /// caps (unknown).
+  uint64_t max_atoms = 1u << 20;
+  uint64_t max_steps = 1u << 22;
+  /// Cap on homomorphisms enumerated during trigger discovery (see
+  /// ChaseOptions::max_hom_discoveries).
+  uint64_t max_hom_discoveries = 1ull << 24;
+  /// Cap on join-search work (see ChaseOptions::max_join_work).
+  uint64_t max_join_work = 1ull << 28;
+  /// Pump-detection tuning.
+  PumpDetectorOptions pump;
+  /// Use the paper's standard-database critical instance ({*,0,1}).
+  bool standard_database = false;
+  /// Constants excluded from the critical instance's domain (see
+  /// CriticalInstanceOptions::excluded_constants; used by the looping
+  /// operator's anchor).
+  std::vector<Term> excluded_constants;
+};
+
+/// Outcome details of one decision.
+struct DeciderResult {
+  TerminationVerdict verdict = TerminationVerdict::kUnknown;
+  /// Present when verdict == kNonTerminating.
+  std::optional<PumpCertificate> certificate;
+  /// Human-readable rendering of the certificate ("" unless
+  /// non-terminating): the pumped atoms and the rules of the replayable
+  /// segment.
+  std::string certificate_text;
+  /// Chase statistics of the exploration.
+  uint64_t chase_atoms = 0;
+  uint64_t applied_triggers = 0;
+  uint64_t replays_attempted = 0;
+};
+
+/// Decides all-instance chase termination of `rules` for the oblivious or
+/// semi-oblivious chase (Theorems 2 and 4 of the paper, operationalized).
+///
+/// Method: by the critical-instance reduction (Marnette; Grahne & Onet),
+/// Σ ∈ CT_o (resp. CT_so) iff the oblivious (resp. semi-oblivious) chase
+/// of the critical instance terminates. The decider runs that chase with
+/// a PumpDetector attached: a verified pump proves non-termination; a
+/// completed chase proves termination; exhausted caps yield kUnknown.
+/// For linear and guarded rules the type space the detector searches is
+/// finite, so on the workloads of this repository the caps are never the
+/// binding constraint (see EXPERIMENTS.md for the measured behaviour).
+///
+/// `variant` must be kOblivious or kSemiOblivious: the reduction (and the
+/// paper's decidability results) do not apply to the restricted chase.
+/// `vocabulary` is the rule set's naming context; the critical constant
+/// is interned into it.
+StatusOr<DeciderResult> DecideTermination(const RuleSet& rules,
+                                          Vocabulary* vocabulary,
+                                          ChaseVariant variant,
+                                          const DeciderOptions& options = {});
+
+}  // namespace gchase
+
+#endif  // GCHASE_TERMINATION_DECIDER_H_

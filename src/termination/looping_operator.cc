@@ -1,0 +1,74 @@
+#include "termination/looping_operator.h"
+
+namespace gchase {
+
+StatusOr<LoopedRuleSet> MakeLoopingRuleSet(const RuleSet& rules,
+                                           const Atom& alpha,
+                                           Vocabulary* vocabulary) {
+  if (!alpha.IsGround()) {
+    return Status::InvalidArgument("looping operator needs a ground atom");
+  }
+  if (alpha.predicate >= vocabulary->schema.num_predicates()) {
+    return Status::InvalidArgument("alpha uses an unregistered predicate");
+  }
+  StatusOr<PredicateId> edge =
+      vocabulary->schema.GetOrAdd(kLoopEdgePredicate, 2);
+  if (!edge.ok()) return edge.status();
+  StatusOr<PredicateId> pair =
+      vocabulary->schema.GetOrAdd(kLoopPairPredicate, 2);
+  if (!pair.ok()) return pair.status();
+
+  LoopedRuleSet looped;
+  looped.rules = rules;
+  looped.anchor =
+      Term::Constant(vocabulary->constants.Intern(kLoopAnchorConstant));
+
+  // alpha -> loop_edge(anchor, Z).
+  {
+    std::vector<Atom> body{alpha};
+    std::vector<Atom> head{Atom(*edge, {looped.anchor, Term::Variable(0)})};
+    StatusOr<Tgd> rule = Tgd::Create(std::move(body), std::move(head), {"Z"},
+                                     vocabulary->schema);
+    if (!rule.ok()) return rule.status();
+    looped.rules.Add(*std::move(rule));
+  }
+  // loop_edge(anchor, X) -> loop_pair(X, Y), loop_edge(anchor, Y).
+  {
+    std::vector<Atom> body{Atom(*edge, {looped.anchor, Term::Variable(0)})};
+    std::vector<Atom> head{
+        Atom(*pair, {Term::Variable(0), Term::Variable(1)}),
+        Atom(*edge, {looped.anchor, Term::Variable(1)})};
+    StatusOr<Tgd> rule = Tgd::Create(std::move(body), std::move(head),
+                                     {"X", "Y"}, vocabulary->schema);
+    if (!rule.ok()) return rule.status();
+    looped.rules.Add(*std::move(rule));
+  }
+  return looped;
+}
+
+StatusOr<bool> EntailsViaLoopingOperator(const RuleSet& rules,
+                                         const Atom& alpha,
+                                         Vocabulary* vocabulary,
+                                         ChaseVariant variant,
+                                         const DeciderOptions& options) {
+  StatusOr<LoopedRuleSet> looped =
+      MakeLoopingRuleSet(rules, alpha, vocabulary);
+  if (!looped.ok()) return looped.status();
+  DeciderOptions decider_options = options;
+  decider_options.excluded_constants.push_back(looped->anchor);
+  StatusOr<DeciderResult> result = DecideTermination(
+      looped->rules, vocabulary, variant, decider_options);
+  if (!result.ok()) return result.status();
+  switch (result->verdict) {
+    case TerminationVerdict::kNonTerminating:
+      return true;
+    case TerminationVerdict::kTerminating:
+      return false;
+    case TerminationVerdict::kUnknown:
+      return Status::ResourceExhausted(
+          "looped termination analysis exhausted its caps");
+  }
+  GCHASE_UNREACHABLE();
+}
+
+}  // namespace gchase

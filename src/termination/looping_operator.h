@@ -1,0 +1,74 @@
+#ifndef GCHASE_TERMINATION_LOOPING_OPERATOR_H_
+#define GCHASE_TERMINATION_LOOPING_OPERATOR_H_
+
+#include "base/status.h"
+#include "model/atom.h"
+#include "model/tgd.h"
+#include "model/vocabulary.h"
+#include "termination/decider.h"
+
+namespace gchase {
+
+/// Names introduced by the looping operator.
+inline constexpr const char kLoopEdgePredicate[] = "loop_edge";
+inline constexpr const char kLoopPairPredicate[] = "loop_pair";
+inline constexpr const char kLoopAnchorConstant[] = "loop_anchor";
+
+/// Result of applying the looping operator.
+struct LoopedRuleSet {
+  RuleSet rules;
+  /// The gadget's anchor constant. It must be *excluded* from the
+  /// critical instance (DeciderOptions::excluded_constants): the gadget
+  /// introduces it itself, so the chain can only start once alpha has
+  /// been derived.
+  Term anchor;
+};
+
+/// The paper's looping operator: a generic reduction from atom entailment
+/// to the *complement* of chase termination, used there to derive all
+/// lower bounds uniformly.
+///
+/// Given a set Σ and a ground atom α, Loop(Σ, α) adds
+///
+///     α                      -> loop_edge(anchor, Z).
+///     loop_edge(anchor, X)   -> loop_pair(X, Y), loop_edge(anchor, Y).
+///
+/// The second rule is an endless null generator for both the oblivious
+/// and the semi-oblivious chase (its frontier {X} receives a fresh null
+/// each round), but it can only fire on loop_edge atoms whose first
+/// argument is the anchor constant — which exist only once α has been
+/// derived. Hence, for a set Σ whose chase of the critical database
+/// terminates:
+///
+///     chase(critical database, Loop(Σ, α)) terminates
+///         iff  chase(critical database, Σ) does not entail α,
+///
+/// provided the anchor is excluded from the critical instance's domain
+/// (the paper achieves the analogous effect through its standard-database
+/// 0/1 machinery; the anchor-exclusion is this library's equivalent,
+/// documented in DESIGN.md).
+///
+/// Guardedness and linearity are preserved (the added rules are linear
+/// and guarded); simple linearity is not (the gadget uses constants).
+///
+/// Fails if α is not ground or uses an unregistered predicate, or if the
+/// auxiliary predicate names are taken with different arities.
+StatusOr<LoopedRuleSet> MakeLoopingRuleSet(const RuleSet& rules,
+                                           const Atom& alpha,
+                                           Vocabulary* vocabulary);
+
+/// Convenience: decides entailment of `alpha` from the critical database
+/// under `rules` *via termination*: builds Loop(Σ, α), runs the decider
+/// with the anchor excluded, and maps non-termination to "entailed".
+/// `rules` should be a terminating set (the reduction's precondition);
+/// if the decider cannot resolve the looped set, kUnknown bubbles up as
+/// an error of kind kResourceExhausted.
+StatusOr<bool> EntailsViaLoopingOperator(const RuleSet& rules,
+                                         const Atom& alpha,
+                                         Vocabulary* vocabulary,
+                                         ChaseVariant variant,
+                                         const DeciderOptions& options = {});
+
+}  // namespace gchase
+
+#endif  // GCHASE_TERMINATION_LOOPING_OPERATOR_H_

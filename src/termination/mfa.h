@@ -1,0 +1,54 @@
+#ifndef GCHASE_TERMINATION_MFA_H_
+#define GCHASE_TERMINATION_MFA_H_
+
+#include <cstdint>
+
+#include "base/status.h"
+#include "model/tgd.h"
+#include "model/vocabulary.h"
+
+namespace gchase {
+
+/// Outcome of the MFA test.
+enum class MfaStatus {
+  kAcyclic,  ///< No cyclic term: the semi-oblivious chase terminates on
+             ///< every database (sound acceptance).
+  kCyclic,   ///< A cyclic term appeared: MFA rejects (the set may still
+             ///< terminate — MFA is sufficient, not necessary).
+  kUnknown,  ///< Resource caps exhausted first (rare; see options).
+};
+
+struct MfaResult {
+  MfaStatus status = MfaStatus::kUnknown;
+  /// Atoms materialized by the MFA chase.
+  uint64_t chase_atoms = 0;
+  /// Nulls created before the verdict.
+  uint64_t nulls_created = 0;
+};
+
+struct MfaOptions {
+  uint64_t max_atoms = 1u << 20;
+  uint64_t max_steps = 1u << 22;
+  uint64_t max_hom_discoveries = 1ull << 24;
+  uint64_t max_join_work = 1ull << 28;
+};
+
+/// Model-faithful acyclicity (Cuenca Grau et al., KR 2012): run the
+/// skolemized (semi-oblivious) chase of the critical instance and reject
+/// as soon as a *cyclic term* appears — a null whose skolem ancestry
+/// contains another null created by the same (rule, existential
+/// variable). If no cyclic term ever appears, the chase provably
+/// terminates (term depth is bounded by the number of (rule, variable)
+/// tags), so the procedure is total.
+///
+/// MFA is the most precise of the implemented syntactic-ish sufficient
+/// conditions: WA ⊂ JA ⊂ MFA ⊂ CT_so, each strictly. The curated
+/// workload `all_acyclicity_fail_but_terminates` witnesses the last gap.
+StatusOr<MfaResult> CheckModelFaithfulAcyclicity(const RuleSet& rules,
+                                                 Vocabulary* vocabulary,
+                                                 const MfaOptions& options =
+                                                     {});
+
+}  // namespace gchase
+
+#endif  // GCHASE_TERMINATION_MFA_H_

@@ -1,0 +1,61 @@
+#include "termination/restricted_probe.h"
+
+#include "termination/critical_instance.h"
+
+namespace gchase {
+
+namespace {
+
+bool RunOnce(const RuleSet& rules, const std::vector<Atom>& database,
+             const RestrictedProbeOptions& options, TriggerOrder order,
+             uint64_t seed) {
+  ChaseOptions chase_options;
+  chase_options.variant = ChaseVariant::kRestricted;
+  chase_options.order = order;
+  chase_options.order_seed = seed;
+  chase_options.max_atoms = options.max_atoms;
+  chase_options.max_steps = options.max_steps;
+  chase_options.max_hom_discoveries = options.max_hom_discoveries;
+  chase_options.max_join_work = options.max_join_work;
+  return RunChase(rules, chase_options, database).outcome ==
+         ChaseOutcome::kTerminated;
+}
+
+}  // namespace
+
+StatusOr<RestrictedProbeResult> ProbeRestrictedTermination(
+    const RuleSet& rules, Vocabulary* vocabulary,
+    const std::vector<Atom>& database,
+    const RestrictedProbeOptions& options) {
+  std::vector<Atom> facts = database;
+  if (options.use_critical_instance) {
+    facts = BuildCriticalInstance(rules, vocabulary);
+  } else if (facts.empty()) {
+    return Status::InvalidArgument(
+        "probe needs a database when use_critical_instance is false");
+  }
+
+  RestrictedProbeResult result;
+  result.fifo_terminated =
+      RunOnce(rules, facts, options, TriggerOrder::kFifo, 0);
+  result.datalog_first_terminated =
+      RunOnce(rules, facts, options, TriggerOrder::kDatalogFirst, 0);
+  for (uint32_t i = 0; i < options.num_random_orders; ++i) {
+    if (RunOnce(rules, facts, options, TriggerOrder::kRandom,
+                options.seed + i * 0x9e3779b9u)) {
+      ++result.random_orders_terminated;
+    } else {
+      ++result.random_orders_diverged;
+    }
+  }
+  const uint32_t terminated = result.random_orders_terminated +
+                              (result.fifo_terminated ? 1 : 0) +
+                              (result.datalog_first_terminated ? 1 : 0);
+  const uint32_t diverged = result.random_orders_diverged +
+                            (result.fifo_terminated ? 0 : 1) +
+                            (result.datalog_first_terminated ? 0 : 1);
+  result.order_sensitive = terminated > 0 && diverged > 0;
+  return result;
+}
+
+}  // namespace gchase

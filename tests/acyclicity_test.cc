@@ -1,0 +1,126 @@
+#include "acyclicity/dependency_graph.h"
+
+#include "acyclicity/joint_acyclicity.h"
+#include "generator/workloads.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace gchase {
+namespace {
+
+struct Expectation {
+  const char* program;
+  bool weakly_acyclic;
+  bool richly_acyclic;
+};
+
+TEST(AcyclicityTest, CanonicalExamples) {
+  const Expectation cases[] = {
+      // Successor rule: dangerous self-loop in both graphs.
+      {"p(X,Y) -> p(Y,Z).\n", false, false},
+      // Non-frontier variable feeding position 2: only the extended graph
+      // sees the special self-loop (RA rejects, WA accepts).
+      {"p(X,Y) -> p(X,Z).\n", true, false},
+      // Acyclic chain.
+      {"emp(X,Y) -> dept(Y).\ndept(X) -> mgr(X,Y).\n", true, true},
+      // Null dropped on the way back: acyclic in both.
+      {"p(X) -> q(X,Y).\nq(X,Y) -> p(X).\n", true, true},
+      // Null carried back: dangerous cycle in both.
+      {"p(X) -> q(X,Y).\nq(X,Y) -> p(Y).\n", false, false},
+      // Datalog: no special edges at all.
+      {"e(X,Y), e(Y,Z) -> e(X,Z).\n", true, true},
+  };
+  for (const Expectation& expected : cases) {
+    ParsedProgram program = MustParse(expected.program);
+    AcyclicityReport wa =
+        CheckWeakAcyclicity(program.rules, program.vocabulary.schema);
+    AcyclicityReport ra =
+        CheckRichAcyclicity(program.rules, program.vocabulary.schema);
+    EXPECT_EQ(wa.acyclic, expected.weakly_acyclic) << expected.program;
+    EXPECT_EQ(ra.acyclic, expected.richly_acyclic) << expected.program;
+    // RA implies WA (the extended graph has strictly more special edges).
+    EXPECT_LE(ra.acyclic, wa.acyclic) << expected.program;
+  }
+}
+
+TEST(AcyclicityTest, DangerousCycleCertificateIsClosed) {
+  ParsedProgram program = MustParse("p(X,Y) -> p(Y,Z).\n");
+  AcyclicityReport report =
+      CheckWeakAcyclicity(program.rules, program.vocabulary.schema);
+  ASSERT_FALSE(report.acyclic);
+  ASSERT_GE(report.dangerous_cycle.size(), 2u);
+  EXPECT_EQ(report.dangerous_cycle.front(), report.dangerous_cycle.back());
+}
+
+TEST(AcyclicityTest, RankOfAcyclicGraphBoundsNullDepth) {
+  ParsedProgram program = MustParse(
+      "src(X,Y) -> t1(X,Z).\n"
+      "t1(X,Y) -> t2(Y,W).\n");
+  DependencyGraph graph = DependencyGraph::Build(
+      program.rules, program.vocabulary.schema, /*extended=*/false);
+  std::optional<uint32_t> rank = graph.Rank();
+  ASSERT_TRUE(rank.has_value());
+  EXPECT_EQ(*rank, 2u);
+}
+
+TEST(AcyclicityTest, RankIsNulloptOnDangerousCycle) {
+  ParsedProgram program = MustParse("p(X,Y) -> p(Y,Z).\n");
+  DependencyGraph graph = DependencyGraph::Build(
+      program.rules, program.vocabulary.schema, /*extended=*/false);
+  EXPECT_FALSE(graph.Rank().has_value());
+}
+
+TEST(JointAcyclicityTest, GeneralizesWeakAcyclicity) {
+  // ja_not_wa: WA rejects (dangerous cycle through q2), JA accepts (the
+  // null cannot pass the aux(Y) side condition).
+  ParsedProgram program = MustParse(
+      "p(X,Y) -> q(Y,Z).\n"
+      "q(X,Y), aux(Y) -> p(X,Y).\n");
+  EXPECT_FALSE(
+      CheckWeakAcyclicity(program.rules, program.vocabulary.schema).acyclic);
+  EXPECT_TRUE(
+      CheckJointAcyclicity(program.rules, program.vocabulary.schema).acyclic);
+}
+
+TEST(JointAcyclicityTest, RejectsSuccessorRule) {
+  ParsedProgram program = MustParse("p(X,Y) -> p(Y,Z).\n");
+  JointAcyclicityReport report =
+      CheckJointAcyclicity(program.rules, program.vocabulary.schema);
+  EXPECT_FALSE(report.acyclic);
+  ASSERT_GE(report.cycle.size(), 2u);
+  EXPECT_EQ(report.cycle.front(), report.cycle.back());
+}
+
+TEST(JointAcyclicityTest, SideConditionBlocksNullFlow) {
+  ParsedProgram program = MustParse("e(X,Y), root(Y) -> e(Y,Z).\n");
+  EXPECT_FALSE(
+      CheckWeakAcyclicity(program.rules, program.vocabulary.schema).acyclic);
+  EXPECT_TRUE(
+      CheckJointAcyclicity(program.rules, program.vocabulary.schema).acyclic);
+}
+
+TEST(AcyclicityTest, WorkloadGroundTruthSoundness) {
+  // Soundness over the whole curated library: WA => so-terminating,
+  // RA => o-terminating (acyclicity may never accept a diverging set).
+  for (const NamedWorkload& workload : CuratedWorkloads()) {
+    StatusOr<ParsedProgram> program = LoadWorkload(workload);
+    ASSERT_TRUE(program.ok()) << workload.name;
+    const Schema& schema = program->vocabulary.schema;
+    AcyclicityReport wa = CheckWeakAcyclicity(program->rules, schema);
+    AcyclicityReport ra = CheckRichAcyclicity(program->rules, schema);
+    JointAcyclicityReport ja = CheckJointAcyclicity(program->rules, schema);
+    if (wa.acyclic && workload.semi_oblivious_terminates.has_value()) {
+      EXPECT_TRUE(*workload.semi_oblivious_terminates) << workload.name;
+    }
+    if (ja.acyclic && workload.semi_oblivious_terminates.has_value()) {
+      EXPECT_TRUE(*workload.semi_oblivious_terminates) << workload.name;
+    }
+    if (ra.acyclic && workload.oblivious_terminates.has_value()) {
+      EXPECT_TRUE(*workload.oblivious_terminates) << workload.name;
+    }
+    EXPECT_LE(ra.acyclic, wa.acyclic) << workload.name;
+  }
+}
+
+}  // namespace
+}  // namespace gchase

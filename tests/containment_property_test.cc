@@ -1,0 +1,122 @@
+#include "reasoning/containment.h"
+
+#include "base/rng.h"
+#include "generator/random_rules.h"
+#include "gtest/gtest.h"
+
+namespace gchase {
+namespace {
+
+/// Generates a random CQ over `schema`: `num_atoms` atoms whose
+/// arguments reuse a small variable pool (joins arise naturally).
+ConjunctiveQuery RandomQuery(const Schema& schema, uint32_t num_atoms,
+                             Rng* rng) {
+  ConjunctiveQuery query;
+  const uint32_t pool = 2 + static_cast<uint32_t>(rng->NextBelow(3));
+  for (uint32_t i = 0; i < num_atoms; ++i) {
+    Atom atom;
+    atom.predicate =
+        static_cast<PredicateId>(rng->NextBelow(schema.num_predicates()));
+    for (uint32_t j = 0; j < schema.arity(atom.predicate); ++j) {
+      atom.args.push_back(
+          Term::Variable(static_cast<uint32_t>(rng->NextBelow(pool))));
+    }
+    query.atoms.push_back(std::move(atom));
+  }
+  query.num_variables = pool;
+  // One answer variable, guaranteed to occur (variable 0 may not occur;
+  // pick one from the first atom if it has any variables).
+  for (const Atom& atom : query.atoms) {
+    if (!atom.args.empty()) {
+      query.answer_variables.push_back(atom.args[0].index());
+      break;
+    }
+  }
+  return query;
+}
+
+class ContainmentPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ContainmentPropertyTest, Reflexivity) {
+  Rng rng(GetParam());
+  RandomRuleSetOptions options;
+  options.rule_class = RuleClass::kGuarded;
+  options.num_predicates = 4;
+  options.min_arity = 1;
+  options.max_arity = 3;
+  RandomProgram program = GenerateRandomRuleSet(&rng, options);
+  ConjunctiveQuery query = RandomQuery(
+      program.vocabulary.schema, 1 + static_cast<uint32_t>(rng.NextBelow(3)),
+      &rng);
+  if (query.answer_variables.empty()) GTEST_SKIP();
+  RuleSet empty;
+  StatusOr<ContainmentVerdict> verdict =
+      IsContainedIn(query, query, empty, &program.vocabulary);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(*verdict, ContainmentVerdict::kContained)
+      << "seed " << GetParam();
+}
+
+TEST_P(ContainmentPropertyTest, AddingAtomsRefines) {
+  // Q1 = Q2 plus extra atoms (over the same variables) is always
+  // contained in Q2.
+  Rng rng(GetParam() + 5000);
+  RandomRuleSetOptions options;
+  options.rule_class = RuleClass::kGuarded;
+  options.num_predicates = 4;
+  options.min_arity = 1;
+  options.max_arity = 3;
+  RandomProgram program = GenerateRandomRuleSet(&rng, options);
+  const Schema& schema = program.vocabulary.schema;
+  ConjunctiveQuery q2 = RandomQuery(schema, 2, &rng);
+  if (q2.answer_variables.empty()) GTEST_SKIP();
+  ConjunctiveQuery q1 = q2;
+  ConjunctiveQuery extra = RandomQuery(schema, 2, &rng);
+  // Reuse q2's variable space for the extra atoms.
+  for (Atom& atom : extra.atoms) {
+    for (Term& t : atom.args) {
+      t = Term::Variable(t.index() % q2.num_variables);
+    }
+    q1.atoms.push_back(atom);
+  }
+  RuleSet empty;
+  StatusOr<ContainmentVerdict> verdict =
+      IsContainedIn(q1, q2, empty, &program.vocabulary);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(*verdict, ContainmentVerdict::kContained)
+      << "seed " << GetParam();
+}
+
+TEST_P(ContainmentPropertyTest, RulesOnlyAddContainments) {
+  // If Q1 ⊆ Q2 without rules, it stays contained under any rule set
+  // (rules only grow the chased canonical database).
+  Rng rng(GetParam() + 9000);
+  RandomRuleSetOptions options;
+  options.rule_class = RuleClass::kGuarded;
+  options.num_predicates = 4;
+  options.min_arity = 1;
+  options.max_arity = 3;
+  options.num_rules = 4;
+  options.existential_probability = 0.3;
+  RandomProgram program = GenerateRandomRuleSet(&rng, options);
+  const Schema& schema = program.vocabulary.schema;
+  ConjunctiveQuery q2 = RandomQuery(schema, 2, &rng);
+  if (q2.answer_variables.empty()) GTEST_SKIP();
+  ConjunctiveQuery q1 = q2;  // reflexive base: contained without rules
+
+  ContainmentOptions containment;
+  containment.max_atoms = 5000;
+  StatusOr<ContainmentVerdict> with_rules = IsContainedIn(
+      q1, q2, program.rules, &program.vocabulary, containment);
+  ASSERT_TRUE(with_rules.ok());
+  // kUnknown can only arise from caps; containment itself must never be
+  // lost by adding rules.
+  EXPECT_NE(*with_rules, ContainmentVerdict::kNotContained)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContainmentPropertyTest,
+                         ::testing::Range<uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace gchase

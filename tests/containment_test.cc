@@ -1,0 +1,137 @@
+#include "reasoning/containment.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace gchase {
+namespace {
+
+/// Builds a CQ from text over the program's vocabulary; answer variables
+/// are given by name.
+ConjunctiveQuery MakeQuery(Vocabulary* vocab, const std::string& text,
+                           const std::vector<std::string>& answers) {
+  StatusOr<ParsedQuery> parsed = ParseQuery(text, vocab);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ConjunctiveQuery query;
+  query.atoms = parsed->atoms;
+  query.num_variables =
+      static_cast<uint32_t>(parsed->variable_names.size());
+  for (const std::string& name : answers) {
+    for (uint32_t v = 0; v < parsed->variable_names.size(); ++v) {
+      if (parsed->variable_names[v] == name) {
+        query.answer_variables.push_back(v);
+      }
+    }
+  }
+  EXPECT_EQ(query.answer_variables.size(), answers.size());
+  return query;
+}
+
+TEST(ContainmentTest, ClassicalContainmentWithoutRules) {
+  ParsedProgram program = MustParse("e(a,b).\n");  // registers e/2
+  Vocabulary& vocab = program.vocabulary;
+  RuleSet empty;
+  // "X has a 2-step successor" ⊆ "X has a successor".
+  ConjunctiveQuery two_step = MakeQuery(&vocab, "e(X,Y), e(Y,Z)", {"X"});
+  ConjunctiveQuery one_step = MakeQuery(&vocab, "e(X,U)", {"X"});
+  StatusOr<ContainmentVerdict> forward =
+      IsContainedIn(two_step, one_step, empty, &vocab);
+  ASSERT_TRUE(forward.ok());
+  EXPECT_EQ(*forward, ContainmentVerdict::kContained);
+
+  StatusOr<ContainmentVerdict> backward =
+      IsContainedIn(one_step, two_step, empty, &vocab);
+  ASSERT_TRUE(backward.ok());
+  EXPECT_EQ(*backward, ContainmentVerdict::kNotContained);
+}
+
+TEST(ContainmentTest, RulesEnableContainment) {
+  ParsedProgram program = MustParse(
+      "teaches(X,Y) -> faculty(X).\n"
+      "faculty(X) -> memberOf(X,D).\n");
+  Vocabulary& vocab = program.vocabulary;
+  ConjunctiveQuery teacher = MakeQuery(&vocab, "teaches(X,C)", {"X"});
+  ConjunctiveQuery member = MakeQuery(&vocab, "memberOf(X,D)", {"X"});
+  // Under Σ, every teacher is a member of some department.
+  StatusOr<ContainmentVerdict> with_rules =
+      IsContainedIn(teacher, member, program.rules, &vocab);
+  ASSERT_TRUE(with_rules.ok());
+  EXPECT_EQ(*with_rules, ContainmentVerdict::kContained);
+  // Without Σ, it is not.
+  RuleSet empty;
+  StatusOr<ContainmentVerdict> without =
+      IsContainedIn(teacher, member, empty, &vocab);
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(*without, ContainmentVerdict::kNotContained);
+}
+
+TEST(ContainmentTest, BooleanQueries) {
+  ParsedProgram program = MustParse("p(X) -> q(X).\n");
+  Vocabulary& vocab = program.vocabulary;
+  ConjunctiveQuery has_p = MakeQuery(&vocab, "p(X)", {});
+  ConjunctiveQuery has_q = MakeQuery(&vocab, "q(Y)", {});
+  StatusOr<ContainmentVerdict> verdict =
+      IsContainedIn(has_p, has_q, program.rules, &vocab);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(*verdict, ContainmentVerdict::kContained);
+}
+
+TEST(ContainmentTest, ArityMismatchRejected) {
+  ParsedProgram program = MustParse("e(a,b).\n");
+  Vocabulary& vocab = program.vocabulary;
+  ConjunctiveQuery unary = MakeQuery(&vocab, "e(X,Y)", {"X"});
+  ConjunctiveQuery binary = MakeQuery(&vocab, "e(X,Y)", {"X", "Y"});
+  RuleSet empty;
+  EXPECT_FALSE(IsContainedIn(unary, binary, empty, &vocab).ok());
+}
+
+TEST(ContainmentTest, ConstantsInQueriesRespected) {
+  ParsedProgram program = MustParse("likes(a,b).\n");
+  Vocabulary& vocab = program.vocabulary;
+  RuleSet empty;
+  ConjunctiveQuery likes_a = MakeQuery(&vocab, "likes(a, X)", {"X"});
+  ConjunctiveQuery likes_any = MakeQuery(&vocab, "likes(U, X)", {"X"});
+  StatusOr<ContainmentVerdict> forward =
+      IsContainedIn(likes_a, likes_any, empty, &vocab);
+  ASSERT_TRUE(forward.ok());
+  EXPECT_EQ(*forward, ContainmentVerdict::kContained);
+  StatusOr<ContainmentVerdict> backward =
+      IsContainedIn(likes_any, likes_a, empty, &vocab);
+  ASSERT_TRUE(backward.ok());
+  EXPECT_EQ(*backward, ContainmentVerdict::kNotContained);
+}
+
+TEST(ContainmentTest, ContainedEvenWhenChaseDiverges) {
+  // Σ diverges, but the witness appears in the first chase step: a
+  // prefix match is sound, so the verdict is contained, not unknown.
+  ParsedProgram program = MustParse(
+      "person(X) -> hasFather(X,Y), person(Y).\n");
+  Vocabulary& vocab = program.vocabulary;
+  ConjunctiveQuery is_person = MakeQuery(&vocab, "person(X)", {"X"});
+  ConjunctiveQuery has_father =
+      MakeQuery(&vocab, "hasFather(X,F)", {"X"});
+  ContainmentOptions options;
+  options.max_atoms = 100;
+  StatusOr<ContainmentVerdict> verdict = IsContainedIn(
+      is_person, has_father, program.rules, &vocab, options);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(*verdict, ContainmentVerdict::kContained);
+}
+
+TEST(ContainmentTest, UnknownWhenDivergentAndUnmatched) {
+  ParsedProgram program = MustParse(
+      "person(X) -> hasFather(X,Y), person(Y).\n"
+      "unrelated(a).\n");
+  Vocabulary& vocab = program.vocabulary;
+  ConjunctiveQuery is_person = MakeQuery(&vocab, "person(X)", {"X"});
+  ConjunctiveQuery unrelated = MakeQuery(&vocab, "unrelated(X)", {"X"});
+  ContainmentOptions options;
+  options.max_atoms = 100;
+  StatusOr<ContainmentVerdict> verdict = IsContainedIn(
+      is_person, unrelated, program.rules, &vocab, options);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(*verdict, ContainmentVerdict::kUnknown);
+}
+
+}  // namespace
+}  // namespace gchase

@@ -1,0 +1,118 @@
+#include "storage/core.h"
+
+#include "chase/chase.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace gchase {
+namespace {
+
+Instance MakeInstance(const std::vector<Atom>& facts) {
+  Instance instance;
+  for (const Atom& atom : facts) instance.Insert(atom);
+  return instance;
+}
+
+TEST(CoreTest, NullFreeInstanceIsItsOwnCore) {
+  ParsedProgram program = MustParse("e(a,b). e(b,c).\n");
+  Instance instance = MakeInstance(program.facts);
+  CoreResult result = ComputeCore(instance);
+  EXPECT_EQ(result.core.size(), 2u);
+  EXPECT_EQ(result.retractions, 0u);
+  EXPECT_TRUE(result.minimized_fully);
+}
+
+TEST(CoreTest, FoldsRedundantNullOntoConstant) {
+  // e(a,b) and e(a, _:n0): the null edge folds onto the constant edge.
+  ParsedProgram program = MustParse("e(a,b).\n");
+  Instance instance = MakeInstance(program.facts);
+  Term a = Term::Constant(*program.vocabulary.constants.Find("a"));
+  instance.Insert(Atom(0, {a, Term::Null(0)}));
+  CoreResult result = ComputeCore(instance);
+  EXPECT_EQ(result.core.size(), 1u);
+  EXPECT_EQ(result.core.CountNulls(), 0u);
+}
+
+TEST(CoreTest, KeepsNonRedundantNulls) {
+  // e(a, _:n0) with no alternative: the null is essential.
+  ParsedProgram program = MustParse("p(a).\n");  // interns 'a'
+  Term a = Term::Constant(*program.vocabulary.constants.Find("a"));
+  Instance instance;
+  StatusOr<PredicateId> e = program.vocabulary.schema.GetOrAdd("e", 2);
+  ASSERT_TRUE(e.ok());
+  instance.Insert(Atom(*e, {a, Term::Null(0)}));
+  CoreResult result = ComputeCore(instance);
+  EXPECT_EQ(result.core.size(), 1u);
+  EXPECT_EQ(result.core.CountNulls(), 1u);
+}
+
+TEST(CoreTest, FoldsNullChainsPairwise) {
+  // Two parallel null chains from a: one folds onto the other.
+  ParsedProgram program = MustParse("p(a).\n");
+  Term a = Term::Constant(*program.vocabulary.constants.Find("a"));
+  StatusOr<PredicateId> e = program.vocabulary.schema.GetOrAdd("e", 2);
+  ASSERT_TRUE(e.ok());
+  Instance instance;
+  instance.Insert(Atom(*e, {a, Term::Null(0)}));
+  instance.Insert(Atom(*e, {Term::Null(0), Term::Null(1)}));
+  instance.Insert(Atom(*e, {a, Term::Null(2)}));
+  instance.Insert(Atom(*e, {Term::Null(2), Term::Null(3)}));
+  CoreResult result = ComputeCore(instance);
+  EXPECT_EQ(result.core.size(), 2u);
+  EXPECT_EQ(result.core.CountNulls(), 2u);
+}
+
+TEST(CoreTest, SemiObliviousChaseResultFoldsToRestrictedSize) {
+  // The so-chase materializes a redundant null (the head was already
+  // satisfied); the core eliminates exactly that redundancy, matching
+  // the restricted-chase result size.
+  ParsedProgram program = MustParse(
+      "dept(X) -> headedBy(X,Y).\n"
+      "dept(sales). headedBy(sales, carla).\n");
+  ChaseOptions so;
+  so.variant = ChaseVariant::kSemiOblivious;
+  ChaseResult semi = RunChase(program.rules, so, program.facts);
+  ASSERT_EQ(semi.outcome, ChaseOutcome::kTerminated);
+  EXPECT_EQ(semi.instance.size(), 3u);  // + headedBy(sales, _:n0)
+
+  CoreResult core = ComputeCore(semi.instance);
+  EXPECT_EQ(core.core.size(), 2u);
+  EXPECT_EQ(core.core.CountNulls(), 0u);
+
+  ChaseOptions restricted;
+  restricted.variant = ChaseVariant::kRestricted;
+  ChaseResult direct = RunChase(program.rules, restricted, program.facts);
+  EXPECT_EQ(direct.instance.size(), core.core.size());
+}
+
+TEST(CoreTest, CoreIsStillAModel) {
+  ParsedProgram program = MustParse(
+      "works(X,Y) -> employee(X), dept(Y).\n"
+      "dept(X) -> headedBy(X,Y).\n"
+      "works(ann, sales). headedBy(sales, carla).\n");
+  ChaseOptions so;
+  so.variant = ChaseVariant::kSemiOblivious;
+  ChaseResult result = RunChase(program.rules, so, program.facts);
+  ASSERT_EQ(result.outcome, ChaseOutcome::kTerminated);
+  CoreResult core = ComputeCore(result.instance);
+  EXPECT_LE(core.core.size(), result.instance.size());
+  EXPECT_TRUE(IsModelOf(core.core, program.rules));
+}
+
+TEST(CoreTest, BudgetExhaustionIsReported) {
+  ParsedProgram program = MustParse("p(a).\n");
+  Term a = Term::Constant(*program.vocabulary.constants.Find("a"));
+  StatusOr<PredicateId> e = program.vocabulary.schema.GetOrAdd("e", 2);
+  ASSERT_TRUE(e.ok());
+  Instance instance;
+  for (uint32_t i = 0; i < 10; ++i) {
+    instance.Insert(Atom(*e, {a, Term::Null(i)}));
+  }
+  CoreOptions options;
+  options.max_fold_attempts = 1;
+  CoreResult result = ComputeCore(instance, options);
+  EXPECT_FALSE(result.minimized_fully);
+}
+
+}  // namespace
+}  // namespace gchase

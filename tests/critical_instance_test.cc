@@ -1,0 +1,69 @@
+#include "termination/critical_instance.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace gchase {
+namespace {
+
+TEST(CriticalInstanceTest, OneAtomPerPredicateWithoutConstants) {
+  ParsedProgram program = MustParse(
+      "p(X,Y) -> q(Y).\n"
+      "q(X) -> r(X,Y).\n");
+  std::vector<Atom> critical =
+      BuildCriticalInstance(program.rules, &program.vocabulary);
+  // p/2, q/1, r/2: one all-star atom each.
+  EXPECT_EQ(critical.size(), 3u);
+  Term star = CriticalConstant(&program.vocabulary);
+  for (const Atom& atom : critical) {
+    for (Term t : atom.args) EXPECT_EQ(t, star);
+  }
+}
+
+TEST(CriticalInstanceTest, ZeroAryPredicatesGetOneFact) {
+  ParsedProgram program = MustParse("go() -> done().\n");
+  std::vector<Atom> critical =
+      BuildCriticalInstance(program.rules, &program.vocabulary);
+  EXPECT_EQ(critical.size(), 2u);
+  EXPECT_TRUE(critical[0].args.empty());
+}
+
+TEST(CriticalInstanceTest, RuleConstantsEnterTheDomain) {
+  ParsedProgram program = MustParse("p(c,X) -> q(X).\n");
+  std::vector<Atom> critical =
+      BuildCriticalInstance(program.rules, &program.vocabulary);
+  // Domain {*, c}: p/2 has 4 atoms, q/1 has 2.
+  EXPECT_EQ(critical.size(), 6u);
+}
+
+TEST(CriticalInstanceTest, ExcludedConstantsStayOut) {
+  ParsedProgram program = MustParse("p(c,X) -> q(X).\n");
+  CriticalInstanceOptions options;
+  options.excluded_constants.push_back(
+      Term::Constant(*program.vocabulary.constants.Find("c")));
+  std::vector<Atom> critical =
+      BuildCriticalInstance(program.rules, &program.vocabulary, options);
+  EXPECT_EQ(critical.size(), 2u);  // p(*,*) and q(*)
+}
+
+TEST(CriticalInstanceTest, StandardDatabaseUsesThreeConstants) {
+  ParsedProgram program = MustParse("p(X,Y) -> q(Y).\n");
+  CriticalInstanceOptions options;
+  options.standard_database = true;
+  std::vector<Atom> critical =
+      BuildCriticalInstance(program.rules, &program.vocabulary, options);
+  // Domain {*,0,1}: 3^2 + 3 = 12 atoms.
+  EXPECT_EQ(critical.size(), 12u);
+}
+
+TEST(CriticalInstanceTest, CriticalConstantIsStable) {
+  Vocabulary vocabulary;
+  Term first = CriticalConstant(&vocabulary);
+  Term second = CriticalConstant(&vocabulary);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(vocabulary.constants.NameOf(first.index()),
+            kCriticalConstantName);
+}
+
+}  // namespace
+}  // namespace gchase

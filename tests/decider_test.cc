@@ -1,0 +1,159 @@
+#include "termination/decider.h"
+
+#include "generator/workloads.h"
+#include "gtest/gtest.h"
+#include "termination/classifier.h"
+#include "termination/looping_operator.h"
+#include "tests/test_util.h"
+
+namespace gchase {
+namespace {
+
+TerminationVerdict Decide(ParsedProgram* program, ChaseVariant variant) {
+  StatusOr<DeciderResult> result =
+      DecideTermination(program->rules, &program->vocabulary, variant);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result->verdict;
+}
+
+TEST(DeciderTest, RejectsRestrictedVariant) {
+  ParsedProgram program = MustParse("p(X) -> q(X).\n");
+  StatusOr<DeciderResult> result = DecideTermination(
+      program.rules, &program.vocabulary, ChaseVariant::kRestricted);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DeciderTest, CuratedWorkloadGroundTruth) {
+  // The central correctness test: the decider must reproduce the
+  // hand-verified all-instance termination status of every curated
+  // workload, for both chase variants.
+  for (const NamedWorkload& workload : CuratedWorkloads()) {
+    StatusOr<ParsedProgram> program = LoadWorkload(workload);
+    ASSERT_TRUE(program.ok()) << workload.name;
+    if (workload.oblivious_terminates.has_value()) {
+      TerminationVerdict verdict =
+          Decide(&*program, ChaseVariant::kOblivious);
+      EXPECT_EQ(verdict, *workload.oblivious_terminates
+                             ? TerminationVerdict::kTerminating
+                             : TerminationVerdict::kNonTerminating)
+          << workload.name << " (oblivious)";
+    }
+    if (workload.semi_oblivious_terminates.has_value()) {
+      TerminationVerdict verdict =
+          Decide(&*program, ChaseVariant::kSemiOblivious);
+      EXPECT_EQ(verdict, *workload.semi_oblivious_terminates
+                             ? TerminationVerdict::kTerminating
+                             : TerminationVerdict::kNonTerminating)
+          << workload.name << " (semi-oblivious)";
+    }
+  }
+}
+
+TEST(DeciderTest, NonTerminationComesWithCertificate) {
+  ParsedProgram program = MustParse("p(X,Y) -> p(Y,Z).\n");
+  StatusOr<DeciderResult> result = DecideTermination(
+      program.rules, &program.vocabulary, ChaseVariant::kSemiOblivious);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->verdict, TerminationVerdict::kNonTerminating);
+  ASSERT_TRUE(result->certificate.has_value());
+  EXPECT_FALSE(result->certificate->segment_rules.empty());
+}
+
+TEST(DeciderTest, ObliviousImpliesSemiObliviousTermination) {
+  // CT_o ⊆ CT_so (Grahne & Onet): wherever the o-chase terminates, the
+  // so-chase must too.
+  for (const NamedWorkload& workload : CuratedWorkloads()) {
+    StatusOr<ParsedProgram> program = LoadWorkload(workload);
+    ASSERT_TRUE(program.ok());
+    TerminationVerdict o = Decide(&*program, ChaseVariant::kOblivious);
+    TerminationVerdict so = Decide(&*program, ChaseVariant::kSemiOblivious);
+    if (o == TerminationVerdict::kTerminating) {
+      EXPECT_EQ(so, TerminationVerdict::kTerminating) << workload.name;
+    }
+    if (so == TerminationVerdict::kNonTerminating) {
+      EXPECT_EQ(o, TerminationVerdict::kNonTerminating) << workload.name;
+    }
+  }
+}
+
+TEST(DeciderTest, StandardDatabaseAgreesOnCuratedWorkloads) {
+  // The standard-database critical instance ({*,0,1}) must not change the
+  // verdicts on these (constant-free) workloads.
+  DeciderOptions options;
+  options.standard_database = true;
+  for (const NamedWorkload& workload : CuratedWorkloads()) {
+    StatusOr<ParsedProgram> program = LoadWorkload(workload);
+    ASSERT_TRUE(program.ok());
+    if (!workload.semi_oblivious_terminates.has_value()) continue;
+    StatusOr<DeciderResult> result =
+        DecideTermination(program->rules, &program->vocabulary,
+                          ChaseVariant::kSemiOblivious, options);
+    ASSERT_TRUE(result.ok()) << workload.name;
+    EXPECT_EQ(result->verdict, *workload.semi_oblivious_terminates
+                                   ? TerminationVerdict::kTerminating
+                                   : TerminationVerdict::kNonTerminating)
+        << workload.name;
+  }
+}
+
+TEST(ClassifierTest, Theorem1SyntacticMatchesDecider) {
+  // On SL sets the classifier uses RA/WA (Theorem 1); forcing the decider
+  // must give identical verdicts.
+  for (const NamedWorkload& workload : CuratedWorkloads()) {
+    StatusOr<ParsedProgram> program = LoadWorkload(workload);
+    ASSERT_TRUE(program.ok());
+    if (program->rules.Classify() != RuleClass::kSimpleLinear) continue;
+    StatusOr<ClassifierReport> syntactic =
+        ClassifyTermination(program->rules, &program->vocabulary);
+    ASSERT_TRUE(syntactic.ok());
+    ClassifierOptions force;
+    force.force_decider = true;
+    StatusOr<ClassifierReport> decided =
+        ClassifyTermination(program->rules, &program->vocabulary, force);
+    ASSERT_TRUE(decided.ok());
+    EXPECT_EQ(syntactic->oblivious.verdict, decided->oblivious.verdict)
+        << workload.name;
+    EXPECT_EQ(syntactic->semi_oblivious.verdict,
+              decided->semi_oblivious.verdict)
+        << workload.name;
+  }
+}
+
+TEST(LoopingOperatorTest, EntailmentFlipsTermination) {
+  // Graph reachability as atom entailment: the bootstrap rule introduces
+  // an edge path over protected constants v0 -> v1 -> v2 (v3 is
+  // disconnected). reach(v2) is entailed, reach(v3) is not; the looping
+  // operator turns exactly the first into non-termination.
+  ParsedProgram program = MustParse(
+      "go() -> edge(v0,v1), edge(v1,v2), start(v0).\n"
+      "start(X) -> reach(X).\n"
+      "edge(X,Y), reach(X) -> reach(Y).\n");
+  Vocabulary& vocab = program.vocabulary;
+
+  DeciderOptions options;
+  for (const char* name : {"v0", "v1", "v2", "v3"}) {
+    options.excluded_constants.push_back(
+        Term::Constant(vocab.constants.Intern(name)));
+  }
+  std::optional<PredicateId> reach = vocab.schema.Find("reach");
+  ASSERT_TRUE(reach.has_value());
+  Term v2 = Term::Constant(vocab.constants.Intern("v2"));
+  Term v3 = Term::Constant(vocab.constants.Intern("v3"));
+
+  for (ChaseVariant variant :
+       {ChaseVariant::kOblivious, ChaseVariant::kSemiOblivious}) {
+    StatusOr<bool> entailed = EntailsViaLoopingOperator(
+        program.rules, Atom(*reach, {v2}), &vocab, variant, options);
+    ASSERT_TRUE(entailed.ok()) << entailed.status().ToString();
+    EXPECT_TRUE(*entailed) << ChaseVariantName(variant);
+
+    StatusOr<bool> not_entailed = EntailsViaLoopingOperator(
+        program.rules, Atom(*reach, {v3}), &vocab, variant, options);
+    ASSERT_TRUE(not_entailed.ok()) << not_entailed.status().ToString();
+    EXPECT_FALSE(*not_entailed) << ChaseVariantName(variant);
+  }
+}
+
+}  // namespace
+}  // namespace gchase

@@ -1,0 +1,128 @@
+#include "chase/forest.h"
+
+#include "base/rng.h"
+#include "generator/random_rules.h"
+#include "gtest/gtest.h"
+#include "termination/critical_instance.h"
+#include "tests/test_util.h"
+
+namespace gchase {
+namespace {
+
+ChaseRun MakeRun(ParsedProgram* program, uint64_t max_atoms = 200) {
+  ChaseOptions options;
+  options.variant = ChaseVariant::kSemiOblivious;
+  options.max_atoms = max_atoms;
+  options.track_provenance = true;
+  return ChaseRun(program->rules, options, program->facts);
+}
+
+TEST(ForestTest, RequiresProvenance) {
+  ParsedProgram program = MustParse("p(a).\n");
+  ChaseOptions options;  // no provenance
+  ChaseRun run(program.rules, options, program.facts);
+  run.Execute();
+  EXPECT_FALSE(ChaseForest::Build(run).ok());
+}
+
+TEST(ForestTest, ChainHasLinearDepth) {
+  ParsedProgram program = MustParse(
+      "p(X) -> q(X,Y).\n"
+      "q(X,Y) -> p(Y).\n"
+      "p(a).\n");
+  ChaseRun run = MakeRun(&program, 21);
+  run.Execute();
+  StatusOr<ChaseForest> forest = ChaseForest::Build(run);
+  ASSERT_TRUE(forest.ok());
+  ForestStats stats = forest->Stats();
+  EXPECT_EQ(stats.roots, 1u);
+  // Alternating chain: depth grows with the instance.
+  EXPECT_GE(stats.max_depth, 8u);
+  EXPECT_TRUE(stats.guarded_invariant);
+}
+
+TEST(ForestTest, BinaryTreeBranching) {
+  ParsedProgram program = MustParse(
+      "n(X) -> c(X,Y), c(X,Z), n(Y), n(Z).\n"
+      "n(root).\n");
+  ChaseRun run = MakeRun(&program, 60);
+  run.Execute();
+  StatusOr<ChaseForest> forest = ChaseForest::Build(run);
+  ASSERT_TRUE(forest.ok());
+  ForestStats stats = forest->Stats();
+  // Each n-node spawns 4 children atoms (two c's, two n's).
+  EXPECT_GE(stats.max_branching, 4u);
+  EXPECT_TRUE(stats.guarded_invariant);
+}
+
+TEST(ForestTest, BagsCaptureCoOccurringAtoms) {
+  ParsedProgram program = MustParse(
+      "e(X,Y) -> f(Y,X), g(X).\n"
+      "e(a,b).\n");
+  ChaseRun run = MakeRun(&program);
+  run.Execute();
+  StatusOr<ChaseForest> forest = ChaseForest::Build(run);
+  ASSERT_TRUE(forest.ok());
+  ForestStats stats = forest->Stats();
+  // e(a,b), f(b,a), g(a) all live over {a,b}: bag of e(a,b) has 3 atoms.
+  EXPECT_EQ(stats.max_bag_size, 3u);
+}
+
+TEST(ForestTest, GuardedInvariantHoldsOnRandomGuardedSets) {
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    Rng rng(seed);
+    RandomRuleSetOptions options;
+    options.rule_class = RuleClass::kGuarded;
+    options.num_predicates = 4;
+    options.num_rules = 4;
+    options.max_arity = 3;
+    RandomProgram program = GenerateRandomRuleSet(&rng, options);
+
+    ChaseOptions chase_options;
+    chase_options.variant = ChaseVariant::kSemiOblivious;
+    chase_options.max_atoms = 2000;
+    chase_options.track_provenance = true;
+    std::vector<Atom> critical =
+        BuildCriticalInstance(program.rules, &program.vocabulary);
+    ChaseRun run(program.rules, chase_options, critical);
+    run.Execute();
+    StatusOr<ChaseForest> forest = ChaseForest::Build(run);
+    ASSERT_TRUE(forest.ok());
+    EXPECT_TRUE(forest->Stats().guarded_invariant) << "seed " << seed;
+  }
+}
+
+TEST(ForestTest, DotExportIsWellFormed) {
+  ParsedProgram program = MustParse(
+      "p(X) -> q(X,Y).\n"
+      "p(a).\n");
+  ChaseRun run = MakeRun(&program);
+  run.Execute();
+  StatusOr<ChaseForest> forest = ChaseForest::Build(run);
+  ASSERT_TRUE(forest.ok());
+  std::string dot = forest->ToDot(program.vocabulary);
+  EXPECT_NE(dot.find("digraph chase_forest"), std::string::npos);
+  EXPECT_NE(dot.find("p(a)"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);  // DB atom
+  EXPECT_NE(dot.find("->"), std::string::npos);         // guard edge
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(ForestTest, ChildrenLinkBackToParents) {
+  ParsedProgram program = MustParse(
+      "p(X) -> q(X,Y).\n"
+      "p(a). p(b).\n");
+  ChaseRun run = MakeRun(&program);
+  run.Execute();
+  StatusOr<ChaseForest> forest = ChaseForest::Build(run);
+  ASSERT_TRUE(forest.ok());
+  for (AtomId id = 0; id < forest->nodes().size(); ++id) {
+    for (AtomId child : forest->node(id).children) {
+      EXPECT_EQ(forest->node(child).parent, id);
+      EXPECT_EQ(forest->node(child).depth, forest->node(id).depth + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gchase

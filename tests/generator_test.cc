@@ -1,0 +1,109 @@
+#include "generator/random_rules.h"
+
+#include "generator/workloads.h"
+#include "gtest/gtest.h"
+#include "model/printer.h"
+
+namespace gchase {
+namespace {
+
+TEST(RandomRulesTest, HonorsClassConstraint) {
+  for (RuleClass rule_class :
+       {RuleClass::kSimpleLinear, RuleClass::kLinear, RuleClass::kGuarded}) {
+    for (uint64_t seed = 0; seed < 30; ++seed) {
+      Rng rng(seed);
+      RandomRuleSetOptions options;
+      options.rule_class = rule_class;
+      options.num_rules = 5;
+      RandomProgram program = GenerateRandomRuleSet(&rng, options);
+      EXPECT_EQ(program.rules.size(), 5u);
+      for (const Tgd& rule : program.rules.rules()) {
+        switch (rule_class) {
+          case RuleClass::kSimpleLinear:
+            EXPECT_TRUE(rule.IsSimpleLinear());
+            break;
+          case RuleClass::kLinear:
+            EXPECT_TRUE(rule.IsLinear());
+            break;
+          case RuleClass::kGuarded:
+            EXPECT_TRUE(rule.IsGuarded());
+            break;
+          case RuleClass::kGeneral:
+            break;
+        }
+      }
+    }
+  }
+}
+
+TEST(RandomRulesTest, DeterministicForSeed) {
+  RandomRuleSetOptions options;
+  Rng rng1(42);
+  Rng rng2(42);
+  RandomProgram a = GenerateRandomRuleSet(&rng1, options);
+  RandomProgram b = GenerateRandomRuleSet(&rng2, options);
+  EXPECT_EQ(RuleSetToString(a.rules, a.vocabulary),
+            RuleSetToString(b.rules, b.vocabulary));
+}
+
+TEST(RandomRulesTest, DifferentSeedsVary) {
+  RandomRuleSetOptions options;
+  options.num_rules = 8;
+  Rng rng1(1);
+  Rng rng2(2);
+  RandomProgram a = GenerateRandomRuleSet(&rng1, options);
+  RandomProgram b = GenerateRandomRuleSet(&rng2, options);
+  EXPECT_NE(RuleSetToString(a.rules, a.vocabulary),
+            RuleSetToString(b.rules, b.vocabulary));
+}
+
+TEST(RandomRulesTest, ExistentialProbabilityExtremes) {
+  RandomRuleSetOptions options;
+  options.existential_probability = 0.0;
+  options.num_rules = 10;
+  Rng rng(7);
+  RandomProgram full = GenerateRandomRuleSet(&rng, options);
+  for (const Tgd& rule : full.rules.rules()) {
+    EXPECT_TRUE(rule.IsFull());
+  }
+
+  options.existential_probability = 1.0;
+  Rng rng2(7);
+  RandomProgram existential = GenerateRandomRuleSet(&rng2, options);
+  bool any_existential = false;
+  for (const Tgd& rule : existential.rules.rules()) {
+    any_existential =
+        any_existential || !rule.existential_variables().empty();
+  }
+  EXPECT_TRUE(any_existential);
+}
+
+TEST(WorkloadsTest, AllCuratedWorkloadsParseAndClassify) {
+  ASSERT_GE(CuratedWorkloads().size(), 15u);
+  for (const NamedWorkload& workload : CuratedWorkloads()) {
+    StatusOr<ParsedProgram> program = LoadWorkload(workload);
+    ASSERT_TRUE(program.ok())
+        << workload.name << ": " << program.status().ToString();
+    EXPECT_FALSE(program->rules.empty()) << workload.name;
+    EXPECT_FALSE(workload.description.empty()) << workload.name;
+  }
+}
+
+TEST(WorkloadsTest, FindByName) {
+  StatusOr<NamedWorkload> found = FindWorkload("paper_ex1_person");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->name, "paper_ex1_person");
+  EXPECT_FALSE(FindWorkload("no_such_workload").ok());
+}
+
+TEST(WorkloadsTest, NamesAreUnique) {
+  const std::vector<NamedWorkload>& workloads = CuratedWorkloads();
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    for (std::size_t j = i + 1; j < workloads.size(); ++j) {
+      EXPECT_NE(workloads[i].name, workloads[j].name);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gchase

@@ -1,0 +1,70 @@
+#include "storage/instance.h"
+
+#include "gtest/gtest.h"
+#include "model/atom.h"
+
+namespace gchase {
+namespace {
+
+Atom MakeAtom(PredicateId pred, std::vector<uint32_t> constant_ids) {
+  Atom atom;
+  atom.predicate = pred;
+  for (uint32_t id : constant_ids) atom.args.push_back(Term::Constant(id));
+  return atom;
+}
+
+TEST(InstanceTest, InsertDedupsAndAssignsDenseIds) {
+  Instance instance;
+  auto [id0, new0] = instance.Insert(MakeAtom(0, {1, 2}));
+  auto [id1, new1] = instance.Insert(MakeAtom(0, {1, 3}));
+  auto [id2, new2] = instance.Insert(MakeAtom(0, {1, 2}));
+  EXPECT_TRUE(new0);
+  EXPECT_TRUE(new1);
+  EXPECT_FALSE(new2);
+  EXPECT_EQ(id0, 0u);
+  EXPECT_EQ(id1, 1u);
+  EXPECT_EQ(id2, id0);
+  EXPECT_EQ(instance.size(), 2u);
+  EXPECT_TRUE(instance.Contains(MakeAtom(0, {1, 2})));
+  EXPECT_FALSE(instance.Contains(MakeAtom(0, {9, 9})));
+  EXPECT_EQ(instance.Find(MakeAtom(0, {1, 3})), std::optional<AtomId>(1u));
+}
+
+TEST(InstanceTest, PredicateIndex) {
+  Instance instance;
+  instance.Insert(MakeAtom(0, {1}));
+  instance.Insert(MakeAtom(2, {1}));
+  instance.Insert(MakeAtom(0, {2}));
+  EXPECT_EQ(instance.AtomsWithPredicate(0).size(), 2u);
+  EXPECT_EQ(instance.AtomsWithPredicate(1).size(), 0u);
+  EXPECT_EQ(instance.AtomsWithPredicate(2).size(), 1u);
+  EXPECT_EQ(instance.AtomsWithPredicate(99).size(), 0u);
+}
+
+TEST(InstanceTest, PositionIndex) {
+  Instance instance;
+  instance.Insert(MakeAtom(0, {1, 2}));
+  instance.Insert(MakeAtom(0, {1, 3}));
+  instance.Insert(MakeAtom(0, {2, 2}));
+  EXPECT_EQ(instance.AtomsWithTermAt(0, 0, Term::Constant(1)).size(), 2u);
+  EXPECT_EQ(instance.AtomsWithTermAt(0, 1, Term::Constant(2)).size(), 2u);
+  EXPECT_EQ(instance.AtomsWithTermAt(0, 1, Term::Constant(9)).size(), 0u);
+}
+
+TEST(InstanceTest, CountNulls) {
+  Instance instance;
+  Atom atom(0, {Term::Null(0), Term::Null(1)});
+  Atom atom2(0, {Term::Null(1), Term::Constant(0)});
+  instance.Insert(atom);
+  instance.Insert(atom2);
+  EXPECT_EQ(instance.CountNulls(), 2u);
+}
+
+TEST(InstanceDeathTest, RejectsNonGroundAtoms) {
+  Instance instance;
+  Atom bad(0, {Term::Variable(0)});
+  EXPECT_DEATH(instance.Insert(bad), "ground");
+}
+
+}  // namespace
+}  // namespace gchase

@@ -1,0 +1,76 @@
+#include "storage/io.h"
+
+#include "chase/chase.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace gchase {
+namespace {
+
+TEST(InstanceIoTest, RoundTripsGroundFacts) {
+  ParsedProgram program = MustParse("e(a,b). e(b,c). p(a).\n");
+  Instance instance;
+  for (const Atom& atom : program.facts) instance.Insert(atom);
+
+  std::string text = WriteInstanceText(instance, program.vocabulary);
+  Vocabulary fresh;
+  StatusOr<Instance> loaded = ReadInstanceText(text, &fresh);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), instance.size());
+  // Same text again after the round trip.
+  EXPECT_EQ(WriteInstanceText(*loaded, fresh), text);
+}
+
+TEST(InstanceIoTest, NullsBecomeQuotedConstants) {
+  ParsedProgram program = MustParse(
+      "person(X) -> hasFather(X,Y).\n"
+      "person(bob).\n");
+  ChaseResult result =
+      RunChase(program.rules, ChaseOptions{}, program.facts);
+  ASSERT_EQ(result.outcome, ChaseOutcome::kTerminated);
+  ASSERT_EQ(result.nulls_created, 1u);
+
+  std::string text = WriteInstanceText(result.instance, program.vocabulary);
+  EXPECT_NE(text.find("'_:n0'"), std::string::npos);
+
+  Vocabulary fresh;
+  StatusOr<Instance> loaded = ReadInstanceText(text, &fresh);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), result.instance.size());
+  EXPECT_EQ(loaded->CountNulls(), 0u);  // nulls were frozen to constants
+}
+
+TEST(InstanceIoTest, MergesIntoExistingVocabulary) {
+  ParsedProgram program = MustParse("e(a,b).\n");
+  Vocabulary& vocab = program.vocabulary;
+  StatusOr<Instance> loaded = ReadInstanceText("e(b,c). f(a).\n", &vocab);
+  ASSERT_TRUE(loaded.ok());
+  // 'b' resolves to the pre-existing constant id.
+  EXPECT_EQ(loaded->atom(0).args[0],
+            Term::Constant(*vocab.constants.Find("b")));
+  EXPECT_TRUE(vocab.schema.Find("f").has_value());
+}
+
+TEST(InstanceIoTest, RejectsRules) {
+  Vocabulary vocab;
+  EXPECT_FALSE(ReadInstanceText("p(X) -> q(X).\n", &vocab).ok());
+}
+
+TEST(InstanceIoTest, RejectsArityConflicts) {
+  ParsedProgram program = MustParse("e(a,b).\n");
+  StatusOr<Instance> loaded =
+      ReadInstanceText("e(a).\n", &program.vocabulary);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(InstanceIoTest, EmptyInstance) {
+  Vocabulary vocab;
+  Instance empty;
+  EXPECT_EQ(WriteInstanceText(empty, vocab), "");
+  StatusOr<Instance> loaded = ReadInstanceText("", &vocab);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+}
+
+}  // namespace
+}  // namespace gchase

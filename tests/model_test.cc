@@ -1,0 +1,177 @@
+#include "model/tgd.h"
+
+#include "gtest/gtest.h"
+#include "model/atom.h"
+#include "model/schema.h"
+#include "model/symbol_table.h"
+#include "model/term.h"
+
+namespace gchase {
+namespace {
+
+TEST(TermTest, PackedRoundTrip) {
+  Term c = Term::Constant(5);
+  EXPECT_TRUE(c.IsConstant());
+  EXPECT_EQ(c.index(), 5u);
+  Term v = Term::Variable(7);
+  EXPECT_TRUE(v.IsVariable());
+  EXPECT_FALSE(v.IsGround());
+  Term n = Term::Null(9);
+  EXPECT_TRUE(n.IsNull());
+  EXPECT_TRUE(n.IsGround());
+  EXPECT_NE(Term::Constant(1), Term::Null(1));
+  EXPECT_NE(Term::Constant(1), Term::Variable(1));
+}
+
+TEST(TermTest, LargeIndicesSupported) {
+  Term t = Term::Null((1u << 30) - 1);
+  EXPECT_EQ(t.index(), (1u << 30) - 1);
+  EXPECT_TRUE(t.IsNull());
+}
+
+TEST(SymbolTableTest, InternDedupsAndFinds) {
+  SymbolTable table;
+  uint32_t a = table.Intern("alice");
+  uint32_t b = table.Intern("bob");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.Intern("alice"), a);
+  EXPECT_EQ(table.NameOf(b), "bob");
+  EXPECT_EQ(table.Find("carol"), std::nullopt);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(SchemaTest, ArityAboveLimitIsError) {
+  Schema schema;
+  EXPECT_FALSE(schema.GetOrAdd("wide", kMaxArity + 1).ok());
+  EXPECT_TRUE(schema.GetOrAdd("ok", kMaxArity).ok());
+}
+
+TEST(SchemaTest, ArityConflictIsError) {
+  Schema schema;
+  ASSERT_TRUE(schema.GetOrAdd("p", 2).ok());
+  StatusOr<PredicateId> conflict = schema.GetOrAdd("p", 3);
+  EXPECT_FALSE(conflict.ok());
+  EXPECT_EQ(conflict.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(schema.num_positions(), 2u);
+  EXPECT_EQ(schema.max_arity(), 2u);
+}
+
+TEST(AtomTest, EqualityAndHashing) {
+  Atom a(0, {Term::Constant(1), Term::Null(2)});
+  Atom b(0, {Term::Constant(1), Term::Null(2)});
+  Atom c(0, {Term::Constant(1), Term::Null(3)});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(HashAtom(a), HashAtom(b));
+  EXPECT_TRUE(a.IsGround());
+  EXPECT_TRUE(a.HasNull());
+}
+
+class TgdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    p2_ = *schema_.GetOrAdd("p", 2);
+    q1_ = *schema_.GetOrAdd("q", 1);
+    r3_ = *schema_.GetOrAdd("r", 3);
+  }
+  Schema schema_;
+  PredicateId p2_, q1_, r3_;
+};
+
+TEST_F(TgdTest, FrontierAndExistentialsComputed) {
+  // p(X,Y) -> r(Y,Z,Z)
+  StatusOr<Tgd> rule = Tgd::Create(
+      {Atom(p2_, {Term::Variable(0), Term::Variable(1)})},
+      {Atom(r3_, {Term::Variable(1), Term::Variable(2), Term::Variable(2)})},
+      {"X", "Y", "Z"}, schema_);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->universal_variables(), (std::vector<VarId>{0, 1}));
+  EXPECT_EQ(rule->frontier(), (std::vector<VarId>{1}));
+  EXPECT_EQ(rule->existential_variables(), (std::vector<VarId>{2}));
+  EXPECT_TRUE(rule->IsLinear());
+  EXPECT_TRUE(rule->IsSimpleLinear());
+  EXPECT_TRUE(rule->IsGuarded());
+  EXPECT_FALSE(rule->IsFull());
+}
+
+TEST_F(TgdTest, RepeatedBodyVariableIsNotSimpleLinear) {
+  // p(X,X) -> q(X)
+  StatusOr<Tgd> rule = Tgd::Create(
+      {Atom(p2_, {Term::Variable(0), Term::Variable(0)})},
+      {Atom(q1_, {Term::Variable(0)})}, {"X"}, schema_);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_TRUE(rule->IsLinear());
+  EXPECT_FALSE(rule->IsSimpleLinear());
+  EXPECT_TRUE(rule->IsFull());
+}
+
+TEST_F(TgdTest, GuardDetection) {
+  // p(X,Y), q(X) -> q(Y): guard p(X,Y).
+  StatusOr<Tgd> guarded = Tgd::Create(
+      {Atom(p2_, {Term::Variable(0), Term::Variable(1)}),
+       Atom(q1_, {Term::Variable(0)})},
+      {Atom(q1_, {Term::Variable(1)})}, {"X", "Y"}, schema_);
+  ASSERT_TRUE(guarded.ok());
+  ASSERT_TRUE(guarded->guard_index().has_value());
+  EXPECT_EQ(*guarded->guard_index(), 0u);
+
+  // p(X,Y), p(Y,Z) -> q(X): no guard.
+  StatusOr<Tgd> unguarded = Tgd::Create(
+      {Atom(p2_, {Term::Variable(0), Term::Variable(1)}),
+       Atom(p2_, {Term::Variable(1), Term::Variable(2)})},
+      {Atom(q1_, {Term::Variable(0)})}, {"X", "Y", "Z"}, schema_);
+  ASSERT_TRUE(unguarded.ok());
+  EXPECT_FALSE(unguarded->IsGuarded());
+  EXPECT_FALSE(unguarded->IsLinear());
+}
+
+TEST_F(TgdTest, EmptyBodyOrHeadRejected) {
+  EXPECT_FALSE(
+      Tgd::Create({}, {Atom(q1_, {Term::Variable(0)})}, {"X"}, schema_).ok());
+  EXPECT_FALSE(
+      Tgd::Create({Atom(q1_, {Term::Variable(0)})}, {}, {"X"}, schema_).ok());
+}
+
+TEST_F(TgdTest, ArityMismatchRejected) {
+  StatusOr<Tgd> rule = Tgd::Create(
+      {Atom(p2_, {Term::Variable(0)})},  // p used with arity 1
+      {Atom(q1_, {Term::Variable(0)})}, {"X"}, schema_);
+  EXPECT_FALSE(rule.ok());
+}
+
+TEST_F(TgdTest, NullsInRuleRejected) {
+  StatusOr<Tgd> rule = Tgd::Create(
+      {Atom(q1_, {Term::Null(0)})}, {Atom(q1_, {Term::Variable(0)})}, {"X"},
+      schema_);
+  EXPECT_FALSE(rule.ok());
+}
+
+TEST_F(TgdTest, RuleSetClassification) {
+  RuleSet set;
+  // Simple linear rule.
+  set.Add(*Tgd::Create({Atom(p2_, {Term::Variable(0), Term::Variable(1)})},
+                       {Atom(q1_, {Term::Variable(0)})}, {"X", "Y"},
+                       schema_));
+  EXPECT_EQ(set.Classify(), RuleClass::kSimpleLinear);
+  // Add a linear (repeated var) rule: class drops to L.
+  set.Add(*Tgd::Create({Atom(p2_, {Term::Variable(0), Term::Variable(0)})},
+                       {Atom(q1_, {Term::Variable(0)})}, {"X"}, schema_));
+  EXPECT_EQ(set.Classify(), RuleClass::kLinear);
+  // Add a guarded two-atom rule: class drops to G.
+  set.Add(*Tgd::Create({Atom(p2_, {Term::Variable(0), Term::Variable(1)}),
+                        Atom(q1_, {Term::Variable(0)})},
+                       {Atom(q1_, {Term::Variable(1)})}, {"X", "Y"},
+                       schema_));
+  EXPECT_EQ(set.Classify(), RuleClass::kGuarded);
+  EXPECT_TRUE(set.IsGuarded());
+  // Add an unguarded rule: general.
+  set.Add(*Tgd::Create({Atom(p2_, {Term::Variable(0), Term::Variable(1)}),
+                        Atom(p2_, {Term::Variable(1), Term::Variable(2)})},
+                       {Atom(q1_, {Term::Variable(0)})}, {"X", "Y", "Z"},
+                       schema_));
+  EXPECT_EQ(set.Classify(), RuleClass::kGeneral);
+  EXPECT_FALSE(set.IsGuarded());
+}
+
+}  // namespace
+}  // namespace gchase

@@ -1,0 +1,81 @@
+#include <string>
+
+#include "base/rng.h"
+#include "gtest/gtest.h"
+#include "model/parser.h"
+
+namespace gchase {
+namespace {
+
+/// The parser must never crash: any input yields either a program or an
+/// InvalidArgument status. These sweeps throw structured noise at it.
+
+std::string RandomTokenSoup(Rng* rng, uint32_t length) {
+  static const char* kFragments[] = {
+      "p",  "q",   "X",  "Y",  "abc", "'q u'", "0",  "1",  "(", ")",
+      ",",  ".",   "->", "=",  "%c\n", " ",     "\n", "\t", "-", "’",
+      "__", "p(",  ")(", "..", "%",    "(X",    "X)", "p()",
+  };
+  std::string out;
+  for (uint32_t i = 0; i < length; ++i) {
+    out += kFragments[rng->NextBelow(std::size(kFragments))];
+  }
+  return out;
+}
+
+std::string RandomBytes(Rng* rng, uint32_t length) {
+  std::string out;
+  for (uint32_t i = 0; i < length; ++i) {
+    out.push_back(static_cast<char>(rng->NextBelow(256)));
+  }
+  return out;
+}
+
+TEST(ParserFuzzTest, TokenSoupNeverCrashes) {
+  for (uint64_t seed = 0; seed < 500; ++seed) {
+    Rng rng(seed);
+    std::string input =
+        RandomTokenSoup(&rng, 1 + static_cast<uint32_t>(rng.NextBelow(40)));
+    StatusOr<ParsedProgram> result = ParseProgram(input);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+          << input;
+    }
+  }
+}
+
+TEST(ParserFuzzTest, ArbitraryBytesNeverCrash) {
+  for (uint64_t seed = 0; seed < 500; ++seed) {
+    Rng rng(seed + 7777);
+    std::string input =
+        RandomBytes(&rng, 1 + static_cast<uint32_t>(rng.NextBelow(120)));
+    StatusOr<ParsedProgram> result = ParseProgram(input);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(ParserFuzzTest, DeeplyNestedCommasRejectedGracefully) {
+  std::string input = "p(";
+  for (int i = 0; i < 1000; ++i) input += "a,";
+  input += "a).";
+  StatusOr<ParsedProgram> result = ParseProgram(input);
+  // 1001-ary atoms exceed kMaxArity: rejected with a proper error (the
+  // instance position index packs positions into 8 bits).
+  EXPECT_FALSE(result.ok());
+
+  std::string unclosed(5000, '(');
+  EXPECT_FALSE(ParseProgram(unclosed).ok());
+}
+
+TEST(ParserFuzzTest, LongCommentOnlyInput) {
+  std::string input = "% " + std::string(100000, 'x');
+  StatusOr<ParsedProgram> result = ParseProgram(input);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->rules.empty());
+  EXPECT_TRUE(result->facts.empty());
+}
+
+}  // namespace
+}  // namespace gchase

@@ -1,0 +1,122 @@
+#include "model/parser.h"
+
+#include "gtest/gtest.h"
+#include "model/printer.h"
+#include "tests/test_util.h"
+
+namespace gchase {
+namespace {
+
+TEST(ParserTest, RulesAndFacts) {
+  ParsedProgram program = MustParse(
+      "% chase termination demo\n"
+      "person(X) -> hasFather(X,Y), person(Y).\n"
+      "person(bob).\n"
+      "knows(bob, 'Alice Smith').\n");
+  EXPECT_EQ(program.rules.size(), 1u);
+  ASSERT_EQ(program.facts.size(), 2u);
+  EXPECT_EQ(program.vocabulary.schema.num_predicates(), 3u);
+  const Tgd& rule = program.rules.rule(0);
+  EXPECT_EQ(rule.body().size(), 1u);
+  EXPECT_EQ(rule.head().size(), 2u);
+  EXPECT_EQ(rule.variable_names(), (std::vector<std::string>{"X", "Y"}));
+}
+
+TEST(ParserTest, ZeroAryAtoms) {
+  ParsedProgram program = MustParse(
+      "go() -> done().\n"
+      "go().\n");
+  EXPECT_EQ(program.rules.size(), 1u);
+  EXPECT_EQ(program.facts.size(), 1u);
+  EXPECT_EQ(program.vocabulary.schema.arity(0), 0u);
+}
+
+TEST(ParserTest, NumericPredicateAndConstantNames) {
+  // The paper's standard databases use predicates named 0 and 1.
+  ParsedProgram program = MustParse("0(0). 1(1).\n");
+  EXPECT_EQ(program.facts.size(), 2u);
+  EXPECT_TRUE(program.vocabulary.schema.Find("0").has_value());
+  EXPECT_TRUE(program.vocabulary.constants.Find("1").has_value());
+}
+
+TEST(ParserTest, UnderscoreStartsVariable) {
+  ParsedProgram program = MustParse("p(_any, x1) -> q(_any).\n");
+  const Tgd& rule = program.rules.rule(0);
+  EXPECT_EQ(rule.variable_names(), (std::vector<std::string>{"_any"}));
+  // x1 is a constant (lower-case start).
+  EXPECT_TRUE(program.vocabulary.constants.Find("x1").has_value());
+}
+
+TEST(ParserTest, ErrorsCarryLineAndColumn) {
+  StatusOr<ParsedProgram> result = ParseProgram("p(a).\nq(X) -> .\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("2:"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(ParserTest, NonGroundFactRejected) {
+  StatusOr<ParsedProgram> result = ParseProgram("p(X).\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("ground"), std::string::npos);
+}
+
+TEST(ParserTest, ArityConflictRejected) {
+  StatusOr<ParsedProgram> result = ParseProgram("p(a). p(a,b).\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ParserTest, UnterminatedRuleRejected) {
+  EXPECT_FALSE(ParseProgram("p(X) -> q(X)").ok());
+  EXPECT_FALSE(ParseProgram("p(a)").ok());
+  EXPECT_FALSE(ParseProgram("p(a,).").ok());
+  EXPECT_FALSE(ParseProgram("p(a.").ok());
+  EXPECT_FALSE(ParseProgram("-> q(a).").ok());
+}
+
+TEST(ParserTest, QuotedConstants) {
+  ParsedProgram program = MustParse("name(bob, 'Robert Tables').\n");
+  EXPECT_TRUE(
+      program.vocabulary.constants.Find("Robert Tables").has_value());
+  EXPECT_FALSE(ParseProgram("p('unterminated).").ok());
+}
+
+TEST(ParserTest, QueryParsing) {
+  ParsedProgram program = MustParse("p(a,b).\n");
+  StatusOr<ParsedQuery> query =
+      ParseQuery("p(X,Y), q(Y, b)", &program.vocabulary);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->atoms.size(), 2u);
+  EXPECT_EQ(query->variable_names, (std::vector<std::string>{"X", "Y"}));
+  // q was added to the schema on the fly.
+  EXPECT_TRUE(program.vocabulary.schema.Find("q").has_value());
+}
+
+TEST(PrinterTest, RuleRoundTrip) {
+  const char* kText = "person(X), age(X,Y) -> hasFather(X,Z), person(Z) .";
+  ParsedProgram program = MustParse(std::string(kText) + "\n");
+  std::string printed =
+      RuleToString(program.rules.rule(0), program.vocabulary);
+  // Re-parse the printed form; it must yield the same rule text again.
+  ParsedProgram reparsed = MustParse(printed + "\n");
+  EXPECT_EQ(RuleToString(reparsed.rules.rule(0), reparsed.vocabulary),
+            printed);
+}
+
+TEST(PrinterTest, TermRendering) {
+  ParsedProgram program = MustParse("p(a).\n");
+  Vocabulary& vocab = program.vocabulary;
+  EXPECT_EQ(TermToString(Term::Constant(0), vocab), "a");
+  EXPECT_EQ(TermToString(Term::Null(3), vocab), "_:n3");
+  std::vector<std::string> names{"X"};
+  EXPECT_EQ(TermToString(Term::Variable(0), vocab, &names), "X");
+  EXPECT_EQ(TermToString(Term::Variable(9), vocab, &names), "?9");
+}
+
+TEST(PrinterTest, InstanceAtomRendering) {
+  ParsedProgram program = MustParse("edge(a,b).\n");
+  EXPECT_EQ(AtomToString(program.facts[0], program.vocabulary),
+            "edge(a,b)");
+}
+
+}  // namespace
+}  // namespace gchase

@@ -1,0 +1,137 @@
+#include "termination/restricted_probe.h"
+
+#include "generator/workloads.h"
+#include "gtest/gtest.h"
+#include "termination/decider.h"
+#include "tests/test_util.h"
+
+namespace gchase {
+namespace {
+
+TEST(TriggerOrderTest, DatalogFirstTerminatesWhereFifoDiverges) {
+  // p(X,Y) -> p(Y,Z) and p(X,Y) -> p(Y,X) from p(a,b): applying the
+  // symmetric (full) rule first pre-satisfies every existential head;
+  // FIFO interleaving keeps creating fresh nulls.
+  ParsedProgram program = MustParse(
+      "p(X,Y) -> p(Y,Z).\n"
+      "p(X,Y) -> p(Y,X).\n"
+      "p(a,b).\n");
+  ChaseOptions options;
+  options.variant = ChaseVariant::kRestricted;
+  options.max_atoms = 2000;
+
+  options.order = TriggerOrder::kFifo;
+  EXPECT_EQ(RunChase(program.rules, options, program.facts).outcome,
+            ChaseOutcome::kResourceLimit);
+
+  options.order = TriggerOrder::kDatalogFirst;
+  ChaseResult datalog_first =
+      RunChase(program.rules, options, program.facts);
+  EXPECT_EQ(datalog_first.outcome, ChaseOutcome::kTerminated);
+  // p(a,b) and p(b,a) only; every existential head is satisfied.
+  EXPECT_EQ(datalog_first.instance.size(), 2u);
+  EXPECT_EQ(datalog_first.nulls_created, 0u);
+}
+
+TEST(TriggerOrderTest, RandomOrderIsSeedDeterministic) {
+  ParsedProgram program = MustParse(
+      "p(X) -> q(X,Y).\n"
+      "q(X,Y) -> p(Y).\n"
+      "p(a).\n");
+  ChaseOptions options;
+  options.variant = ChaseVariant::kRestricted;
+  options.order = TriggerOrder::kRandom;
+  options.order_seed = 42;
+  options.max_atoms = 50;
+  ChaseResult a = RunChase(program.rules, options, program.facts);
+  ChaseResult b = RunChase(program.rules, options, program.facts);
+  EXPECT_EQ(a.instance.size(), b.instance.size());
+  EXPECT_EQ(a.applied_triggers, b.applied_triggers);
+}
+
+TEST(TriggerOrderTest, OrderDoesNotChangeSemiObliviousResult) {
+  // The (semi-)oblivious chase applies every trigger eventually; order
+  // only permutes null names, so the result size is order-invariant.
+  ParsedProgram program = MustParse(
+      "a(X) -> b(X,Y).\n"
+      "b(X,Y) -> c(Y).\n"
+      "c(X), b(Y,X) -> d(X).\n"
+      "a(u). a(v). b(u,w).\n");
+  uint32_t baseline = 0;
+  for (TriggerOrder order :
+       {TriggerOrder::kFifo, TriggerOrder::kDatalogFirst,
+        TriggerOrder::kRandom}) {
+    ChaseOptions options;
+    options.variant = ChaseVariant::kSemiOblivious;
+    options.order = order;
+    options.order_seed = 7;
+    ChaseResult result = RunChase(program.rules, options, program.facts);
+    ASSERT_EQ(result.outcome, ChaseOutcome::kTerminated);
+    if (baseline == 0) {
+      baseline = result.instance.size();
+    } else {
+      EXPECT_EQ(result.instance.size(), baseline);
+    }
+  }
+}
+
+TEST(RestrictedProbeTest, DetectsOrderSensitivity) {
+  StatusOr<NamedWorkload> workload =
+      FindWorkload("restricted_order_sensitive");
+  ASSERT_TRUE(workload.ok());
+  StatusOr<ParsedProgram> program = LoadWorkload(*workload);
+  ASSERT_TRUE(program.ok());
+
+  // On the database {p(a,b)} the restricted chase is order-sensitive.
+  Vocabulary& vocab = program->vocabulary;
+  Term a = Term::Constant(vocab.constants.Intern("a"));
+  Term b = Term::Constant(vocab.constants.Intern("b"));
+  PredicateId p = *vocab.schema.Find("p");
+  RestrictedProbeOptions options;
+  options.use_critical_instance = false;
+  options.max_atoms = 2000;
+  StatusOr<RestrictedProbeResult> probe = ProbeRestrictedTermination(
+      program->rules, &vocab, {Atom(p, {a, b})}, options);
+  ASSERT_TRUE(probe.ok());
+  EXPECT_FALSE(probe->fifo_terminated);
+  EXPECT_TRUE(probe->datalog_first_terminated);
+  EXPECT_TRUE(probe->order_sensitive);
+}
+
+TEST(RestrictedProbeTest, CriticalInstanceIsNotSoundForRestricted) {
+  // The same workload restricted-terminates on the *critical* instance
+  // under every order (p(*,*) satisfies both heads), even though it
+  // diverges on p(a,b) under FIFO and its (semi-)oblivious chase
+  // diverges everywhere — the concrete reason the paper's
+  // critical-instance technique does not settle the restricted case.
+  StatusOr<NamedWorkload> workload =
+      FindWorkload("restricted_order_sensitive");
+  ASSERT_TRUE(workload.ok());
+  StatusOr<ParsedProgram> program = LoadWorkload(*workload);
+  ASSERT_TRUE(program.ok());
+
+  StatusOr<RestrictedProbeResult> probe = ProbeRestrictedTermination(
+      program->rules, &program->vocabulary);
+  ASSERT_TRUE(probe.ok());
+  EXPECT_TRUE(probe->fifo_terminated);
+  EXPECT_TRUE(probe->datalog_first_terminated);
+  EXPECT_EQ(probe->random_orders_diverged, 0u);
+
+  // ... while the semi-oblivious chase diverges on that same instance.
+  StatusOr<DeciderResult> so = DecideTermination(
+      program->rules, &program->vocabulary, ChaseVariant::kSemiOblivious);
+  ASSERT_TRUE(so.ok());
+  EXPECT_EQ(so->verdict, TerminationVerdict::kNonTerminating);
+}
+
+TEST(RestrictedProbeTest, RequiresDatabaseWhenNotCritical) {
+  ParsedProgram program = MustParse("p(X) -> q(X).\n");
+  RestrictedProbeOptions options;
+  options.use_critical_instance = false;
+  StatusOr<RestrictedProbeResult> probe = ProbeRestrictedTermination(
+      program.rules, &program.vocabulary, {}, options);
+  EXPECT_FALSE(probe.ok());
+}
+
+}  // namespace
+}  // namespace gchase

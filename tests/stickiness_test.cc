@@ -1,0 +1,77 @@
+#include "acyclicity/stickiness.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace gchase {
+namespace {
+
+bool IsSticky(const char* text) {
+  ParsedProgram program = MustParse(text);
+  return CheckStickiness(program.rules, program.vocabulary.schema).sticky;
+}
+
+TEST(StickinessTest, TransitivityIsNotSticky) {
+  // The classical non-sticky example: Y is not exported, occurs twice.
+  EXPECT_FALSE(IsSticky("e(X,Y), e(Y,Z) -> e(X,Z).\n"));
+}
+
+TEST(StickinessTest, FullyExportedJoinIsSticky) {
+  // Every body variable reaches the head: nothing is marked.
+  EXPECT_TRUE(IsSticky("r(X,Y), p(Y,Z) -> s(X,Y,Z).\n"));
+}
+
+TEST(StickinessTest, SingleOccurrenceMarkedVariableIsFine) {
+  // Y is marked (not in head) but occurs once.
+  EXPECT_TRUE(IsSticky("r(X,Y) -> p(X).\n"));
+}
+
+TEST(StickinessTest, PropagationThroughHeadPositions) {
+  // sigma1 exports X into position p[1]; sigma2 joins on p[1] with a
+  // variable that is dropped there (marked), so marking propagates back
+  // to sigma1's X — which occurs twice in sigma1's body: not sticky.
+  EXPECT_FALSE(IsSticky(
+      "r(X,X) -> p(X).\n"
+      "p(Y), q(Y,Z) -> s(Z).\n"));
+}
+
+TEST(StickinessTest, NoPropagationWithoutMarkedJoinPosition) {
+  // Same shape, but sigma2 exports Y too: no marks anywhere.
+  EXPECT_TRUE(IsSticky(
+      "r(X,X) -> p(X).\n"
+      "p(Y), q(Y,Z) -> s(Y,Z).\n"));
+}
+
+TEST(StickinessTest, LinearRulesAreAlwaysSticky) {
+  // Single-occurrence bodies can never violate stickiness... unless a
+  // variable repeats within the single atom and is marked.
+  EXPECT_TRUE(IsSticky("p(X,Y) -> q(Y,Z).\n"));
+  EXPECT_FALSE(IsSticky("p(X,X) -> q(Z).\n"));
+}
+
+TEST(StickinessTest, StickyAndNonTerminatingCoexist) {
+  // The paper's person example: sticky (single body variable, exported)
+  // yet non-terminating — stickiness buys query answering, not chase
+  // termination.
+  ParsedProgram program =
+      MustParse("person(X) -> hasFather(X,Y), person(Y).\n");
+  StickinessReport report =
+      CheckStickiness(program.rules, program.vocabulary.schema);
+  EXPECT_TRUE(report.sticky);
+}
+
+TEST(StickinessTest, ViolationIdentifiesRuleAndVariable) {
+  ParsedProgram program = MustParse(
+      "a(X) -> b(X).\n"
+      "e(X,Y), e(Y,Z) -> e(X,Z).\n");
+  StickinessReport report =
+      CheckStickiness(program.rules, program.vocabulary.schema);
+  ASSERT_FALSE(report.sticky);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, 1u);
+  // Variable Y has id 1 in the second rule.
+  EXPECT_EQ(report.violations[0].variable, 1u);
+}
+
+}  // namespace
+}  // namespace gchase

@@ -1,0 +1,20 @@
+#ifndef GCHASE_TESTS_TEST_UTIL_H_
+#define GCHASE_TESTS_TEST_UTIL_H_
+
+#include <string_view>
+
+#include "gtest/gtest.h"
+#include "model/parser.h"
+
+namespace gchase {
+
+/// Parses `text` or fails the current test.
+inline ParsedProgram MustParse(std::string_view text) {
+  StatusOr<ParsedProgram> parsed = ParseProgram(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return *std::move(parsed);
+}
+
+}  // namespace gchase
+
+#endif  // GCHASE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,108 @@
+#include <set>
+
+#include "base/rng.h"
+#include "chase/chase.h"
+#include "generator/random_rules.h"
+#include "gtest/gtest.h"
+#include "model/printer.h"
+#include "termination/decider.h"
+
+namespace gchase {
+namespace {
+
+/// Builds a small random ground database over the program's schema.
+std::vector<Atom> RandomDatabase(const Schema& schema, Vocabulary* vocab,
+                                 uint32_t num_facts, Rng* rng) {
+  std::vector<Term> constants;
+  for (const char* name : {"a", "b", "c"}) {
+    constants.push_back(Term::Constant(vocab->constants.Intern(name)));
+  }
+  std::vector<Atom> facts;
+  for (uint32_t i = 0; i < num_facts; ++i) {
+    Atom atom;
+    atom.predicate =
+        static_cast<PredicateId>(rng->NextBelow(schema.num_predicates()));
+    for (uint32_t j = 0; j < schema.arity(atom.predicate); ++j) {
+      atom.args.push_back(constants[rng->NextBelow(constants.size())]);
+    }
+    facts.push_back(std::move(atom));
+  }
+  return facts;
+}
+
+/// Null-free atoms of an instance: exactly the entailed ground atoms when
+/// the instance is a universal model.
+std::set<Atom> CertainAtoms(const Instance& instance) {
+  std::set<Atom> certain;
+  for (const Atom& atom : instance.atoms()) {
+    if (!atom.HasNull()) certain.insert(atom);
+  }
+  return certain;
+}
+
+class VariantSemanticsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VariantSemanticsTest, UniversalModelsAgreeOnCertainAtoms) {
+  // For a terminating set, each chase variant computes a universal model
+  // of (D, Σ). Universal models can differ in nulls and size but must
+  // agree exactly on their null-free atoms (the entailed ground facts),
+  // and sizes must be ordered restricted <= semi-oblivious <= oblivious.
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  RandomRuleSetOptions options;
+  options.rule_class = RuleClass::kGuarded;
+  options.num_predicates = 4;
+  options.max_arity = 2;
+  options.num_rules = 4;
+  options.existential_probability = 0.4;
+  RandomProgram program = GenerateRandomRuleSet(&rng, options);
+
+  // Only meaningful on terminating sets: check with the decider first.
+  DeciderOptions decider_options;
+  decider_options.max_atoms = 20000;
+  StatusOr<DeciderResult> o_verdict =
+      DecideTermination(program.rules, &program.vocabulary,
+                        ChaseVariant::kOblivious, decider_options);
+  ASSERT_TRUE(o_verdict.ok());
+  if (o_verdict->verdict != TerminationVerdict::kTerminating) {
+    GTEST_SKIP() << "seed " << seed << ": set does not o-terminate";
+  }
+
+  std::vector<Atom> database = RandomDatabase(
+      program.vocabulary.schema, &program.vocabulary, 6, &rng);
+
+  std::set<Atom> certain_reference;
+  uint32_t previous_size = 0;
+  bool first = true;
+  for (ChaseVariant variant :
+       {ChaseVariant::kRestricted, ChaseVariant::kSemiOblivious,
+        ChaseVariant::kOblivious}) {
+    ChaseOptions chase_options;
+    chase_options.variant = variant;
+    chase_options.max_atoms = 100000;
+    ChaseResult result = RunChase(program.rules, chase_options, database);
+    ASSERT_EQ(result.outcome, ChaseOutcome::kTerminated)
+        << "seed " << seed << " " << ChaseVariantName(variant);
+    EXPECT_TRUE(IsModelOf(result.instance, program.rules))
+        << "seed " << seed << " " << ChaseVariantName(variant);
+    EXPECT_GE(result.instance.size(), previous_size)
+        << "seed " << seed << " " << ChaseVariantName(variant);
+    previous_size = result.instance.size();
+
+    std::set<Atom> certain = CertainAtoms(result.instance);
+    if (first) {
+      certain_reference = std::move(certain);
+      first = false;
+    } else {
+      EXPECT_EQ(certain, certain_reference)
+          << "seed " << seed << " " << ChaseVariantName(variant) << "\n"
+          << RuleSetToString(program.rules, program.vocabulary);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VariantSemanticsTest,
+                         ::testing::Range<uint64_t>(9000, 9040));
+
+}  // namespace
+}  // namespace gchase
