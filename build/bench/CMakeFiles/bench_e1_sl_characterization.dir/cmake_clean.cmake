@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_sl_characterization.dir/bench_e1_sl_characterization.cc.o"
+  "CMakeFiles/bench_e1_sl_characterization.dir/bench_e1_sl_characterization.cc.o.d"
+  "bench_e1_sl_characterization"
+  "bench_e1_sl_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_sl_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

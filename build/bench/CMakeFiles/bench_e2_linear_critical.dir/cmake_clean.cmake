@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_linear_critical.dir/bench_e2_linear_critical.cc.o"
+  "CMakeFiles/bench_e2_linear_critical.dir/bench_e2_linear_critical.cc.o.d"
+  "bench_e2_linear_critical"
+  "bench_e2_linear_critical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_linear_critical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

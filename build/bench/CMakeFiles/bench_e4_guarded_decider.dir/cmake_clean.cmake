@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_guarded_decider.dir/bench_e4_guarded_decider.cc.o"
+  "CMakeFiles/bench_e4_guarded_decider.dir/bench_e4_guarded_decider.cc.o.d"
+  "bench_e4_guarded_decider"
+  "bench_e4_guarded_decider.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_guarded_decider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

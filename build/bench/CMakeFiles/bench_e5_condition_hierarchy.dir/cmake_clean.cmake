@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_condition_hierarchy.dir/bench_e5_condition_hierarchy.cc.o"
+  "CMakeFiles/bench_e5_condition_hierarchy.dir/bench_e5_condition_hierarchy.cc.o.d"
+  "bench_e5_condition_hierarchy"
+  "bench_e5_condition_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_condition_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_looping_operator.dir/bench_e6_looping_operator.cc.o"
+  "CMakeFiles/bench_e6_looping_operator.dir/bench_e6_looping_operator.cc.o.d"
+  "bench_e6_looping_operator"
+  "bench_e6_looping_operator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_looping_operator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

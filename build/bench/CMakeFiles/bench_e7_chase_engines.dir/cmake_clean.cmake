@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_chase_engines.dir/bench_e7_chase_engines.cc.o"
+  "CMakeFiles/bench_e7_chase_engines.dir/bench_e7_chase_engines.cc.o.d"
+  "bench_e7_chase_engines"
+  "bench_e7_chase_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_chase_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

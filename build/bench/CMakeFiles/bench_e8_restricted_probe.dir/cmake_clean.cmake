@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_restricted_probe.dir/bench_e8_restricted_probe.cc.o"
+  "CMakeFiles/bench_e8_restricted_probe.dir/bench_e8_restricted_probe.cc.o.d"
+  "bench_e8_restricted_probe"
+  "bench_e8_restricted_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_restricted_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

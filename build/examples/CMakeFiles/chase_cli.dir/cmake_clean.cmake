@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_cli.dir/chase_cli.cpp.o"
+  "CMakeFiles/chase_cli.dir/chase_cli.cpp.o.d"
+  "chase_cli"
+  "chase_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

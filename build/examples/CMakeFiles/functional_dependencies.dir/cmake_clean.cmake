@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functional_dependencies.dir/functional_dependencies.cpp.o"
+  "CMakeFiles/functional_dependencies.dir/functional_dependencies.cpp.o.d"
+  "functional_dependencies"
+  "functional_dependencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functional_dependencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_containment.dir/query_containment.cpp.o"
+  "CMakeFiles/query_containment.dir/query_containment.cpp.o.d"
+  "query_containment"
+  "query_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/termination_advisor.dir/termination_advisor.cpp.o"
+  "CMakeFiles/termination_advisor.dir/termination_advisor.cpp.o.d"
+  "termination_advisor"
+  "termination_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/termination_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

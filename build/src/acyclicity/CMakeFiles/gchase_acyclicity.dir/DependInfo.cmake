@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acyclicity/dependency_graph.cc" "src/acyclicity/CMakeFiles/gchase_acyclicity.dir/dependency_graph.cc.o" "gcc" "src/acyclicity/CMakeFiles/gchase_acyclicity.dir/dependency_graph.cc.o.d"
+  "/root/repo/src/acyclicity/joint_acyclicity.cc" "src/acyclicity/CMakeFiles/gchase_acyclicity.dir/joint_acyclicity.cc.o" "gcc" "src/acyclicity/CMakeFiles/gchase_acyclicity.dir/joint_acyclicity.cc.o.d"
+  "/root/repo/src/acyclicity/stickiness.cc" "src/acyclicity/CMakeFiles/gchase_acyclicity.dir/stickiness.cc.o" "gcc" "src/acyclicity/CMakeFiles/gchase_acyclicity.dir/stickiness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/gchase_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/gchase_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

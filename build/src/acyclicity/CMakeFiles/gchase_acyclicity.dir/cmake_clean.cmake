@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gchase_acyclicity.dir/dependency_graph.cc.o"
+  "CMakeFiles/gchase_acyclicity.dir/dependency_graph.cc.o.d"
+  "CMakeFiles/gchase_acyclicity.dir/joint_acyclicity.cc.o"
+  "CMakeFiles/gchase_acyclicity.dir/joint_acyclicity.cc.o.d"
+  "CMakeFiles/gchase_acyclicity.dir/stickiness.cc.o"
+  "CMakeFiles/gchase_acyclicity.dir/stickiness.cc.o.d"
+  "libgchase_acyclicity.a"
+  "libgchase_acyclicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gchase_acyclicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgchase_acyclicity.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gchase_base.dir/status.cc.o"
+  "CMakeFiles/gchase_base.dir/status.cc.o.d"
+  "CMakeFiles/gchase_base.dir/string_util.cc.o"
+  "CMakeFiles/gchase_base.dir/string_util.cc.o.d"
+  "libgchase_base.a"
+  "libgchase_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gchase_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chase/chase.cc" "src/chase/CMakeFiles/gchase_chase.dir/chase.cc.o" "gcc" "src/chase/CMakeFiles/gchase_chase.dir/chase.cc.o.d"
+  "/root/repo/src/chase/egd_chase.cc" "src/chase/CMakeFiles/gchase_chase.dir/egd_chase.cc.o" "gcc" "src/chase/CMakeFiles/gchase_chase.dir/egd_chase.cc.o.d"
+  "/root/repo/src/chase/forest.cc" "src/chase/CMakeFiles/gchase_chase.dir/forest.cc.o" "gcc" "src/chase/CMakeFiles/gchase_chase.dir/forest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/gchase_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/gchase_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/gchase_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

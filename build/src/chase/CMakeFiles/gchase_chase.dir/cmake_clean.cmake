@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gchase_chase.dir/chase.cc.o"
+  "CMakeFiles/gchase_chase.dir/chase.cc.o.d"
+  "CMakeFiles/gchase_chase.dir/egd_chase.cc.o"
+  "CMakeFiles/gchase_chase.dir/egd_chase.cc.o.d"
+  "CMakeFiles/gchase_chase.dir/forest.cc.o"
+  "CMakeFiles/gchase_chase.dir/forest.cc.o.d"
+  "libgchase_chase.a"
+  "libgchase_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gchase_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

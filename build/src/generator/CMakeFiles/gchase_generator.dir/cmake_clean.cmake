@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gchase_generator.dir/random_rules.cc.o"
+  "CMakeFiles/gchase_generator.dir/random_rules.cc.o.d"
+  "CMakeFiles/gchase_generator.dir/workloads.cc.o"
+  "CMakeFiles/gchase_generator.dir/workloads.cc.o.d"
+  "libgchase_generator.a"
+  "libgchase_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gchase_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/egd.cc" "src/model/CMakeFiles/gchase_model.dir/egd.cc.o" "gcc" "src/model/CMakeFiles/gchase_model.dir/egd.cc.o.d"
+  "/root/repo/src/model/parser.cc" "src/model/CMakeFiles/gchase_model.dir/parser.cc.o" "gcc" "src/model/CMakeFiles/gchase_model.dir/parser.cc.o.d"
+  "/root/repo/src/model/printer.cc" "src/model/CMakeFiles/gchase_model.dir/printer.cc.o" "gcc" "src/model/CMakeFiles/gchase_model.dir/printer.cc.o.d"
+  "/root/repo/src/model/schema.cc" "src/model/CMakeFiles/gchase_model.dir/schema.cc.o" "gcc" "src/model/CMakeFiles/gchase_model.dir/schema.cc.o.d"
+  "/root/repo/src/model/symbol_table.cc" "src/model/CMakeFiles/gchase_model.dir/symbol_table.cc.o" "gcc" "src/model/CMakeFiles/gchase_model.dir/symbol_table.cc.o.d"
+  "/root/repo/src/model/tgd.cc" "src/model/CMakeFiles/gchase_model.dir/tgd.cc.o" "gcc" "src/model/CMakeFiles/gchase_model.dir/tgd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/gchase_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

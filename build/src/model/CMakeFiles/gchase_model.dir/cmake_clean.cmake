@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gchase_model.dir/egd.cc.o"
+  "CMakeFiles/gchase_model.dir/egd.cc.o.d"
+  "CMakeFiles/gchase_model.dir/parser.cc.o"
+  "CMakeFiles/gchase_model.dir/parser.cc.o.d"
+  "CMakeFiles/gchase_model.dir/printer.cc.o"
+  "CMakeFiles/gchase_model.dir/printer.cc.o.d"
+  "CMakeFiles/gchase_model.dir/schema.cc.o"
+  "CMakeFiles/gchase_model.dir/schema.cc.o.d"
+  "CMakeFiles/gchase_model.dir/symbol_table.cc.o"
+  "CMakeFiles/gchase_model.dir/symbol_table.cc.o.d"
+  "CMakeFiles/gchase_model.dir/tgd.cc.o"
+  "CMakeFiles/gchase_model.dir/tgd.cc.o.d"
+  "libgchase_model.a"
+  "libgchase_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gchase_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

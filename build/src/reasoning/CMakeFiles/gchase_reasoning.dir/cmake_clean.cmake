@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gchase_reasoning.dir/containment.cc.o"
+  "CMakeFiles/gchase_reasoning.dir/containment.cc.o.d"
+  "libgchase_reasoning.a"
+  "libgchase_reasoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gchase_reasoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/core.cc" "src/storage/CMakeFiles/gchase_storage.dir/core.cc.o" "gcc" "src/storage/CMakeFiles/gchase_storage.dir/core.cc.o.d"
+  "/root/repo/src/storage/homomorphism.cc" "src/storage/CMakeFiles/gchase_storage.dir/homomorphism.cc.o" "gcc" "src/storage/CMakeFiles/gchase_storage.dir/homomorphism.cc.o.d"
+  "/root/repo/src/storage/instance.cc" "src/storage/CMakeFiles/gchase_storage.dir/instance.cc.o" "gcc" "src/storage/CMakeFiles/gchase_storage.dir/instance.cc.o.d"
+  "/root/repo/src/storage/io.cc" "src/storage/CMakeFiles/gchase_storage.dir/io.cc.o" "gcc" "src/storage/CMakeFiles/gchase_storage.dir/io.cc.o.d"
+  "/root/repo/src/storage/query.cc" "src/storage/CMakeFiles/gchase_storage.dir/query.cc.o" "gcc" "src/storage/CMakeFiles/gchase_storage.dir/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/gchase_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/gchase_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gchase_storage.dir/core.cc.o"
+  "CMakeFiles/gchase_storage.dir/core.cc.o.d"
+  "CMakeFiles/gchase_storage.dir/homomorphism.cc.o"
+  "CMakeFiles/gchase_storage.dir/homomorphism.cc.o.d"
+  "CMakeFiles/gchase_storage.dir/instance.cc.o"
+  "CMakeFiles/gchase_storage.dir/instance.cc.o.d"
+  "CMakeFiles/gchase_storage.dir/io.cc.o"
+  "CMakeFiles/gchase_storage.dir/io.cc.o.d"
+  "CMakeFiles/gchase_storage.dir/query.cc.o"
+  "CMakeFiles/gchase_storage.dir/query.cc.o.d"
+  "libgchase_storage.a"
+  "libgchase_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gchase_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

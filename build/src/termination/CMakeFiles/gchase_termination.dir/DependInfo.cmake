@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/termination/classifier.cc" "src/termination/CMakeFiles/gchase_termination.dir/classifier.cc.o" "gcc" "src/termination/CMakeFiles/gchase_termination.dir/classifier.cc.o.d"
+  "/root/repo/src/termination/critical_instance.cc" "src/termination/CMakeFiles/gchase_termination.dir/critical_instance.cc.o" "gcc" "src/termination/CMakeFiles/gchase_termination.dir/critical_instance.cc.o.d"
+  "/root/repo/src/termination/decider.cc" "src/termination/CMakeFiles/gchase_termination.dir/decider.cc.o" "gcc" "src/termination/CMakeFiles/gchase_termination.dir/decider.cc.o.d"
+  "/root/repo/src/termination/looping_operator.cc" "src/termination/CMakeFiles/gchase_termination.dir/looping_operator.cc.o" "gcc" "src/termination/CMakeFiles/gchase_termination.dir/looping_operator.cc.o.d"
+  "/root/repo/src/termination/mfa.cc" "src/termination/CMakeFiles/gchase_termination.dir/mfa.cc.o" "gcc" "src/termination/CMakeFiles/gchase_termination.dir/mfa.cc.o.d"
+  "/root/repo/src/termination/pump_detector.cc" "src/termination/CMakeFiles/gchase_termination.dir/pump_detector.cc.o" "gcc" "src/termination/CMakeFiles/gchase_termination.dir/pump_detector.cc.o.d"
+  "/root/repo/src/termination/restricted_probe.cc" "src/termination/CMakeFiles/gchase_termination.dir/restricted_probe.cc.o" "gcc" "src/termination/CMakeFiles/gchase_termination.dir/restricted_probe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chase/CMakeFiles/gchase_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/acyclicity/CMakeFiles/gchase_acyclicity.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gchase_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/gchase_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/gchase_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gchase_termination.dir/classifier.cc.o"
+  "CMakeFiles/gchase_termination.dir/classifier.cc.o.d"
+  "CMakeFiles/gchase_termination.dir/critical_instance.cc.o"
+  "CMakeFiles/gchase_termination.dir/critical_instance.cc.o.d"
+  "CMakeFiles/gchase_termination.dir/decider.cc.o"
+  "CMakeFiles/gchase_termination.dir/decider.cc.o.d"
+  "CMakeFiles/gchase_termination.dir/looping_operator.cc.o"
+  "CMakeFiles/gchase_termination.dir/looping_operator.cc.o.d"
+  "CMakeFiles/gchase_termination.dir/mfa.cc.o"
+  "CMakeFiles/gchase_termination.dir/mfa.cc.o.d"
+  "CMakeFiles/gchase_termination.dir/pump_detector.cc.o"
+  "CMakeFiles/gchase_termination.dir/pump_detector.cc.o.d"
+  "CMakeFiles/gchase_termination.dir/restricted_probe.cc.o"
+  "CMakeFiles/gchase_termination.dir/restricted_probe.cc.o.d"
+  "libgchase_termination.a"
+  "libgchase_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gchase_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

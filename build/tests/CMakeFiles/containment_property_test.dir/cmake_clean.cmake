@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containment_property_test.dir/containment_property_test.cc.o"
+  "CMakeFiles/containment_property_test.dir/containment_property_test.cc.o.d"
+  "containment_property_test"
+  "containment_property_test.pdb"
+  "containment_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containment_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critical_instance_test.dir/critical_instance_test.cc.o"
+  "CMakeFiles/critical_instance_test.dir/critical_instance_test.cc.o.d"
+  "critical_instance_test"
+  "critical_instance_test.pdb"
+  "critical_instance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critical_instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decider_test.dir/decider_test.cc.o"
+  "CMakeFiles/decider_test.dir/decider_test.cc.o.d"
+  "decider_test"
+  "decider_test.pdb"
+  "decider_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decider_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/egd_test.dir/egd_test.cc.o"
+  "CMakeFiles/egd_test.dir/egd_test.cc.o.d"
+  "egd_test"
+  "egd_test.pdb"
+  "egd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/egd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfa_test.dir/mfa_test.cc.o"
+  "CMakeFiles/mfa_test.dir/mfa_test.cc.o.d"
+  "mfa_test"
+  "mfa_test.pdb"
+  "mfa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pump_detector_test.dir/pump_detector_test.cc.o"
+  "CMakeFiles/pump_detector_test.dir/pump_detector_test.cc.o.d"
+  "pump_detector_test"
+  "pump_detector_test.pdb"
+  "pump_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pump_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restricted_probe_test.dir/restricted_probe_test.cc.o"
+  "CMakeFiles/restricted_probe_test.dir/restricted_probe_test.cc.o.d"
+  "restricted_probe_test"
+  "restricted_probe_test.pdb"
+  "restricted_probe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restricted_probe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

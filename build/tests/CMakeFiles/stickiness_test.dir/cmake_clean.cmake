@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stickiness_test.dir/stickiness_test.cc.o"
+  "CMakeFiles/stickiness_test.dir/stickiness_test.cc.o.d"
+  "stickiness_test"
+  "stickiness_test.pdb"
+  "stickiness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stickiness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

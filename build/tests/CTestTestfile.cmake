@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/instance_test[1]_include.cmake")
+include("/root/repo/build/tests/homomorphism_test[1]_include.cmake")
+include("/root/repo/build/tests/chase_test[1]_include.cmake")
+include("/root/repo/build/tests/acyclicity_test[1]_include.cmake")
+include("/root/repo/build/tests/decider_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/critical_instance_test[1]_include.cmake")
+include("/root/repo/build/tests/generator_test[1]_include.cmake")
+include("/root/repo/build/tests/variants_test[1]_include.cmake")
+include("/root/repo/build/tests/mfa_test[1]_include.cmake")
+include("/root/repo/build/tests/restricted_probe_test[1]_include.cmake")
+include("/root/repo/build/tests/pump_detector_test[1]_include.cmake")
+include("/root/repo/build/tests/chase_limits_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/egd_test[1]_include.cmake")
+include("/root/repo/build/tests/containment_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/containment_property_test[1]_include.cmake")
+include("/root/repo/build/tests/classifier_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/stickiness_test[1]_include.cmake")
+include("/root/repo/build/tests/forest_test[1]_include.cmake")
