@@ -1,0 +1,217 @@
+// Experiment E9 — parallel trigger discovery: the round-based discovery
+// phase sharded over a worker pool (ChaseOptions::discovery_threads) with
+// a deterministic merge. Predictions:
+//   - bit-identical results: for every workload, variant and thread
+//     count, the instance AND the applied trigger sequence equal the
+//     serial engine's (the merge replays serial dedup order exactly);
+//   - discovery-phase speedup on multi-core hardware, reported per
+//     workload (on a single hardware thread the overhead is visible
+//     instead — the default stays 1 for exactly that reason).
+//
+// Writes machine-readable results to BENCH_e9.json in the working
+// directory (schema mirrors the printed table).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "chase/chase.h"
+#include "generator/workloads.h"
+#include "model/parser.h"
+
+namespace gchase {
+namespace {
+
+/// University ontology + n students each enrolled in a course (the E7
+/// workload; half the enrollments pre-satisfied).
+ParsedProgram MakeUniversityInstance(uint32_t num_students) {
+  StatusOr<NamedWorkload> workload = FindWorkload("dl_lite_university");
+  GCHASE_CHECK(workload.ok());
+  std::string text = workload->program;
+  for (uint32_t i = 0; i < num_students; ++i) {
+    text += "student(s" + std::to_string(i) + ").\n";
+    if (i % 2 == 0) {
+      text += "enrolledIn(s" + std::to_string(i) + ", c" +
+              std::to_string(i / 2) + ").\n";
+    }
+  }
+  StatusOr<ParsedProgram> parsed = ParseProgram(text);
+  GCHASE_CHECK(parsed.ok());
+  return *std::move(parsed);
+}
+
+/// Transitive closure over an n-chain (the E7 join-heavy workload).
+ParsedProgram MakeClosureInstance(uint32_t chain_length) {
+  std::string text = "e(X,Y), e(Y,Z) -> e(X,Z).\n";
+  for (uint32_t i = 0; i < chain_length; ++i) {
+    text += "e(n" + std::to_string(i) + ", n" + std::to_string(i + 1) +
+            ").\n";
+  }
+  StatusOr<ParsedProgram> parsed = ParseProgram(text);
+  GCHASE_CHECK(parsed.ok());
+  return *std::move(parsed);
+}
+
+struct E9Run {
+  double discovery_seconds = 0.0;
+  double apply_seconds = 0.0;
+  uint32_t atoms = 0;
+  uint64_t triggers = 0;
+  uint64_t rounds = 0;
+  std::vector<Atom> instance_atoms;
+  std::vector<TriggerRecord> trigger_sequence;
+};
+
+E9Run RunOnce(const ParsedProgram& program, ChaseVariant variant,
+              uint32_t threads) {
+  ChaseOptions options;
+  options.variant = variant;
+  options.max_atoms = 2000000;
+  options.discovery_threads = threads;
+  options.track_provenance = true;
+  ChaseRun run(program.rules, options, program.facts);
+  ChaseOutcome outcome = run.Execute();
+  GCHASE_CHECK(outcome == ChaseOutcome::kTerminated);
+  E9Run result;
+  for (const RoundStats& round : run.stats().per_round) {
+    result.discovery_seconds += round.discovery_seconds;
+    result.apply_seconds += round.apply_seconds;
+  }
+  result.atoms = run.instance().size();
+  result.triggers = run.applied_triggers();
+  result.rounds = run.rounds();
+  result.instance_atoms = run.instance().atoms();
+  result.trigger_sequence = run.triggers();
+  return result;
+}
+
+bool SameResults(const E9Run& a, const E9Run& b) {
+  if (a.instance_atoms.size() != b.instance_atoms.size()) return false;
+  for (std::size_t i = 0; i < a.instance_atoms.size(); ++i) {
+    if (!(a.instance_atoms[i] == b.instance_atoms[i])) return false;
+  }
+  if (a.trigger_sequence.size() != b.trigger_sequence.size()) return false;
+  for (std::size_t i = 0; i < a.trigger_sequence.size(); ++i) {
+    const TriggerRecord& ta = a.trigger_sequence[i];
+    const TriggerRecord& tb = b.trigger_sequence[i];
+    if (ta.rule != tb.rule || ta.binding != tb.binding ||
+        ta.produced != tb.produced || ta.created_nulls != tb.created_nulls) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void RunTable() {
+  bench_util::Banner(
+      "E9: parallel trigger discovery (deterministic sharded rounds)",
+      "discovery_threads=N produces bit-identical instances and trigger "
+      "sequences to the serial engine; discovery-phase speedup reported");
+  std::printf("hardware_concurrency=%u\n\n",
+              std::thread::hardware_concurrency());
+  std::printf("%-16s %-9s %-8s %-9s %-9s %-10s %-10s %-9s\n", "workload",
+              "variant", "threads", "atoms", "triggers", "disc_ms",
+              "apply_ms", "identical");
+
+  std::string json = "{\n  \"experiment\": \"E9 parallel trigger discovery\",\n";
+  json += "  \"hardware_concurrency\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json += "  \"runs\": [\n";
+  bool first_entry = true;
+  bool all_identical = true;
+
+  struct Workload {
+    std::string name;
+    ParsedProgram program;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"university/200", MakeUniversityInstance(200)});
+  workloads.push_back({"university/800", MakeUniversityInstance(800)});
+  workloads.push_back({"closure/60", MakeClosureInstance(60)});
+  workloads.push_back({"closure/120", MakeClosureInstance(120)});
+
+  for (const Workload& workload : workloads) {
+    for (ChaseVariant variant :
+         {ChaseVariant::kRestricted, ChaseVariant::kSemiOblivious,
+          ChaseVariant::kOblivious}) {
+      E9Run serial = RunOnce(workload.program, variant, 1);
+      for (uint32_t threads : {1u, 2u, 4u}) {
+        E9Run run =
+            threads == 1 ? serial : RunOnce(workload.program, variant, threads);
+        const bool identical = threads == 1 || SameResults(serial, run);
+        all_identical = all_identical && identical;
+        const double speedup =
+            run.discovery_seconds > 0.0
+                ? serial.discovery_seconds / run.discovery_seconds
+                : 1.0;
+        std::printf("%-16s %-9.9s %-8u %-9u %-9llu %-10.2f %-10.2f %-9s\n",
+                    workload.name.c_str(), ChaseVariantName(variant), threads,
+                    run.atoms, static_cast<unsigned long long>(run.triggers),
+                    run.discovery_seconds * 1e3, run.apply_seconds * 1e3,
+                    identical ? "yes" : "NO");
+        if (!first_entry) json += ",\n";
+        first_entry = false;
+        json += "    {\"workload\": \"" + workload.name + "\"";
+        json += ", \"variant\": \"" + std::string(ChaseVariantName(variant)) +
+                "\"";
+        json += ", \"threads\": " + std::to_string(threads);
+        json += ", \"atoms\": " + std::to_string(run.atoms);
+        json += ", \"triggers\": " + std::to_string(run.triggers);
+        json += ", \"rounds\": " + std::to_string(run.rounds);
+        json += ", \"discovery_ms\": " +
+                bench_util::JsonNumber(run.discovery_seconds * 1e3);
+        json += ", \"apply_ms\": " +
+                bench_util::JsonNumber(run.apply_seconds * 1e3);
+        json += ", \"identical_to_serial\": ";
+        json += identical ? "true" : "false";
+        json += ", \"discovery_speedup_vs_serial\": " +
+                bench_util::JsonNumber(speedup);
+        json += "}";
+      }
+    }
+  }
+  json += "\n  ],\n  \"all_identical\": ";
+  json += all_identical ? "true" : "false";
+  json += "\n}\n";
+
+  std::FILE* out = std::fopen("BENCH_e9.json", "w");
+  if (out != nullptr) {
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("\nwrote BENCH_e9.json\n");
+  } else {
+    std::fprintf(stderr, "cannot write BENCH_e9.json\n");
+  }
+  std::printf(
+      "\nPrediction: identical=yes on every row; discovery speedup > 1 on\n"
+      "multi-core hardware (reported in BENCH_e9.json), overhead-bound on\n"
+      "a single hardware thread.\n\n");
+}
+
+void BM_ParallelDiscovery(benchmark::State& state) {
+  const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  ParsedProgram program = MakeUniversityInstance(400);
+  for (auto _ : state) {
+    ChaseOptions options;
+    options.variant = ChaseVariant::kRestricted;
+    options.discovery_threads = threads;
+    ChaseResult result = RunChase(program.rules, options, program.facts);
+    benchmark::DoNotOptimize(result.instance.size());
+  }
+  state.SetLabel("threads=" + std::to_string(threads));
+}
+BENCHMARK(BM_ParallelDiscovery)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+}  // namespace gchase
+
+int main(int argc, char** argv) {
+  gchase::RunTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

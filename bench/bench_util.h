@@ -5,6 +5,7 @@
 #include <string>
 
 #include "base/rng.h"
+#include "chase/chase.h"
 #include "generator/random_rules.h"
 #include "termination/decider.h"
 
@@ -46,6 +47,54 @@ inline void Banner(const char* experiment, const char* claim) {
   std::printf("%s\n", experiment);
   std::printf("validates: %s\n", claim);
   std::printf("==============================================================\n");
+}
+
+/// Formats a double with enough precision for timings, trimming the
+/// locale pitfalls of std::to_string.
+inline std::string JsonNumber(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+inline std::string JsonNumber(uint64_t value) {
+  return std::to_string(value);
+}
+
+/// Serializes ChaseStats to a JSON object (schema documented in
+/// docs/architecture.md §chase). Every number is a plain counter or a
+/// wall-time in milliseconds; no escaping is needed.
+inline std::string ChaseStatsToJson(const ChaseStats& stats) {
+  std::string out = "{";
+  out += "\"discovery_threads\": " + JsonNumber(uint64_t{stats.discovery_threads});
+  out += ", \"peak\": {";
+  out += "\"atoms\": " + JsonNumber(stats.peak_atoms);
+  out += ", \"position_index_keys\": " + JsonNumber(stats.peak_position_index_keys);
+  out += ", \"position_index_entries\": " +
+         JsonNumber(stats.peak_position_index_entries);
+  out += ", \"dedup_keys\": " + JsonNumber(stats.peak_dedup_keys);
+  out += "}, \"rules\": [";
+  for (std::size_t r = 0; r < stats.per_rule.size(); ++r) {
+    if (r > 0) out += ", ";
+    const RuleStats& rule = stats.per_rule[r];
+    out += "{\"discovered\": " + JsonNumber(rule.discovered);
+    out += ", \"applied\": " + JsonNumber(rule.applied);
+    out += ", \"skipped_satisfied\": " + JsonNumber(rule.skipped_satisfied);
+    out += "}";
+  }
+  out += "], \"rounds\": [";
+  for (std::size_t i = 0; i < stats.per_round.size(); ++i) {
+    if (i > 0) out += ", ";
+    const RoundStats& round = stats.per_round[i];
+    out += "{\"delta_atoms\": " + JsonNumber(round.delta_atoms);
+    out += ", \"candidates\": " + JsonNumber(round.candidates);
+    out += ", \"applied\": " + JsonNumber(round.applied);
+    out += ", \"discovery_ms\": " + JsonNumber(round.discovery_seconds * 1e3);
+    out += ", \"apply_ms\": " + JsonNumber(round.apply_seconds * 1e3);
+    out += "}";
+  }
+  out += "]}";
+  return out;
 }
 
 inline const char* ShortVerdict(TerminationVerdict verdict) {

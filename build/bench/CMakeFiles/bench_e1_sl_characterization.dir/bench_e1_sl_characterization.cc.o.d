@@ -216,11 +216,12 @@ bench/CMakeFiles/bench_e1_sl_characterization.dir/bench_e1_sl_characterization.c
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/bench/bench_util.h \
- /root/repo/src/base/rng.h /root/repo/src/generator/random_rules.h \
- /root/repo/src/model/vocabulary.h /root/repo/src/model/symbol_table.h \
- /root/repo/src/termination/decider.h /root/repo/src/chase/chase.h \
+ /root/repo/src/base/rng.h /root/repo/src/chase/chase.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/storage/homomorphism.h /root/repo/src/storage/instance.h \
+ /root/repo/src/generator/random_rules.h \
+ /root/repo/src/model/vocabulary.h /root/repo/src/model/symbol_table.h \
+ /root/repo/src/termination/decider.h \
  /root/repo/src/termination/critical_instance.h \
  /root/repo/src/termination/pump_detector.h

@@ -196,12 +196,12 @@ bench/CMakeFiles/bench_e2_linear_critical.dir/bench_e2_linear_critical.cc.o: \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /root/repo/src/base/hash.h /root/repo/src/model/term.h \
  /root/repo/bench/bench_util.h /root/repo/src/base/rng.h \
- /root/repo/src/generator/random_rules.h \
- /root/repo/src/model/vocabulary.h /root/repo/src/model/symbol_table.h \
- /root/repo/src/termination/decider.h /root/repo/src/chase/chase.h \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/chase/chase.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/storage/homomorphism.h /root/repo/src/storage/instance.h \
+ /root/repo/src/generator/random_rules.h \
+ /root/repo/src/model/vocabulary.h /root/repo/src/model/symbol_table.h \
+ /root/repo/src/termination/decider.h \
  /root/repo/src/termination/critical_instance.h \
  /root/repo/src/termination/pump_detector.h \
  /root/repo/src/generator/workloads.h /root/repo/src/model/parser.h \

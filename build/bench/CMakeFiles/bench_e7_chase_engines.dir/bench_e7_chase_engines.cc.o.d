@@ -206,21 +206,22 @@ bench/CMakeFiles/bench_e7_chase_engines.dir/bench_e7_chase_engines.cc.o: \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/bench/bench_util.h \
  /root/repo/src/base/rng.h /root/repo/src/base/check.h \
- /root/repo/src/generator/random_rules.h /root/repo/src/model/tgd.h \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/base/status.h /usr/include/c++/12/variant \
- /root/repo/src/model/atom.h /usr/include/c++/12/functional \
+ /root/repo/src/chase/chase.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/model/tgd.h \
+ /usr/include/c++/12/optional /root/repo/src/base/status.h \
+ /usr/include/c++/12/variant /root/repo/src/model/atom.h \
  /root/repo/src/base/hash.h /root/repo/src/model/schema.h \
- /root/repo/src/model/term.h /root/repo/src/model/vocabulary.h \
- /root/repo/src/model/symbol_table.h /root/repo/src/termination/decider.h \
- /root/repo/src/chase/chase.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/storage/homomorphism.h /root/repo/src/storage/instance.h \
+ /root/repo/src/model/term.h /root/repo/src/storage/homomorphism.h \
+ /root/repo/src/storage/instance.h \
+ /root/repo/src/generator/random_rules.h \
+ /root/repo/src/model/vocabulary.h /root/repo/src/model/symbol_table.h \
+ /root/repo/src/termination/decider.h \
  /root/repo/src/termination/critical_instance.h \
  /root/repo/src/termination/pump_detector.h \
  /root/repo/src/generator/workloads.h /root/repo/src/model/parser.h \

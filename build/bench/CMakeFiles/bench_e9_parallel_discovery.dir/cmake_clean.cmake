@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_parallel_discovery.dir/bench_e9_parallel_discovery.cc.o"
+  "CMakeFiles/bench_e9_parallel_discovery.dir/bench_e9_parallel_discovery.cc.o.d"
+  "bench_e9_parallel_discovery"
+  "bench_e9_parallel_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_parallel_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -162,8 +162,10 @@ examples/CMakeFiles/chase_cli.dir/chase_cli.cpp.o: \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/chase/chase.h /usr/include/c++/12/functional \
- /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
+ /root/repo/bench/bench_util.h /root/repo/src/base/rng.h \
+ /root/repo/src/base/check.h /root/repo/src/chase/chase.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
@@ -186,11 +188,14 @@ examples/CMakeFiles/chase_cli.dir/chase_cli.cpp.o: \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/model/tgd.h \
  /usr/include/c++/12/optional /root/repo/src/base/status.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant /root/repo/src/base/check.h \
- /root/repo/src/model/atom.h /usr/include/c++/12/cstddef \
- /root/repo/src/base/hash.h /root/repo/src/model/schema.h \
- /root/repo/src/model/term.h /root/repo/src/storage/homomorphism.h \
- /root/repo/src/storage/instance.h /root/repo/src/chase/forest.h \
+ /usr/include/c++/12/variant /root/repo/src/model/atom.h \
+ /usr/include/c++/12/cstddef /root/repo/src/base/hash.h \
+ /root/repo/src/model/schema.h /root/repo/src/model/term.h \
+ /root/repo/src/storage/homomorphism.h /root/repo/src/storage/instance.h \
+ /root/repo/src/generator/random_rules.h \
  /root/repo/src/model/vocabulary.h /root/repo/src/model/symbol_table.h \
+ /root/repo/src/termination/decider.h \
+ /root/repo/src/termination/critical_instance.h \
+ /root/repo/src/termination/pump_detector.h /root/repo/src/chase/forest.h \
  /root/repo/src/model/parser.h /root/repo/src/model/egd.h \
  /root/repo/src/model/printer.h

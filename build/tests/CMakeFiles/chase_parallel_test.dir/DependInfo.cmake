@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chase_parallel_test.cc" "tests/CMakeFiles/chase_parallel_test.dir/chase_parallel_test.cc.o" "gcc" "tests/CMakeFiles/chase_parallel_test.dir/chase_parallel_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/termination/CMakeFiles/gchase_termination.dir/DependInfo.cmake"
+  "/root/repo/build/src/generator/CMakeFiles/gchase_generator.dir/DependInfo.cmake"
+  "/root/repo/build/src/reasoning/CMakeFiles/gchase_reasoning.dir/DependInfo.cmake"
+  "/root/repo/build/src/chase/CMakeFiles/gchase_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/acyclicity/CMakeFiles/gchase_acyclicity.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gchase_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/gchase_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/gchase_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

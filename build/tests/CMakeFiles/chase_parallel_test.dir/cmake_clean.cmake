@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_parallel_test.dir/chase_parallel_test.cc.o"
+  "CMakeFiles/chase_parallel_test.dir/chase_parallel_test.cc.o.d"
+  "chase_parallel_test"
+  "chase_parallel_test.pdb"
+  "chase_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

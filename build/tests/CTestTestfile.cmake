@@ -20,6 +20,7 @@ include("/root/repo/build/tests/mfa_test[1]_include.cmake")
 include("/root/repo/build/tests/restricted_probe_test[1]_include.cmake")
 include("/root/repo/build/tests/pump_detector_test[1]_include.cmake")
 include("/root/repo/build/tests/chase_limits_test[1]_include.cmake")
+include("/root/repo/build/tests/chase_parallel_test[1]_include.cmake")
 include("/root/repo/build/tests/core_test[1]_include.cmake")
 include("/root/repo/build/tests/egd_test[1]_include.cmake")
 include("/root/repo/build/tests/containment_test[1]_include.cmake")

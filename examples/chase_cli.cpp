@@ -2,11 +2,16 @@
 // result — a minimal command-line front end over the library.
 //
 // Usage:
-//   ./build/examples/chase_cli <file.dlgp> [variant] [max_atoms] [--dot]
-//     variant:   restricted (default) | semi-oblivious | oblivious
-//     max_atoms: resource cap (default 10000)
-//     --dot:     emit the guarded chase forest in Graphviz DOT instead
-//                of the atom list (pipe into `dot -Tsvg`)
+//   ./build/examples/chase_cli <file.dlgp> [variant] [max_atoms]
+//                              [--dot] [--stats] [--threads=N]
+//     variant:    restricted (default) | semi-oblivious | oblivious
+//     max_atoms:  resource cap (default 10000)
+//     --dot:      emit the guarded chase forest in Graphviz DOT instead
+//                 of the atom list (pipe into `dot -Tsvg`)
+//     --stats:    emit the run's ChaseStats as JSON instead of the atom
+//                 list (per-rule counters, per-round timings, peaks)
+//     --threads=N parallel trigger discovery with N workers (default 1;
+//                 the result is bit-identical for every N)
 //
 // The input file holds rules and facts in the library's syntax; see
 // examples/rules/*.dlgp.
@@ -18,6 +23,7 @@
 #include <sstream>
 
 #include "base/timer.h"
+#include "bench/bench_util.h"
 #include "chase/chase.h"
 #include "chase/forest.h"
 #include "model/parser.h"
@@ -46,10 +52,17 @@ int main(int argc, char** argv) {
   }
 
   bool want_dot = false;
+  bool want_stats = false;
+  uint32_t threads = 1;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dot") == 0) {
       want_dot = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      want_stats = true;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<uint32_t>(std::strtoul(argv[i] + 10, nullptr, 10));
+      if (threads == 0) threads = 1;
     } else {
       args.push_back(argv[i]);
     }
@@ -60,6 +73,7 @@ int main(int argc, char** argv) {
   ChaseOptions options;
   options.max_atoms = 10000;
   options.track_provenance = want_dot;
+  options.discovery_threads = threads;
   if (argc > 2) {
     if (std::strcmp(argv[2], "oblivious") == 0) {
       options.variant = ChaseVariant::kOblivious;
@@ -86,6 +100,12 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("%s", forest->ToDot(parsed->vocabulary).c_str());
+    return outcome == ChaseOutcome::kTerminated ? 0 : 3;
+  }
+
+  if (want_stats) {
+    std::printf("%s\n",
+                gchase::bench_util::ChaseStatsToJson(run.stats()).c_str());
     return outcome == ChaseOutcome::kTerminated ? 0 : 3;
   }
 

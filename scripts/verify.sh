@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Repo verify flow: tier-1 build + full test suite, then the chase tests
+# again under ThreadSanitizer (the parallel trigger-discovery phase is the
+# only concurrency in the codebase; see docs/architecture.md §chase).
+#
+# Usage: scripts/verify.sh [--skip-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Tier 1: everything, sanitizer-free.
+cmake --preset default
+cmake --build --preset default -j"$(nproc)"
+ctest --preset default -j"$(nproc)"
+
+if [[ "${1:-}" != "--skip-tsan" ]]; then
+  # Tier 2: race-check the concurrent discovery phase. Only the chase test
+  # binaries are built — TSan compile+run is ~10x, and nothing else spawns
+  # threads.
+  cmake --preset tsan
+  cmake --build build-tsan -j"$(nproc)" \
+    --target chase_test chase_limits_test chase_parallel_test
+  (cd build-tsan && ctest -j"$(nproc)" \
+    -R 'ParallelDiscovery|ChaseStats|NullCap|RandomOrderSeeding|ChaseTest|ChaseLimits')
+fi
+
+echo "verify: OK"

@@ -7,6 +7,19 @@
 
 namespace gchase {
 
+/// The splitmix64 finalizer: a bijective avalanche mix of 64 bits. Use it
+/// to combine independent seed components (e.g. a user seed and a round
+/// counter) before constructing an Rng: `Rng(SplitMix64(seed ^
+/// SplitMix64(round)))`. Plain addition is NOT a substitute — Rng(s + r)
+/// makes (seed s, round r+1) replay (seed s+1, round r) exactly, so
+/// adjacent seeds give correlated streams.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 /// Deterministic pseudo-random number generator (splitmix64 core).
 ///
 /// All randomized workload generation is seeded so that experiments and

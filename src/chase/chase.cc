@@ -1,10 +1,13 @@
 #include "chase/chase.h"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 #include <utility>
 
 #include "base/hash.h"
 #include "base/rng.h"
+#include "base/timer.h"
 
 namespace gchase {
 
@@ -28,6 +31,8 @@ std::size_t ChaseRun::KeyHash::operator()(
 ChaseRun::ChaseRun(const RuleSet& rules, ChaseOptions options,
                    const std::vector<Atom>& database)
     : rules_(rules), options_(options) {
+  stats_.per_rule.assign(rules_.size(), RuleStats{});
+  stats_.discovery_threads = std::max<uint32_t>(1, options_.discovery_threads);
   for (const Atom& atom : database) {
     auto [id, inserted] = instance_.Insert(atom);
     if (inserted && options_.track_provenance) {
@@ -70,11 +75,18 @@ bool ChaseRun::ApplyTrigger(uint32_t rule_index, const Binding& binding,
     *outcome = ChaseOutcome::kResourceLimit;
     return false;
   }
-  if (next_null_ + rule.existential_variables().size() > options_.max_nulls) {
+  // Overflow-safe null cap: compare headroom, never the sum (the sum can
+  // wrap when max_nulls is near the type maximum). The representable-id
+  // ceiling is folded in so exhausting Term's 30-bit null space is a clean
+  // resource limit rather than a checked abort deep in Term::Null.
+  const uint64_t null_cap = std::min(options_.max_nulls, kMaxLabeledNulls);
+  if (next_null_ > null_cap ||
+      rule.existential_variables().size() > null_cap - next_null_) {
     *outcome = ChaseOutcome::kResourceLimit;
     return false;
   }
   ++applied_triggers_;
+  ++stats_.per_rule[rule_index].applied;
 
   // Extend the homomorphism with fresh nulls for the existential variables.
   Binding extended = binding;
@@ -151,63 +163,195 @@ bool ChaseRun::ApplyTrigger(uint32_t rule_index, const Binding& binding,
   return true;
 }
 
+std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverTriggers(
+    AtomId watermark, bool* capped) {
+  const uint32_t num_threads = std::max<uint32_t>(1, options_.discovery_threads);
+  if (num_threads <= 1) return DiscoverSerial(watermark, capped);
+  return DiscoverParallel(watermark, capped, num_threads);
+}
+
+std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverSerial(
+    AtomId watermark, bool* capped) {
+  std::vector<PendingTrigger> pending;
+  for (uint32_t r = 0; r < rules_.size() && !*capped; ++r) {
+    const Tgd& rule = rules_.rule(r);
+    const std::size_t body_size = rule.body().size();
+    HomomorphismFinder finder(instance_);
+    for (std::size_t pivot = 0; pivot < body_size && !*capped; ++pivot) {
+      HomSearchOptions search;
+      search.watermark = watermark;
+      search.ranges.assign(body_size, MatchRange::kAll);
+      for (std::size_t i = 0; i < pivot; ++i) {
+        search.ranges[i] = MatchRange::kOldOnly;
+      }
+      search.ranges[pivot] = MatchRange::kDeltaOnly;
+      search.max_candidate_visits =
+          options_.max_join_work > join_work_
+              ? options_.max_join_work - join_work_
+              : 0;
+      search.visits = &join_work_;
+      search.budget_exhausted = capped;
+      finder.FindAllWithOptions(
+          rule.body(), rule.num_variables(), search, Binding(),
+          [&](const Binding& binding) {
+            ++hom_discoveries_;
+            std::vector<uint32_t> key = TriggerKey(r, binding);
+            if (applied_keys_.insert(std::move(key)).second) {
+              ++stats_.per_rule[r].discovered;
+              pending.push_back(PendingTrigger{r, binding});
+            }
+            if (applied_triggers_ + pending.size() >= options_.max_steps ||
+                hom_discoveries_ >= options_.max_hom_discoveries) {
+              *capped = true;
+              return false;
+            }
+            return true;
+          });
+    }
+  }
+  return pending;
+}
+
+std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverParallel(
+    AtomId watermark, bool* capped, uint32_t num_threads) {
+  // One work unit per (rule, pivot) pair: the pivot conjunct is
+  // constrained to the delta, so the units partition the round's
+  // homomorphisms exactly as the serial engine enumerates them. Workers
+  // share the instance read-only and write only their own unit, so the
+  // phase is data-race-free by construction.
+  struct DiscoveryUnit {
+    uint32_t rule = 0;
+    uint32_t pivot = 0;
+    std::vector<Binding> found;
+    uint64_t visits = 0;
+    bool budget_exhausted = false;
+  };
+  std::vector<DiscoveryUnit> units;
+  for (uint32_t r = 0; r < rules_.size(); ++r) {
+    const std::size_t body_size = rules_.rule(r).body().size();
+    for (std::size_t pivot = 0; pivot < body_size; ++pivot) {
+      DiscoveryUnit unit;
+      unit.rule = r;
+      unit.pivot = static_cast<uint32_t>(pivot);
+      units.push_back(std::move(unit));
+    }
+  }
+
+  // Budgets are snapshotted at round start and granted to every unit in
+  // full: a worker cannot know how much budget its siblings are spending.
+  // Under binding caps the parallel engine may therefore do (bounded)
+  // extra work before the deterministic merge below re-applies the caps
+  // exactly; with caps not binding — the only regime where equivalence is
+  // meaningful — every unit runs to completion just like the serial loop.
+  const uint64_t join_budget = options_.max_join_work > join_work_
+                                   ? options_.max_join_work - join_work_
+                                   : 0;
+  const uint64_t hom_budget =
+      options_.max_hom_discoveries > hom_discoveries_
+          ? options_.max_hom_discoveries - hom_discoveries_
+          : 0;
+  const uint64_t step_budget = options_.max_steps > applied_triggers_
+                                   ? options_.max_steps - applied_triggers_
+                                   : 0;
+  const uint64_t local_found_cap = std::min(hom_budget, step_budget);
+
+  std::atomic<std::size_t> next_unit{0};
+  auto worker = [&]() {
+    HomomorphismFinder finder(instance_);
+    for (;;) {
+      const std::size_t u = next_unit.fetch_add(1, std::memory_order_relaxed);
+      if (u >= units.size()) return;
+      DiscoveryUnit& unit = units[u];
+      const Tgd& rule = rules_.rule(unit.rule);
+      const std::size_t body_size = rule.body().size();
+      HomSearchOptions search;
+      search.watermark = watermark;
+      search.ranges.assign(body_size, MatchRange::kAll);
+      for (std::size_t i = 0; i < unit.pivot; ++i) {
+        search.ranges[i] = MatchRange::kOldOnly;
+      }
+      search.ranges[unit.pivot] = MatchRange::kDeltaOnly;
+      search.max_candidate_visits = join_budget;
+      search.visits = &unit.visits;
+      search.budget_exhausted = &unit.budget_exhausted;
+      finder.FindAllWithOptions(
+          rule.body(), rule.num_variables(), search, Binding(),
+          [&unit, local_found_cap](const Binding& binding) {
+            unit.found.push_back(binding);
+            if (unit.found.size() >= local_found_cap) {
+              unit.budget_exhausted = true;
+              return false;
+            }
+            return true;
+          });
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(num_threads - 1);
+  for (uint32_t t = 0; t + 1 < num_threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+
+  // Deterministic merge in (rule, pivot, discovery) order — the exact
+  // order the serial engine discovers in — re-running the shared-state
+  // steps (dedup against applied_keys_, counter updates, cap checks) that
+  // workers could not touch concurrently.
+  for (const DiscoveryUnit& unit : units) {
+    join_work_ += unit.visits;
+    if (unit.budget_exhausted) *capped = true;
+  }
+  std::vector<PendingTrigger> pending;
+  bool merge_capped = false;
+  for (const DiscoveryUnit& unit : units) {
+    if (merge_capped) break;
+    for (const Binding& binding : unit.found) {
+      ++hom_discoveries_;
+      std::vector<uint32_t> key = TriggerKey(unit.rule, binding);
+      if (applied_keys_.insert(std::move(key)).second) {
+        ++stats_.per_rule[unit.rule].discovered;
+        pending.push_back(PendingTrigger{unit.rule, binding});
+      }
+      if (applied_triggers_ + pending.size() >= options_.max_steps ||
+          hom_discoveries_ >= options_.max_hom_discoveries) {
+        merge_capped = true;
+        break;
+      }
+    }
+  }
+  if (merge_capped) *capped = true;
+  return pending;
+}
+
+void ChaseRun::UpdateStatsPeaks() {
+  stats_.peak_atoms = std::max<uint64_t>(stats_.peak_atoms, instance_.size());
+  stats_.peak_position_index_keys = std::max(
+      stats_.peak_position_index_keys, instance_.PositionIndexKeys());
+  stats_.peak_position_index_entries = std::max(
+      stats_.peak_position_index_entries, instance_.PositionIndexEntries());
+  stats_.peak_dedup_keys =
+      std::max<uint64_t>(stats_.peak_dedup_keys, applied_keys_.size());
+}
+
 ChaseOutcome ChaseRun::Execute(const AtomObserver& observer) {
   GCHASE_CHECK_MSG(!executed_, "ChaseRun::Execute called twice");
   executed_ = true;
 
-  struct PendingTrigger {
-    uint32_t rule;
-    Binding binding;
-  };
-
   AtomId watermark = 0;
   ChaseOutcome outcome = ChaseOutcome::kTerminated;
+  UpdateStatsPeaks();
   for (;;) {
     const AtomId frontier_end = instance_.size();
-    std::vector<PendingTrigger> pending;
 
     // Discover triggers whose homomorphism touches the latest delta:
     // pivot decomposition guarantees each homomorphism is found once.
     // Discovery itself is bounded by the step cap — unguarded bodies can
     // otherwise enumerate combinatorially many homomorphisms in a single
     // round before any trigger is applied.
+    WallTimer phase_timer;
     bool discovery_capped = false;
-    for (uint32_t r = 0; r < rules_.size() && !discovery_capped; ++r) {
-      const Tgd& rule = rules_.rule(r);
-      const std::size_t body_size = rule.body().size();
-      HomomorphismFinder finder(instance_);
-      for (std::size_t pivot = 0; pivot < body_size && !discovery_capped;
-           ++pivot) {
-        HomSearchOptions search;
-        search.watermark = watermark;
-        search.ranges.assign(body_size, MatchRange::kAll);
-        for (std::size_t i = 0; i < pivot; ++i) {
-          search.ranges[i] = MatchRange::kOldOnly;
-        }
-        search.ranges[pivot] = MatchRange::kDeltaOnly;
-        search.max_candidate_visits =
-            options_.max_join_work > join_work_
-                ? options_.max_join_work - join_work_
-                : 0;
-        search.visits = &join_work_;
-        search.budget_exhausted = &discovery_capped;
-        finder.FindAllWithOptions(
-            rule.body(), rule.num_variables(), search, Binding(),
-            [&](const Binding& binding) {
-              ++hom_discoveries_;
-              std::vector<uint32_t> key = TriggerKey(r, binding);
-              if (applied_keys_.insert(std::move(key)).second) {
-                pending.push_back(PendingTrigger{r, binding});
-              }
-              if (applied_triggers_ + pending.size() >= options_.max_steps ||
-                  hom_discoveries_ >= options_.max_hom_discoveries) {
-                discovery_capped = true;
-                return false;
-              }
-              return true;
-            });
-      }
-    }
+    std::vector<PendingTrigger> pending =
+        DiscoverTriggers(watermark, &discovery_capped);
+    const double discovery_seconds = phase_timer.ElapsedSeconds();
 
     if (pending.empty()) {
       // A capped discovery may have dropped homomorphisms that will not
@@ -217,6 +361,11 @@ ChaseOutcome ChaseRun::Execute(const AtomObserver& observer) {
                               : ChaseOutcome::kTerminated;
     }
     ++rounds_;
+    stats_.per_round.push_back(RoundStats{});
+    RoundStats& round = stats_.per_round.back();
+    round.delta_atoms = frontier_end - watermark;
+    round.candidates = pending.size();
+    round.discovery_seconds = discovery_seconds;
 
     // Reorder within the round per the configured strategy. Every
     // strategy applies all discovered triggers before the next round, so
@@ -231,7 +380,10 @@ ChaseOutcome ChaseRun::Execute(const AtomObserver& observer) {
             });
         break;
       case TriggerOrder::kRandom: {
-        Rng rng(options_.order_seed + rounds_);
+        // Seed and round are avalanche-mixed so nearby (seed, round)
+        // pairs give independent shuffles; `seed + round` would make
+        // (s, r+1) replay (s+1, r) and correlate adjacent seeds.
+        Rng rng(SplitMix64(options_.order_seed ^ SplitMix64(rounds_)));
         for (std::size_t i = pending.size(); i > 1; --i) {
           std::swap(pending[i - 1], pending[rng.NextBelow(i)]);
         }
@@ -239,17 +391,27 @@ ChaseOutcome ChaseRun::Execute(const AtomObserver& observer) {
       }
     }
 
-    // Apply in the chosen order.
+    // Apply in the chosen order (always serial: application mutates the
+    // instance, and restricted-chase semantics depend on the order).
+    phase_timer.Restart();
+    const uint64_t applied_before = applied_triggers_;
     for (const PendingTrigger& trigger : pending) {
       const Tgd& rule = rules_.rule(trigger.rule);
       if (options_.variant == ChaseVariant::kRestricted &&
           HeadSatisfied(rule, trigger.binding)) {
+        ++stats_.per_rule[trigger.rule].skipped_satisfied;
         continue;  // Satisfied triggers are skipped, permanently (monotone).
       }
       if (!ApplyTrigger(trigger.rule, trigger.binding, observer, &outcome)) {
+        round.applied = applied_triggers_ - applied_before;
+        round.apply_seconds = phase_timer.ElapsedSeconds();
+        UpdateStatsPeaks();
         return outcome;
       }
     }
+    round.applied = applied_triggers_ - applied_before;
+    round.apply_seconds = phase_timer.ElapsedSeconds();
+    UpdateStatsPeaks();
     if (discovery_capped) return ChaseOutcome::kResourceLimit;
     watermark = frontier_end;
   }
@@ -263,6 +425,9 @@ ChaseResult RunChase(const RuleSet& rules, const ChaseOptions& options,
   result.applied_triggers = run.applied_triggers();
   result.rounds = run.rounds();
   result.nulls_created = run.nulls_created();
+  result.hom_discoveries = run.hom_discoveries();
+  result.join_work = run.join_work();
+  result.stats = run.stats();
   result.instance = run.instance();
   return result;
 }

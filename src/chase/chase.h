@@ -46,6 +46,14 @@ struct ChaseOptions {
   TriggerOrder order = TriggerOrder::kFifo;
   /// Seed for TriggerOrder::kRandom.
   uint64_t order_seed = 0;
+  /// Worker threads for the trigger-discovery phase. 1 (the default) runs
+  /// the serial engine; n > 1 shards the round's (rule, pivot) search
+  /// units over n threads and merges the discovered candidates
+  /// deterministically, so every value produces bit-identical instances
+  /// and trigger sequences. Trigger *application* is always serial (it
+  /// mutates the instance), so restricted-chase order sensitivity is
+  /// unaffected.
+  uint32_t discovery_threads = 1;
   /// Cap on applied triggers (chase steps).
   uint64_t max_steps = std::numeric_limits<uint64_t>::max();
   /// Cap on total atoms in the instance.
@@ -96,6 +104,43 @@ struct TriggerRecord {
   std::vector<AtomId> produced;    ///< Ids of the head-atom images.
 };
 
+/// Labeled-null ids the engine may allocate: [0, kMaxLabeledNulls). The id
+/// kUnboundIndex is the binding sentinel and is never handed out; running
+/// out of representable ids surfaces as ChaseOutcome::kResourceLimit, never
+/// as a silent collision.
+inline constexpr uint64_t kMaxLabeledNulls = kUnboundIndex;
+
+/// Per-rule trigger counters, indexed like RuleSet::rule().
+struct RuleStats {
+  uint64_t discovered = 0;         ///< Candidates surviving key dedup.
+  uint64_t applied = 0;            ///< Triggers actually fired.
+  uint64_t skipped_satisfied = 0;  ///< Restricted-chase satisfied skips.
+};
+
+/// Per-round counters and phase timings. A round is one discovery pass
+/// followed by one application pass; the final discovery pass that finds
+/// no candidate (and so terminates the run) has no entry.
+struct RoundStats {
+  uint64_t delta_atoms = 0;        ///< Atoms entering the round as delta.
+  uint64_t candidates = 0;         ///< Pending triggers after dedup.
+  uint64_t applied = 0;            ///< Triggers fired this round.
+  double discovery_seconds = 0.0;  ///< Wall time of the discovery phase.
+  double apply_seconds = 0.0;      ///< Wall time of the application phase.
+};
+
+/// Observability counters for one chase execution. Collection is always
+/// on: everything here is O(rules + rounds) memory and a couple of clock
+/// reads per round. Serialized to JSON by bench_util::ChaseStatsToJson.
+struct ChaseStats {
+  std::vector<RuleStats> per_rule;
+  std::vector<RoundStats> per_round;
+  uint64_t peak_atoms = 0;                   ///< Final instance size.
+  uint64_t peak_position_index_keys = 0;     ///< Distinct (pred,pos,term) keys.
+  uint64_t peak_position_index_entries = 0;  ///< Total posting-list entries.
+  uint64_t peak_dedup_keys = 0;              ///< Applied trigger keys.
+  uint32_t discovery_threads = 1;            ///< Effective worker count.
+};
+
 /// A single chase execution. Construct, Execute() once, then inspect.
 ///
 /// The engine uses round-based semi-naive trigger discovery: in each round
@@ -126,6 +171,7 @@ class ChaseRun {
   uint64_t nulls_created() const { return next_null_; }
   uint64_t hom_discoveries() const { return hom_discoveries_; }
   uint64_t join_work() const { return join_work_; }
+  const ChaseStats& stats() const { return stats_; }
 
   /// Variant-specific dedup key: rule id followed by the raw images of the
   /// relevant variables (all universals for oblivious, frontier otherwise).
@@ -140,6 +186,11 @@ class ChaseRun {
   }
 
  private:
+  /// A discovered, deduplicated trigger awaiting application.
+  struct PendingTrigger {
+    uint32_t rule;
+    Binding binding;
+  };
 
   /// True if the rule head, under the frontier part of `binding`, already
   /// maps into the instance (restricted-chase satisfaction check).
@@ -148,6 +199,21 @@ class ChaseRun {
   /// Applies one trigger; returns false if a resource cap was hit.
   bool ApplyTrigger(uint32_t rule_index, const Binding& binding,
                     const AtomObserver& observer, ChaseOutcome* outcome);
+
+  /// One round of semi-naive trigger discovery: every homomorphism whose
+  /// image touches an atom with id >= `watermark`, deduplicated through
+  /// applied_keys_, in deterministic (rule, pivot, discovery) order.
+  /// Dispatches to the serial or parallel engine per discovery_threads;
+  /// both produce identical results. Sets *capped when a discovery cap
+  /// was hit (results may then be incomplete).
+  std::vector<PendingTrigger> DiscoverTriggers(AtomId watermark,
+                                               bool* capped);
+  std::vector<PendingTrigger> DiscoverSerial(AtomId watermark, bool* capped);
+  std::vector<PendingTrigger> DiscoverParallel(AtomId watermark, bool* capped,
+                                               uint32_t num_threads);
+
+  /// Folds current index sizes into the stats peaks.
+  void UpdateStatsPeaks();
 
   const RuleSet& rules_;
   ChaseOptions options_;
@@ -160,22 +226,30 @@ class ChaseRun {
   };
   std::unordered_set<std::vector<uint32_t>, KeyHash> applied_keys_;
 
+  ChaseStats stats_;
   uint64_t applied_triggers_ = 0;
   uint64_t rounds_ = 0;
   uint64_t hom_discoveries_ = 0;
   uint64_t join_work_ = 0;
-  uint32_t next_null_ = 0;
+  /// Next labeled-null id. 64-bit so the max_nulls comparison cannot wrap
+  /// (a 32-bit counter would silently recycle ids past 2^32).
+  uint64_t next_null_ = 0;
   bool executed_ = false;
   bool abort_requested_ = false;
 };
 
-/// Convenience result bundle for RunChase().
+/// Convenience result bundle for RunChase(). Carries every counter the
+/// run exposes — callers capping discovery work need hom_discoveries and
+/// join_work to observe how close a run came to its caps.
 struct ChaseResult {
   ChaseOutcome outcome = ChaseOutcome::kTerminated;
   Instance instance;
   uint64_t applied_triggers = 0;
   uint64_t rounds = 0;
   uint64_t nulls_created = 0;
+  uint64_t hom_discoveries = 0;
+  uint64_t join_work = 0;
+  ChaseStats stats;
 };
 
 /// One-shot helper: runs the chase of `database` w.r.t. `rules`.

@@ -25,7 +25,14 @@ class Term {
 
   static Term Constant(uint32_t index) { return Term(Kind::kConstant, index); }
   static Term Variable(uint32_t index) { return Term(Kind::kVariable, index); }
-  static Term Null(uint32_t index) { return Term(Kind::kNull, index); }
+  /// Takes the null factory's 64-bit counter directly; ids that do not fit
+  /// the 30-bit index are a checked failure, never a silent truncation
+  /// (the chase converts near-limit allocation into a resource-limit
+  /// outcome before getting here).
+  static Term Null(uint64_t index) {
+    GCHASE_CHECK(index <= kIndexMask);
+    return Term(Kind::kNull, static_cast<uint32_t>(index));
+  }
 
   Kind kind() const { return static_cast<Kind>(raw_ >> 30); }
   uint32_t index() const { return raw_ & kIndexMask; }

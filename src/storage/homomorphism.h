@@ -31,6 +31,11 @@ enum class MatchRange {
 };
 
 /// Options for one FindHomomorphisms call.
+///
+/// Concurrency: a search only reads the instance, so any number of
+/// searches may run in parallel against one Instance that no thread is
+/// mutating. The `visits` and `budget_exhausted` out-pointers are written
+/// without synchronization — give each concurrent search its own.
 struct HomSearchOptions {
   /// Per-conjunct match ranges; empty means kAll for every conjunct.
   std::vector<MatchRange> ranges;

@@ -25,6 +25,7 @@ std::pair<AtomId, bool> Instance::Insert(const Atom& atom) {
   for (uint32_t pos = 0; pos < atom.arity(); ++pos) {
     position_index_[PositionKey(atom.predicate, pos, atom.args[pos])]
         .push_back(id);
+    ++position_entries_;
   }
   return {id, true};
 }

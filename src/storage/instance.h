@@ -21,6 +21,12 @@ using AtomId = uint32_t;
 ///  - a per-predicate atom list,
 ///  - a position index (predicate, position, term) -> atoms, used by the
 ///    homomorphism engine to seed joins.
+///
+/// Thread-safety contract: all const members are safe to call from any
+/// number of threads concurrently as long as no thread is mutating (there
+/// are no mutable caches and no lazily built indexes). The chase's
+/// parallel trigger-discovery phase relies on exactly this: workers share
+/// one read-only Instance between mutation-free phases.
 class Instance {
  public:
   Instance() = default;
@@ -60,6 +66,14 @@ class Instance {
   /// Number of distinct labeled nulls occurring in the instance.
   uint32_t CountNulls() const;
 
+  /// Distinct (predicate, position, term) keys in the position index.
+  uint64_t PositionIndexKeys() const { return position_index_.size(); }
+
+  /// Total posting-list entries across the position index (equals the sum
+  /// of atom arities). Maintained as a plain counter so observability
+  /// layers can sample it in O(1).
+  uint64_t PositionIndexEntries() const { return position_entries_; }
+
  private:
   static uint64_t PositionKey(PredicateId pred, uint32_t position, Term term) {
     GCHASE_CHECK(position < 256);
@@ -72,6 +86,7 @@ class Instance {
   std::unordered_map<Atom, AtomId> dedup_;
   std::vector<std::vector<AtomId>> by_predicate_;
   std::unordered_map<uint64_t, std::vector<AtomId>> position_index_;
+  uint64_t position_entries_ = 0;
 };
 
 }  // namespace gchase

@@ -38,6 +38,7 @@ StatusOr<DeciderResult> DecideTermination(const RuleSet& rules,
   chase_options.max_steps = options.max_steps;
   chase_options.max_hom_discoveries = options.max_hom_discoveries;
   chase_options.max_join_work = options.max_join_work;
+  chase_options.discovery_threads = options.discovery_threads;
   chase_options.track_provenance = true;
 
   ChaseRun run(rules, chase_options, database);
@@ -55,6 +56,9 @@ StatusOr<DeciderResult> DecideTermination(const RuleSet& rules,
 
   result.chase_atoms = run.instance().size();
   result.applied_triggers = run.applied_triggers();
+  result.hom_discoveries = run.hom_discoveries();
+  result.join_work = run.join_work();
+  result.chase_stats = run.stats();
   result.replays_attempted = detector.replays_attempted();
   switch (outcome) {
     case ChaseOutcome::kTerminated:

@@ -37,6 +37,10 @@ struct DeciderOptions {
   uint64_t max_hom_discoveries = 1ull << 24;
   /// Cap on join-search work (see ChaseOptions::max_join_work).
   uint64_t max_join_work = 1ull << 28;
+  /// Worker threads for the exploratory chase's trigger-discovery phase
+  /// (see ChaseOptions::discovery_threads). The decider's verdict is
+  /// thread-count-invariant: discovery is merged deterministically.
+  uint32_t discovery_threads = 1;
   /// Pump-detection tuning.
   PumpDetectorOptions pump;
   /// Use the paper's standard-database critical instance ({*,0,1}).
@@ -59,7 +63,11 @@ struct DeciderResult {
   /// Chase statistics of the exploration.
   uint64_t chase_atoms = 0;
   uint64_t applied_triggers = 0;
+  uint64_t hom_discoveries = 0;
+  uint64_t join_work = 0;
   uint64_t replays_attempted = 0;
+  /// Full per-rule / per-round observability of the exploratory chase.
+  ChaseStats chase_stats;
 };
 
 /// Decides all-instance chase termination of `rules` for the oblivious or

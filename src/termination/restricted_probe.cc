@@ -17,6 +17,7 @@ bool RunOnce(const RuleSet& rules, const std::vector<Atom>& database,
   chase_options.max_steps = options.max_steps;
   chase_options.max_hom_discoveries = options.max_hom_discoveries;
   chase_options.max_join_work = options.max_join_work;
+  chase_options.discovery_threads = options.discovery_threads;
   return RunChase(rules, chase_options, database).outcome ==
          ChaseOutcome::kTerminated;
 }

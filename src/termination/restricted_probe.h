@@ -21,6 +21,9 @@ struct RestrictedProbeOptions {
   uint64_t max_steps = 1u << 18;
   uint64_t max_hom_discoveries = 1ull << 22;
   uint64_t max_join_work = 1ull << 26;
+  /// Worker threads for each probe run's trigger-discovery phase (see
+  /// ChaseOptions::discovery_threads; outcome-invariant).
+  uint32_t discovery_threads = 1;
   /// Probe the critical instance when true (default); otherwise the
   /// caller-provided database.
   bool use_critical_instance = true;
