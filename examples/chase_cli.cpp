@@ -4,6 +4,7 @@
 // Usage:
 //   ./build/examples/chase_cli <file.dlgp> [variant] [max_atoms]
 //                              [--dot] [--stats] [--threads=N]
+//                              [--deadline-ms=N]
 //     variant:    restricted (default) | semi-oblivious | oblivious
 //     max_atoms:  resource cap (default 10000)
 //     --dot:      emit the guarded chase forest in Graphviz DOT instead
@@ -12,10 +13,21 @@
 //                 list (per-rule counters, per-round timings, peaks)
 //     --threads=N parallel trigger discovery with N workers (default 1;
 //                 the result is bit-identical for every N)
+//     --deadline-ms=N  wall-clock budget; an expired run stops at its
+//                 next cooperative checkpoint with the partial instance
+//                 and stats intact
+//
+// Ctrl-C (SIGINT) trips the run's cancellation token instead of killing
+// the process: the chase stops cooperatively and the partial result is
+// printed, exactly as on deadline expiry.
+//
+// Exit codes: 0 terminated, 1 I/O or parse error, 2 bad usage,
+// 3 resource cap, 4 deadline exceeded, 5 cancelled.
 //
 // The input file holds rules and facts in the library's syntax; see
 // examples/rules/*.dlgp.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,12 +41,38 @@
 #include "model/parser.h"
 #include "model/printer.h"
 
+namespace {
+
+// Shared with the SIGINT handler; RequestCancel is a relaxed atomic
+// store, which is async-signal-safe.
+gchase::CancellationToken g_cancel;
+
+extern "C" void HandleSigint(int) { g_cancel.RequestCancel(); }
+
+int ExitCodeFor(gchase::ChaseOutcome outcome) {
+  switch (outcome) {
+    case gchase::ChaseOutcome::kTerminated:
+      return 0;
+    case gchase::ChaseOutcome::kResourceLimit:
+    case gchase::ChaseOutcome::kAborted:
+      return 3;
+    case gchase::ChaseOutcome::kDeadlineExceeded:
+      return 4;
+    case gchase::ChaseOutcome::kCancelled:
+      return 5;
+  }
+  return 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace gchase;
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <file.dlgp> [restricted|semi-oblivious|"
-                 "oblivious] [max_atoms]\n",
+                 "oblivious] [max_atoms] [--dot] [--stats] [--threads=N] "
+                 "[--deadline-ms=N]\n",
                  argv[0]);
     return 2;
   }
@@ -54,6 +92,7 @@ int main(int argc, char** argv) {
   bool want_dot = false;
   bool want_stats = false;
   uint32_t threads = 1;
+  int64_t deadline_ms = -1;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dot") == 0) {
@@ -63,6 +102,12 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = static_cast<uint32_t>(std::strtoul(argv[i] + 10, nullptr, 10));
       if (threads == 0) threads = 1;
+    } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+      deadline_ms = std::strtoll(argv[i] + 14, nullptr, 10);
+      if (deadline_ms < 0) {
+        std::fprintf(stderr, "--deadline-ms needs a non-negative value\n");
+        return 2;
+      }
     } else {
       args.push_back(argv[i]);
     }
@@ -74,6 +119,9 @@ int main(int argc, char** argv) {
   options.max_atoms = 10000;
   options.track_provenance = want_dot;
   options.discovery_threads = threads;
+  if (deadline_ms >= 0) options.deadline = Deadline::AfterMillis(deadline_ms);
+  options.cancel = g_cancel;
+  std::signal(SIGINT, HandleSigint);
   if (argc > 2) {
     if (std::strcmp(argv[2], "oblivious") == 0) {
       options.variant = ChaseVariant::kOblivious;
@@ -93,6 +141,17 @@ int main(int argc, char** argv) {
   ChaseOutcome outcome = run.Execute();
   double seconds = timer.ElapsedSeconds();
 
+  const bool aborted = outcome == ChaseOutcome::kDeadlineExceeded ||
+                       outcome == ChaseOutcome::kCancelled;
+  if (aborted) {
+    // The instance and stats below are a valid prefix of the run, just
+    // not a fixpoint; say so loudly and include the partial stats.
+    std::fprintf(stderr, "%% run stopped early: %s after %.3fms\n",
+                 ChaseOutcomeName(outcome), seconds * 1e3);
+    std::fprintf(stderr, "%% partial stats: %s\n",
+                 gchase::bench_util::ChaseStatsToJson(run.stats()).c_str());
+  }
+
   if (want_dot) {
     StatusOr<ChaseForest> forest = ChaseForest::Build(run);
     if (!forest.ok()) {
@@ -100,20 +159,18 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("%s", forest->ToDot(parsed->vocabulary).c_str());
-    return outcome == ChaseOutcome::kTerminated ? 0 : 3;
+    return ExitCodeFor(outcome);
   }
 
   if (want_stats) {
     std::printf("%s\n",
                 gchase::bench_util::ChaseStatsToJson(run.stats()).c_str());
-    return outcome == ChaseOutcome::kTerminated ? 0 : 3;
+    return ExitCodeFor(outcome);
   }
 
   std::printf("%% variant=%s outcome=%s atoms=%u triggers=%llu nulls=%llu "
               "rounds=%llu time=%.3fms\n",
-              ChaseVariantName(options.variant),
-              outcome == ChaseOutcome::kTerminated ? "terminated"
-                                                   : "capped",
+              ChaseVariantName(options.variant), ChaseOutcomeName(outcome),
               run.instance().size(),
               static_cast<unsigned long long>(run.applied_triggers()),
               static_cast<unsigned long long>(run.nulls_created()),
@@ -122,5 +179,5 @@ int main(int argc, char** argv) {
   for (const Atom& atom : run.instance().atoms()) {
     std::printf("%s.\n", AtomToString(atom, parsed->vocabulary).c_str());
   }
-  return outcome == ChaseOutcome::kTerminated ? 0 : 3;
+  return ExitCodeFor(outcome);
 }

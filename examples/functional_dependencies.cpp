@@ -41,7 +41,12 @@ void RunScenario(const char* title, const char* text) {
       std::printf("FAILED: the EGDs are violated — no solution exists\n");
       break;
     case EgdChaseOutcome::kResourceLimit:
-      std::printf("capped\n");
+      std::printf("capped (%s)\n", EgdCapName(result.cap));
+      break;
+    case EgdChaseOutcome::kDeadlineExceeded:
+    case EgdChaseOutcome::kCancelled:
+      std::printf("stopped early: %s\n",
+                  EgdChaseOutcomeName(result.outcome));
       break;
   }
   std::printf("\n");

@@ -1,26 +1,51 @@
 #!/usr/bin/env bash
 # Repo verify flow: tier-1 build + full test suite, then the chase tests
 # again under ThreadSanitizer (the parallel trigger-discovery phase is the
-# only concurrency in the codebase; see docs/architecture.md §chase).
+# only concurrency in the codebase; see docs/architecture.md §chase), then
+# the governor/abort-path tests under ASan+UBSan (abort paths unwind
+# partially-built state, exactly where lifetime bugs hide).
 #
-# Usage: scripts/verify.sh [--skip-tsan]
+# Usage: scripts/verify.sh [--skip-tsan] [--skip-asan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+skip_tsan=0
+skip_asan=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) skip_tsan=1 ;;
+    --skip-asan) skip_asan=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 # Tier 1: everything, sanitizer-free.
 cmake --preset default
 cmake --build --preset default -j"$(nproc)"
 ctest --preset default -j"$(nproc)"
 
-if [[ "${1:-}" != "--skip-tsan" ]]; then
-  # Tier 2: race-check the concurrent discovery phase. Only the chase test
-  # binaries are built — TSan compile+run is ~10x, and nothing else spawns
-  # threads.
+if [[ "$skip_tsan" == 0 ]]; then
+  # Tier 2: race-check the concurrent discovery phase (now including the
+  # governor's cross-thread cancellation). Only the threaded test binaries
+  # are built — TSan compile+run is ~10x, and nothing else spawns threads.
   cmake --preset tsan
   cmake --build build-tsan -j"$(nproc)" \
-    --target chase_test chase_limits_test chase_parallel_test
+    --target chase_test chase_limits_test chase_parallel_test governor_test
   (cd build-tsan && ctest -j"$(nproc)" \
-    -R 'ParallelDiscovery|ChaseStats|NullCap|RandomOrderSeeding|ChaseTest|ChaseLimits')
+    -R 'ParallelDiscovery|ChaseStats|NullCap|RandomOrderSeeding|ChaseTest|ChaseLimits|Governor|Deadline|Cancellation|FaultInjection')
+fi
+
+if [[ "$skip_asan" == 0 ]]; then
+  # Tier 3: the abort-path tests under ASan+UBSan. A run stopped by a
+  # deadline, cancellation, or injected fault leaves a partial instance
+  # and stats behind; this tier proves the early returns don't leak or
+  # touch freed state, and that no abort path hangs (ctest enforces the
+  # per-test TIMEOUT).
+  cmake --preset asan
+  cmake --build build-asan -j"$(nproc)" \
+    --target governor_test egd_test chase_limits_test decider_test
+  (cd build-asan && ctest -j"$(nproc)" \
+    -R 'Governor|Deadline|Cancellation|FaultInjection|Egd|ChaseLimits|Decider')
 fi
 
 echo "verify: OK"

@@ -1,0 +1,37 @@
+#ifndef GCHASE_BASE_CANCELLATION_H_
+#define GCHASE_BASE_CANCELLATION_H_
+
+#include <atomic>
+#include <memory>
+
+namespace gchase {
+
+/// A thread-safe, copyable cancellation flag. All copies of a token share
+/// one atomic state: hand a copy to a long-running computation (via its
+/// options struct), keep another, and RequestCancel() from any thread —
+/// or from a signal handler; the store is lock-free and allocation-free —
+/// to make every cooperative checkpoint in the computation observe the
+/// request and unwind with a partial result.
+///
+/// Cancellation is one-way and sticky: there is no reset. Use a fresh
+/// token per run.
+class CancellationToken {
+ public:
+  CancellationToken() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation on every copy of this token. Safe to call
+  /// concurrently, repeatedly, and from signal handlers.
+  void RequestCancel() const {
+    state_->store(true, std::memory_order_relaxed);
+  }
+
+  /// True once any copy has requested cancellation.
+  bool Cancelled() const { return state_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+}  // namespace gchase
+
+#endif  // GCHASE_BASE_CANCELLATION_H_

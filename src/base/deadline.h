@@ -1,0 +1,80 @@
+#ifndef GCHASE_BASE_DEADLINE_H_
+#define GCHASE_BASE_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace gchase {
+
+/// A monotonic wall-clock deadline: a point in time after which a
+/// cooperative computation should stop and return whatever it has.
+///
+/// Deadlines are values (copy freely); the default-constructed deadline
+/// never expires, so threading one through options structs costs nothing
+/// until a caller actually sets a budget. Built on steady_clock — wall
+/// clock adjustments (NTP, suspend) cannot fire or starve a deadline.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `ms` milliseconds from now.
+  static Deadline AfterMillis(int64_t ms) {
+    return Deadline(Clock::now() + std::chrono::milliseconds(ms));
+  }
+
+  /// Expires `seconds` (fractional) seconds from now.
+  static Deadline AfterSeconds(double seconds) {
+    return Deadline(Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(seconds)));
+  }
+
+  /// Expires at the given absolute (steady-clock) time point.
+  static Deadline At(Clock::time_point when) { return Deadline(when); }
+
+  bool is_infinite() const { return when_ == Clock::time_point::max(); }
+
+  /// True once the deadline has passed. Infinite deadlines never expire
+  /// and skip the clock read, so checking a default deadline is free.
+  bool Expired() const { return !is_infinite() && Clock::now() >= when_; }
+
+  /// Remaining budget in seconds: +inf when infinite, <= 0 once expired.
+  double RemainingSeconds() const {
+    if (is_infinite()) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(when_ - Clock::now()).count();
+  }
+
+  /// A sub-deadline covering `fraction` (in (0, 1]) of the budget that
+  /// remains *now* — the building block of phase budget splitting: a
+  /// caller with k phases left gives the next phase Slice(1.0 / k).
+  /// Slicing an infinite or already-expired deadline returns it as is.
+  Deadline Slice(double fraction) const {
+    if (is_infinite()) return *this;
+    const Clock::time_point now = Clock::now();
+    if (now >= when_) return *this;
+    return Deadline(now + std::chrono::duration_cast<Clock::duration>(
+                              (when_ - now) * fraction));
+  }
+
+  /// The earlier (stricter) of the two deadlines.
+  static Deadline Earlier(Deadline a, Deadline b) {
+    return a.when_ <= b.when_ ? a : b;
+  }
+
+  Clock::time_point when() const { return when_; }
+
+ private:
+  explicit Deadline(Clock::time_point when) : when_(when) {}
+
+  Clock::time_point when_ = Clock::time_point::max();
+};
+
+}  // namespace gchase
+
+#endif  // GCHASE_BASE_DEADLINE_H_

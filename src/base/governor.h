@@ -1,0 +1,71 @@
+#ifndef GCHASE_BASE_GOVERNOR_H_
+#define GCHASE_BASE_GOVERNOR_H_
+
+#include "base/cancellation.h"
+#include "base/deadline.h"
+
+namespace gchase {
+
+/// What a governor checkpoint observed.
+enum class GovernorState {
+  kOk,                ///< Keep going.
+  kDeadlineExceeded,  ///< The wall-clock budget ran out.
+  kCancelled,         ///< An external caller requested a stop.
+};
+
+/// Why a governed computation stopped before reaching a proof — the
+/// shared vocabulary of every "unknown"-style verdict in the termination
+/// layer and of partial results elsewhere.
+enum class StopReason {
+  kNone,         ///< Did not stop early.
+  kResourceCap,  ///< A count cap (steps / atoms / nulls / work) was hit.
+  kDeadline,     ///< The wall-clock budget expired.
+  kCancelled,    ///< Cancellation was requested.
+};
+
+/// Returns "none", "resource-cap", "deadline" or "cancelled".
+inline const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kResourceCap:
+      return "resource-cap";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+/// An immutable bundle of the two run-abort signals, checked cooperatively
+/// at the engines' checkpoints (round boundaries, trigger applications,
+/// discovery units, and every ~1k candidate visits inside a join search).
+/// Checking is cheap — one relaxed atomic load, plus one steady-clock read
+/// only when a finite deadline is set — and thread-safe, so parallel
+/// discovery workers all check the same governor.
+class RunGovernor {
+ public:
+  RunGovernor() = default;
+  RunGovernor(Deadline deadline, CancellationToken cancel)
+      : deadline_(deadline), cancel_(std::move(cancel)) {}
+
+  /// Cancellation wins over deadline expiry when both hold: an explicit
+  /// user action beats a timer.
+  GovernorState Check() const {
+    if (cancel_.Cancelled()) return GovernorState::kCancelled;
+    if (deadline_.Expired()) return GovernorState::kDeadlineExceeded;
+    return GovernorState::kOk;
+  }
+
+  const Deadline& deadline() const { return deadline_; }
+  const CancellationToken& cancel() const { return cancel_; }
+
+ private:
+  Deadline deadline_;
+  CancellationToken cancel_;
+};
+
+}  // namespace gchase
+
+#endif  // GCHASE_BASE_GOVERNOR_H_

@@ -23,6 +23,37 @@ const char* ChaseVariantName(ChaseVariant variant) {
   return "?";
 }
 
+const char* ChaseOutcomeName(ChaseOutcome outcome) {
+  switch (outcome) {
+    case ChaseOutcome::kTerminated:
+      return "terminated";
+    case ChaseOutcome::kResourceLimit:
+      return "resource-limit";
+    case ChaseOutcome::kAborted:
+      return "aborted";
+    case ChaseOutcome::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case ChaseOutcome::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+namespace {
+
+ChaseOutcome OutcomeOf(GovernorState state) {
+  switch (state) {
+    case GovernorState::kCancelled:
+      return ChaseOutcome::kCancelled;
+    case GovernorState::kDeadlineExceeded:
+    case GovernorState::kOk:  // unreachable for a tripped governor
+      break;
+  }
+  return ChaseOutcome::kDeadlineExceeded;
+}
+
+}  // namespace
+
 std::size_t ChaseRun::KeyHash::operator()(
     const std::vector<uint32_t>& key) const noexcept {
   return HashRange(key.begin(), key.end());
@@ -30,7 +61,9 @@ std::size_t ChaseRun::KeyHash::operator()(
 
 ChaseRun::ChaseRun(const RuleSet& rules, ChaseOptions options,
                    const std::vector<Atom>& database)
-    : rules_(rules), options_(options) {
+    : rules_(rules),
+      options_(std::move(options)),
+      governor_(options_.deadline, options_.cancel) {
   stats_.per_rule.assign(rules_.size(), RuleStats{});
   stats_.discovery_threads = std::max<uint32_t>(1, options_.discovery_threads);
   for (const Atom& atom : database) {
@@ -163,21 +196,55 @@ bool ChaseRun::ApplyTrigger(uint32_t rule_index, const Binding& binding,
   return true;
 }
 
+bool ChaseRun::GovernorStop(FaultSite site, uint64_t ordinal,
+                            ChaseOutcome* outcome) const {
+  if (options_.fault_injector) {
+    switch (options_.fault_injector(site, ordinal)) {
+      case InjectedFault::kNone:
+        break;
+      case InjectedFault::kCancel:
+        *outcome = ChaseOutcome::kCancelled;
+        return true;
+      case InjectedFault::kDeadline:
+        *outcome = ChaseOutcome::kDeadlineExceeded;
+        return true;
+      case InjectedFault::kResourceLimit:
+        *outcome = ChaseOutcome::kResourceLimit;
+        return true;
+    }
+  }
+  const GovernorState state = governor_.Check();
+  if (state == GovernorState::kOk) return false;
+  *outcome = OutcomeOf(state);
+  return true;
+}
+
 std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverTriggers(
-    AtomId watermark, bool* capped) {
+    AtomId watermark, bool* capped, bool* stopped,
+    ChaseOutcome* stop_outcome) {
   const uint32_t num_threads = std::max<uint32_t>(1, options_.discovery_threads);
-  if (num_threads <= 1) return DiscoverSerial(watermark, capped);
-  return DiscoverParallel(watermark, capped, num_threads);
+  if (num_threads <= 1) {
+    return DiscoverSerial(watermark, capped, stopped, stop_outcome);
+  }
+  return DiscoverParallel(watermark, capped, stopped, stop_outcome,
+                          num_threads);
 }
 
 std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverSerial(
-    AtomId watermark, bool* capped) {
+    AtomId watermark, bool* capped, bool* stopped,
+    ChaseOutcome* stop_outcome) {
   std::vector<PendingTrigger> pending;
-  for (uint32_t r = 0; r < rules_.size() && !*capped; ++r) {
+  uint64_t unit = 0;
+  for (uint32_t r = 0; r < rules_.size() && !*capped && !*stopped; ++r) {
     const Tgd& rule = rules_.rule(r);
     const std::size_t body_size = rule.body().size();
     HomomorphismFinder finder(instance_);
-    for (std::size_t pivot = 0; pivot < body_size && !*capped; ++pivot) {
+    for (std::size_t pivot = 0; pivot < body_size && !*capped && !*stopped;
+         ++pivot) {
+      if (GovernorStop(FaultSite::kDiscovery, unit++, stop_outcome)) {
+        *stopped = true;
+        break;
+      }
       HomSearchOptions search;
       search.watermark = watermark;
       search.ranges.assign(body_size, MatchRange::kAll);
@@ -191,6 +258,9 @@ std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverSerial(
               : 0;
       search.visits = &join_work_;
       search.budget_exhausted = capped;
+      bool governor_tripped = false;
+      search.governor = &governor_;
+      search.governor_tripped = &governor_tripped;
       finder.FindAllWithOptions(
           rule.body(), rule.num_variables(), search, Binding(),
           [&](const Binding& binding) {
@@ -207,13 +277,18 @@ std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverSerial(
             }
             return true;
           });
+      if (governor_tripped) {
+        *stopped = true;
+        *stop_outcome = OutcomeOf(governor_.Check());
+      }
     }
   }
   return pending;
 }
 
 std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverParallel(
-    AtomId watermark, bool* capped, uint32_t num_threads) {
+    AtomId watermark, bool* capped, bool* stopped, ChaseOutcome* stop_outcome,
+    uint32_t num_threads) {
   // One work unit per (rule, pivot) pair: the pivot conjunct is
   // constrained to the delta, so the units partition the round's
   // homomorphisms exactly as the serial engine enumerates them. Workers
@@ -225,6 +300,7 @@ std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverParallel(
     std::vector<Binding> found;
     uint64_t visits = 0;
     bool budget_exhausted = false;
+    bool governor_tripped = false;
   };
   std::vector<DiscoveryUnit> units;
   for (uint32_t r = 0; r < rules_.size(); ++r) {
@@ -255,13 +331,25 @@ std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverParallel(
                                    : 0;
   const uint64_t local_found_cap = std::min(hom_budget, step_budget);
 
+  // A governor/injector trip anywhere makes the whole phase stop early:
+  // workers publish the abort outcome here (first writer wins is fine —
+  // outcomes from concurrent trips are interchangeable) and every worker
+  // checks it before claiming the next unit.
+  std::atomic<int> abort_outcome{-1};
   std::atomic<std::size_t> next_unit{0};
   auto worker = [&]() {
     HomomorphismFinder finder(instance_);
     for (;;) {
+      if (abort_outcome.load(std::memory_order_relaxed) >= 0) return;
       const std::size_t u = next_unit.fetch_add(1, std::memory_order_relaxed);
       if (u >= units.size()) return;
       DiscoveryUnit& unit = units[u];
+      ChaseOutcome unit_outcome;
+      if (GovernorStop(FaultSite::kDiscovery, u, &unit_outcome)) {
+        abort_outcome.store(static_cast<int>(unit_outcome),
+                            std::memory_order_relaxed);
+        return;
+      }
       const Tgd& rule = rules_.rule(unit.rule);
       const std::size_t body_size = rule.body().size();
       HomSearchOptions search;
@@ -274,6 +362,8 @@ std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverParallel(
       search.max_candidate_visits = join_budget;
       search.visits = &unit.visits;
       search.budget_exhausted = &unit.budget_exhausted;
+      search.governor = &governor_;
+      search.governor_tripped = &unit.governor_tripped;
       finder.FindAllWithOptions(
           rule.body(), rule.num_variables(), search, Binding(),
           [&unit, local_found_cap](const Binding& binding) {
@@ -284,6 +374,11 @@ std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverParallel(
             }
             return true;
           });
+      if (unit.governor_tripped) {
+        abort_outcome.store(static_cast<int>(OutcomeOf(governor_.Check())),
+                            std::memory_order_relaxed);
+        return;
+      }
     }
   };
   std::vector<std::thread> pool;
@@ -295,10 +390,17 @@ std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverParallel(
   // Deterministic merge in (rule, pivot, discovery) order — the exact
   // order the serial engine discovers in — re-running the shared-state
   // steps (dedup against applied_keys_, counter updates, cap checks) that
-  // workers could not touch concurrently.
+  // workers could not touch concurrently. Work accounting is merged even
+  // when the phase aborted, so partial stats stay truthful.
   for (const DiscoveryUnit& unit : units) {
     join_work_ += unit.visits;
     if (unit.budget_exhausted) *capped = true;
+  }
+  if (abort_outcome.load(std::memory_order_relaxed) >= 0) {
+    *stopped = true;
+    *stop_outcome =
+        static_cast<ChaseOutcome>(abort_outcome.load(std::memory_order_relaxed));
+    return {};
   }
   std::vector<PendingTrigger> pending;
   bool merge_capped = false;
@@ -340,6 +442,12 @@ ChaseOutcome ChaseRun::Execute(const AtomObserver& observer) {
   ChaseOutcome outcome = ChaseOutcome::kTerminated;
   UpdateStatsPeaks();
   for (;;) {
+    // Round-boundary checkpoint: a run that is out of budget stops here
+    // with everything it has materialized so far intact.
+    if (GovernorStop(FaultSite::kRoundStart, rounds_, &outcome)) {
+      UpdateStatsPeaks();
+      return outcome;
+    }
     const AtomId frontier_end = instance_.size();
 
     // Discover triggers whose homomorphism touches the latest delta:
@@ -349,10 +457,21 @@ ChaseOutcome ChaseRun::Execute(const AtomObserver& observer) {
     // round before any trigger is applied.
     WallTimer phase_timer;
     bool discovery_capped = false;
-    std::vector<PendingTrigger> pending =
-        DiscoverTriggers(watermark, &discovery_capped);
+    bool discovery_stopped = false;
+    ChaseOutcome stop_outcome = ChaseOutcome::kTerminated;
+    std::vector<PendingTrigger> pending = DiscoverTriggers(
+        watermark, &discovery_capped, &discovery_stopped, &stop_outcome);
     const double discovery_seconds = phase_timer.ElapsedSeconds();
 
+    if (discovery_stopped) {
+      // Governor trip mid-discovery: the candidate set is partial, so
+      // applying it would skew restricted-chase order semantics — drop it
+      // and surface the abort with the instance and stats as they stand.
+      // (Like a final empty discovery pass, an aborted one has no
+      // per-round entry.)
+      UpdateStatsPeaks();
+      return stop_outcome;
+    }
     if (pending.empty()) {
       // A capped discovery may have dropped homomorphisms that will not
       // be re-found (their atoms are no longer delta): the run is
@@ -396,6 +515,16 @@ ChaseOutcome ChaseRun::Execute(const AtomObserver& observer) {
     phase_timer.Restart();
     const uint64_t applied_before = applied_triggers_;
     for (const PendingTrigger& trigger : pending) {
+      // Per-trigger checkpoint: the apply phase stops between triggers,
+      // never mid-application, so provenance and dedup state stay
+      // consistent in the partial result.
+      if (GovernorStop(FaultSite::kTriggerApply, applied_triggers_,
+                       &outcome)) {
+        round.applied = applied_triggers_ - applied_before;
+        round.apply_seconds = phase_timer.ElapsedSeconds();
+        UpdateStatsPeaks();
+        return outcome;
+      }
       const Tgd& rule = rules_.rule(trigger.rule);
       if (options_.variant == ChaseVariant::kRestricted &&
           HeadSatisfied(rule, trigger.binding)) {

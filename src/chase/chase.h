@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "base/governor.h"
 #include "model/tgd.h"
 #include "storage/homomorphism.h"
 #include "storage/instance.h"
@@ -38,6 +39,32 @@ enum class TriggerOrder {
   kRandom,        ///< Seeded shuffle per round (for order-sensitivity
                   ///< probing).
 };
+
+/// Where a fault-injection checkpoint sits (see
+/// ChaseOptions::fault_injector).
+enum class FaultSite {
+  kRoundStart,    ///< Ordinal: the 0-based round about to start.
+  kDiscovery,     ///< Ordinal: the (rule, pivot) discovery-unit index
+                  ///< within the round, in serial enumeration order.
+  kTriggerApply,  ///< Ordinal: triggers applied so far in the run.
+};
+
+/// What a fault injector forces at a checkpoint.
+enum class InjectedFault {
+  kNone,           ///< No fault; the run proceeds.
+  kCancel,         ///< As if the cancellation token had been tripped.
+  kDeadline,       ///< As if the wall-clock deadline had expired.
+  kResourceLimit,  ///< As if an allocation/count cap had been hit.
+};
+
+/// Test-only hook: called at every governor checkpoint with the site and
+/// its ordinal; returning anything but kNone aborts the run there with
+/// the corresponding outcome. This makes every abort path reachable
+/// deterministically — no timing games — so tests can pin down exactly
+/// which round / trigger / discovery unit a run died at. The injector is
+/// called concurrently from parallel-discovery workers and must be
+/// thread-safe (capture atomics, not plain counters).
+using FaultInjector = std::function<InjectedFault(FaultSite, uint64_t)>;
 
 /// Resource caps and feature toggles for one chase execution.
 struct ChaseOptions {
@@ -72,14 +99,52 @@ struct ChaseOptions {
   /// Record per-atom and per-trigger provenance (costs memory; required by
   /// the termination deciders' pump detection).
   bool track_provenance = false;
+  /// Wall-clock budget for the run. Checked cooperatively (round starts,
+  /// discovery units, join-search visits, trigger applications); expiry
+  /// surfaces as ChaseOutcome::kDeadlineExceeded with the partial
+  /// instance and stats intact — never a throw or a hang. Default:
+  /// infinite.
+  Deadline deadline;
+  /// External cancellation. Keep a copy of the token and RequestCancel()
+  /// from any thread (or signal handler) to stop the run at its next
+  /// checkpoint with ChaseOutcome::kCancelled.
+  CancellationToken cancel;
+  /// Test-only fault injection; see FaultInjector. Leave empty in
+  /// production.
+  FaultInjector fault_injector;
 };
 
-/// How a chase execution ended.
+/// How a chase execution ended. kTerminated is a proof (a universal
+/// model); everything else is a clean early stop that leaves the partial
+/// instance, provenance and stats valid and inspectable.
 enum class ChaseOutcome {
-  kTerminated,     ///< No unapplied trigger remains: a universal model.
-  kResourceLimit,  ///< A cap in ChaseOptions was hit.
-  kAborted,        ///< The observer callback requested a stop.
+  kTerminated,        ///< No unapplied trigger remains: a universal model.
+  kResourceLimit,     ///< A count cap in ChaseOptions was hit.
+  kAborted,           ///< The observer callback requested a stop.
+  kDeadlineExceeded,  ///< ChaseOptions::deadline expired mid-run.
+  kCancelled,         ///< ChaseOptions::cancel was tripped mid-run.
 };
+
+/// Returns "terminated", "resource-limit", "aborted", "deadline-exceeded"
+/// or "cancelled".
+const char* ChaseOutcomeName(ChaseOutcome outcome);
+
+/// Collapses an outcome to the shared early-stop vocabulary (kNone for
+/// kTerminated and kAborted — neither is a budget problem).
+inline StopReason StopReasonOf(ChaseOutcome outcome) {
+  switch (outcome) {
+    case ChaseOutcome::kResourceLimit:
+      return StopReason::kResourceCap;
+    case ChaseOutcome::kDeadlineExceeded:
+      return StopReason::kDeadline;
+    case ChaseOutcome::kCancelled:
+      return StopReason::kCancelled;
+    case ChaseOutcome::kTerminated:
+    case ChaseOutcome::kAborted:
+      break;
+  }
+  return StopReason::kNone;
+}
 
 /// Sentinel ids for provenance of database atoms.
 inline constexpr uint32_t kNoRule = 0xffffffffu;
@@ -200,16 +265,30 @@ class ChaseRun {
   bool ApplyTrigger(uint32_t rule_index, const Binding& binding,
                     const AtomObserver& observer, ChaseOutcome* outcome);
 
+  /// True if the run must stop here: consults the fault injector (when
+  /// set) and then the governor, writing the abort outcome to *outcome.
+  /// Pure (no member writes) so parallel workers may call it, provided
+  /// any fault injector is thread-safe.
+  bool GovernorStop(FaultSite site, uint64_t ordinal,
+                    ChaseOutcome* outcome) const;
+
   /// One round of semi-naive trigger discovery: every homomorphism whose
   /// image touches an atom with id >= `watermark`, deduplicated through
   /// applied_keys_, in deterministic (rule, pivot, discovery) order.
   /// Dispatches to the serial or parallel engine per discovery_threads;
   /// both produce identical results. Sets *capped when a discovery cap
-  /// was hit (results may then be incomplete).
-  std::vector<PendingTrigger> DiscoverTriggers(AtomId watermark,
-                                               bool* capped);
-  std::vector<PendingTrigger> DiscoverSerial(AtomId watermark, bool* capped);
+  /// was hit (results may then be incomplete); sets *stopped and
+  /// *stop_outcome when the governor or fault injector tripped mid-phase
+  /// (the returned triggers are then partial and must not be applied).
+  std::vector<PendingTrigger> DiscoverTriggers(AtomId watermark, bool* capped,
+                                               bool* stopped,
+                                               ChaseOutcome* stop_outcome);
+  std::vector<PendingTrigger> DiscoverSerial(AtomId watermark, bool* capped,
+                                             bool* stopped,
+                                             ChaseOutcome* stop_outcome);
   std::vector<PendingTrigger> DiscoverParallel(AtomId watermark, bool* capped,
+                                               bool* stopped,
+                                               ChaseOutcome* stop_outcome,
                                                uint32_t num_threads);
 
   /// Folds current index sizes into the stats peaks.
@@ -217,6 +296,9 @@ class ChaseRun {
 
   const RuleSet& rules_;
   ChaseOptions options_;
+  /// Deadline + cancellation bundle, shared read-only with discovery
+  /// workers and join searches.
+  RunGovernor governor_;
   Instance instance_;
   std::vector<AtomProvenance> provenance_;
   std::vector<TriggerRecord> triggers_;

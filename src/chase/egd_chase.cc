@@ -71,16 +71,67 @@ Term Resolve(Term t, const Binding& binding) {
 
 }  // namespace
 
+const char* EgdChaseOutcomeName(EgdChaseOutcome outcome) {
+  switch (outcome) {
+    case EgdChaseOutcome::kTerminated:
+      return "terminated";
+    case EgdChaseOutcome::kFailed:
+      return "failed";
+    case EgdChaseOutcome::kResourceLimit:
+      return "resource-limit";
+    case EgdChaseOutcome::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case EgdChaseOutcome::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+const char* EgdCapName(EgdCap cap) {
+  switch (cap) {
+    case EgdCap::kNone:
+      return "none";
+    case EgdCap::kSteps:
+      return "steps";
+    case EgdCap::kAtoms:
+      return "atoms";
+    case EgdCap::kNulls:
+      return "nulls";
+  }
+  return "?";
+}
+
 EgdChaseResult RunStandardChaseWithEgds(const RuleSet& rules,
                                         const std::vector<Egd>& egds,
                                         const EgdChaseOptions& options,
                                         const std::vector<Atom>& database) {
   EgdChaseResult result;
-  uint32_t next_null = 0;
+  const RunGovernor governor(options.deadline, options.cancel);
+  // True (and the outcome set) when the governor tripped; checked only at
+  // phase boundaries so the instance is never caught mid-merge.
+  auto governed_stop = [&governor, &result]() {
+    switch (governor.Check()) {
+      case GovernorState::kOk:
+        return false;
+      case GovernorState::kDeadlineExceeded:
+        result.outcome = EgdChaseOutcome::kDeadlineExceeded;
+        return true;
+      case GovernorState::kCancelled:
+        result.outcome = EgdChaseOutcome::kCancelled;
+        return true;
+    }
+    return false;
+  };
+  // 64-bit like the TGD engine's null factory: the max_nulls comparison
+  // below must not wrap, and ids past Term's packed-index space must cap
+  // out cleanly instead of aborting inside Term::Null.
+  uint64_t next_null = 0;
   for (const Atom& atom : database) {
     result.instance.Insert(atom);
     for (Term t : atom.args) {
-      if (t.IsNull()) next_null = std::max(next_null, t.index() + 1);
+      if (t.IsNull()) {
+        next_null = std::max<uint64_t>(next_null, t.index() + 1);
+      }
     }
   }
 
@@ -89,13 +140,19 @@ EgdChaseResult RunStandardChaseWithEgds(const RuleSet& rules,
 
     // --- EGD fixpoint: unify until no merge (or failure). --------------
     for (;;) {
+      if (governed_stop()) return result;
       TermUnion unionfind;
       bool merged = false;
       bool clash = false;
+      bool scan_tripped = false;
       for (const Egd& egd : egds) {
         HomomorphismFinder finder(result.instance);
-        finder.FindAll(egd.body(), egd.num_variables(),
-                       [&](const Binding& binding) {
+        HomSearchOptions search;
+        search.governor = &governor;
+        search.governor_tripped = &scan_tripped;
+        finder.FindAllWithOptions(
+            egd.body(), egd.num_variables(), search, Binding(),
+            [&](const Binding& binding) {
                          for (const Egd::Equality& eq : egd.equalities()) {
                            Term lhs = Resolve(eq.first, binding);
                            Term rhs = Resolve(eq.second, binding);
@@ -118,6 +175,13 @@ EgdChaseResult RunStandardChaseWithEgds(const RuleSet& rules,
           return result;
         }
       }
+      if (scan_tripped) {
+        // Governor tripped mid-scan: the union-find may hold a partial
+        // merge set — drop it without renormalizing, leaving the instance
+        // untouched rather than partially merged.
+        governed_stop();
+        return result;
+      }
       if (!merged) break;
       // Renormalize the whole instance under the merged terms.
       Instance normalized;
@@ -138,13 +202,23 @@ EgdChaseResult RunStandardChaseWithEgds(const RuleSet& rules,
       std::vector<Binding> bindings;
       {
         HomomorphismFinder finder(result.instance);
-        finder.FindAll(rule.body(), rule.num_variables(),
-                       [&bindings](const Binding& binding) {
-                         bindings.push_back(binding);
-                         return true;
-                       });
+        bool collect_tripped = false;
+        HomSearchOptions search;
+        search.governor = &governor;
+        search.governor_tripped = &collect_tripped;
+        finder.FindAllWithOptions(rule.body(), rule.num_variables(), search,
+                                  Binding(),
+                                  [&bindings](const Binding& binding) {
+                                    bindings.push_back(binding);
+                                    return true;
+                                  });
+        if (collect_tripped) {
+          governed_stop();
+          return result;
+        }
       }
       for (const Binding& binding : bindings) {
+        if (governed_stop()) return result;
         // Restricted semantics: skip satisfied triggers (checked against
         // the *current* instance).
         Binding frontier(rule.num_variables(), UnboundTerm());
@@ -153,11 +227,24 @@ EgdChaseResult RunStandardChaseWithEgds(const RuleSet& rules,
         if (finder.Exists(rule.head(), rule.num_variables(), frontier)) {
           continue;
         }
-        if (result.tgd_applications >= options.max_steps ||
-            result.instance.size() >= options.max_atoms ||
-            result.nulls_created + rule.existential_variables().size() >
-                options.max_nulls) {
+        // Cap checks come before any mutation — a capped step inserts
+        // nothing (never a partial head) — and each reports which cap
+        // fired. The null check compares headroom, never the sum (the sum
+        // wraps when max_nulls is near the type maximum), and folds in
+        // the representable-id ceiling, mirroring the TGD engine.
+        const std::size_t fresh = rule.existential_variables().size();
+        const uint64_t null_cap = std::min(options.max_nulls, kMaxLabeledNulls);
+        EgdCap cap = EgdCap::kNone;
+        if (result.tgd_applications >= options.max_steps) {
+          cap = EgdCap::kSteps;
+        } else if (result.instance.size() >= options.max_atoms) {
+          cap = EgdCap::kAtoms;
+        } else if (next_null > null_cap || fresh > null_cap - next_null) {
+          cap = EgdCap::kNulls;
+        }
+        if (cap != EgdCap::kNone) {
           result.outcome = EgdChaseOutcome::kResourceLimit;
+          result.cap = cap;
           return result;
         }
         Binding extended = binding;

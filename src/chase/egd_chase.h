@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "base/governor.h"
 #include "chase/chase.h"
 #include "model/egd.h"
 #include "model/tgd.h"
@@ -13,22 +14,48 @@ namespace gchase {
 
 /// How a chase with EGDs ended.
 enum class EgdChaseOutcome {
-  kTerminated,     ///< Fixpoint: the result satisfies all TGDs and EGDs.
-  kFailed,         ///< An EGD equated two distinct constants: no model
-                   ///< of (D, Σ) exists (hard constraint violation).
-  kResourceLimit,  ///< A cap was hit.
+  kTerminated,        ///< Fixpoint: the result satisfies all TGDs and EGDs.
+  kFailed,            ///< An EGD equated two distinct constants: no model
+                      ///< of (D, Σ) exists (hard constraint violation).
+  kResourceLimit,     ///< A count cap was hit (see EgdChaseResult::cap).
+  kDeadlineExceeded,  ///< EgdChaseOptions::deadline expired mid-run.
+  kCancelled,         ///< EgdChaseOptions::cancel was tripped mid-run.
 };
+
+/// Returns "terminated", "failed", "resource-limit", "deadline-exceeded"
+/// or "cancelled".
+const char* EgdChaseOutcomeName(EgdChaseOutcome outcome);
+
+/// Which count cap ended a kResourceLimit run.
+enum class EgdCap {
+  kNone,   ///< No cap fired.
+  kSteps,  ///< max_steps (TGD applications).
+  kAtoms,  ///< max_atoms.
+  kNulls,  ///< max_nulls, or the representable labeled-null ceiling.
+};
+
+/// Returns "none", "steps", "atoms" or "nulls".
+const char* EgdCapName(EgdCap cap);
 
 /// Options for the standard chase with EGDs.
 struct EgdChaseOptions {
   uint64_t max_steps = std::numeric_limits<uint64_t>::max();
   uint64_t max_atoms = std::numeric_limits<uint64_t>::max();
   uint64_t max_nulls = std::numeric_limits<uint64_t>::max();
+  /// Wall-clock budget. Checked at phase boundaries only — never between
+  /// an EGD unification pass and the renormalization it implies — so an
+  /// expired run always leaves the instance in a consistent (fully-merged
+  /// or untouched) state.
+  Deadline deadline;
+  /// External cancellation; same consistency guarantee as the deadline.
+  CancellationToken cancel;
 };
 
 /// Result of RunStandardChaseWithEgds.
 struct EgdChaseResult {
   EgdChaseOutcome outcome = EgdChaseOutcome::kTerminated;
+  /// Which cap fired when outcome == kResourceLimit (kNone otherwise).
+  EgdCap cap = EgdCap::kNone;
   Instance instance;
   uint64_t tgd_applications = 0;
   uint64_t egd_applications = 0;  ///< Null unifications performed.
@@ -45,7 +72,10 @@ struct EgdChaseResult {
 /// renormalization), which can shrink the instance and re-expose TGD
 /// triggers; the engine alternates EGD fixpoints with TGD passes until
 /// neither makes progress. Termination is, as always, not guaranteed —
-/// use the caps.
+/// use the caps and the deadline. Every cap and governor check happens
+/// *before* the mutation it guards (a TGD head is inserted whole or not
+/// at all; an EGD merge is renormalized whole or not started), so a
+/// stopped run's instance is always a consistent chase state.
 EgdChaseResult RunStandardChaseWithEgds(const RuleSet& rules,
                                         const std::vector<Egd>& egds,
                                         const EgdChaseOptions& options,

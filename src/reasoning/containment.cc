@@ -39,19 +39,34 @@ StatusOr<ContainmentVerdict> IsContainedIn(const ConjunctiveQuery& q1,
   chase_options.variant = ChaseVariant::kRestricted;
   chase_options.max_atoms = options.max_atoms;
   chase_options.max_steps = options.max_steps;
+  chase_options.deadline = options.deadline;
+  chase_options.cancel = options.cancel;
   ChaseResult result = RunChase(rules, chase_options, canonical);
 
-  // Match Q2, pinning its answer variables to Q1's frozen answers.
+  // Match Q2, pinning its answer variables to Q1's frozen answers. The
+  // match itself is governed too: against a large chased instance a
+  // single CQ match can dwarf the chase.
   Binding initial(q2.num_variables, UnboundTerm());
   for (std::size_t i = 0; i < q2.answer_variables.size(); ++i) {
     initial[q2.answer_variables[i]] =
         frozen[q1.answer_variables[i]];
   }
+  const RunGovernor governor(options.deadline, options.cancel);
+  HomSearchOptions search;
+  bool match_tripped = false;
+  search.governor = &governor;
+  search.governor_tripped = &match_tripped;
+  bool found = false;
   HomomorphismFinder finder(result.instance);
-  if (finder.Exists(q2.atoms, q2.num_variables, initial)) {
+  finder.FindAllWithOptions(q2.atoms, q2.num_variables, search, initial,
+                            [&found](const Binding&) {
+                              found = true;
+                              return false;  // first match suffices
+                            });
+  if (found) {
     return ContainmentVerdict::kContained;  // sound even on a prefix
   }
-  if (result.outcome == ChaseOutcome::kTerminated) {
+  if (result.outcome == ChaseOutcome::kTerminated && !match_tripped) {
     return ContainmentVerdict::kNotContained;
   }
   return ContainmentVerdict::kUnknown;

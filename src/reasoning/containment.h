@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "base/governor.h"
 #include "base/status.h"
 #include "model/tgd.h"
 #include "model/vocabulary.h"
@@ -16,14 +17,22 @@ enum class ContainmentVerdict {
                   ///< on every database satisfying Σ.
   kNotContained,  ///< A counterexample database exists (the chased
                   ///< canonical database of Q1).
-  kUnknown,       ///< The chase hit its caps before Q2 mapped; with
-                  ///< non-terminating Σ the problem may need more budget
-                  ///< (or be genuinely undecidable machinery).
+  kUnknown,       ///< The chase hit its caps, deadline, or cancellation
+                  ///< before Q2 mapped; with non-terminating Σ the
+                  ///< problem may need more budget (or be genuinely
+                  ///< undecidable machinery).
 };
 
 struct ContainmentOptions {
   uint64_t max_atoms = 1u << 18;
   uint64_t max_steps = 1u << 20;
+  /// Wall-clock budget covering both the chase and the final match of Q2
+  /// against the (possibly partial) chased instance. A kContained verdict
+  /// found before expiry stays sound; anything cut short degrades to
+  /// kUnknown.
+  Deadline deadline;
+  /// External cancellation; same degradation.
+  CancellationToken cancel;
 };
 
 /// Conjunctive-query containment under TGDs — the second classical

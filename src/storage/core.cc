@@ -59,6 +59,7 @@ CoreResult ComputeCore(const Instance& instance, const CoreOptions& options) {
   CoreResult result;
   result.core = instance;
   uint64_t attempts = 0;
+  const RunGovernor governor(options.deadline, options.cancel);
 
   bool changed = true;
   while (changed) {
@@ -79,6 +80,15 @@ CoreResult ComputeCore(const Instance& instance, const CoreOptions& options) {
         if (raw == null_term.raw()) continue;
         if (++attempts > options.max_fold_attempts) {
           result.minimized_fully = false;
+          result.stopped_by = StopReason::kResourceCap;
+          return result;
+        }
+        const GovernorState governed = governor.Check();
+        if (governed != GovernorState::kOk) {
+          result.minimized_fully = false;
+          result.stopped_by = governed == GovernorState::kCancelled
+                                  ? StopReason::kCancelled
+                                  : StopReason::kDeadline;
           return result;
         }
         Binding initial(query.num_variables, UnboundTerm());
@@ -87,11 +97,16 @@ CoreResult ComputeCore(const Instance& instance, const CoreOptions& options) {
                                       : Term::Null(index);
         // Enumerate endomorphisms pinning this null to the target until a
         // strictly shrinking one is found: a same-size image is just an
-        // automorphism and makes no progress.
+        // automorphism and makes no progress. The search itself is
+        // governed — one endomorphism search can be exponential.
+        HomSearchOptions search;
+        bool search_tripped = false;
+        search.governor = &governor;
+        search.governor_tripped = &search_tripped;
         std::optional<Instance> shrunk;
         uint32_t enumerated = 0;
         finder.FindAllWithOptions(
-            query.atoms, query.num_variables, HomSearchOptions{}, initial,
+            query.atoms, query.num_variables, search, initial,
             [&](const Binding& fold) {
               Instance image = ApplyFold(result.core, query, fold);
               if (image.size() < result.core.size()) {
@@ -100,6 +115,13 @@ CoreResult ComputeCore(const Instance& instance, const CoreOptions& options) {
               }
               return ++enumerated < 256;  // per-pin enumeration budget
             });
+        if (search_tripped && !shrunk.has_value()) {
+          result.minimized_fully = false;
+          result.stopped_by = governor.Check() == GovernorState::kCancelled
+                                  ? StopReason::kCancelled
+                                  : StopReason::kDeadline;
+          return result;
+        }
         if (shrunk.has_value()) {
           result.core = *std::move(shrunk);
           ++result.retractions;

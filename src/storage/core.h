@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "base/governor.h"
 #include "storage/instance.h"
 
 namespace gchase {
@@ -12,6 +13,13 @@ struct CoreOptions {
   /// Budget on endomorphism searches (each is a CQ evaluation of the
   /// instance into itself; cores are NP-hard in general).
   uint64_t max_fold_attempts = 100000;
+  /// Wall-clock budget; checked before each fold attempt and inside every
+  /// endomorphism search. Expiry stops minimization at the last applied
+  /// fold, so the returned instance is always hom-equivalent to the
+  /// input.
+  Deadline deadline;
+  /// External cancellation; same behavior.
+  CancellationToken cancel;
 };
 
 /// Result of a core computation.
@@ -19,10 +27,13 @@ struct CoreResult {
   Instance core;
   /// Folding steps performed (nulls eliminated or merged).
   uint32_t retractions = 0;
-  /// False if the attempt budget ran out before reaching a fixpoint; the
-  /// returned instance is then hom-equivalent to the input but possibly
-  /// not minimal.
+  /// False if the attempt budget, deadline, or cancellation cut the
+  /// fixpoint iteration short; the returned instance is then
+  /// hom-equivalent to the input but possibly not minimal.
   bool minimized_fully = true;
+  /// Why minimization stopped early (kResourceCap for the attempt
+  /// budget); kNone when minimized_fully.
+  StopReason stopped_by = StopReason::kNone;
 };
 
 /// Computes the core of `instance` by iterated null folding: while some

@@ -116,6 +116,14 @@ class Search {
         stop_ = true;
         break;
       }
+      if (options_.governor != nullptr && (visited_ & 1023u) == 0 &&
+          options_.governor->Check() != GovernorState::kOk) {
+        if (options_.governor_tripped != nullptr) {
+          *options_.governor_tripped = true;
+        }
+        stop_ = true;
+        break;
+      }
       if (!InRange(id, range)) continue;
       const Atom& fact = instance_.atom(id);
       // Unify pattern against fact, recording newly bound variables.

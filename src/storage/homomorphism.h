@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/governor.h"
 #include "model/atom.h"
 #include "storage/instance.h"
 
@@ -50,6 +51,14 @@ struct HomSearchOptions {
   bool* budget_exhausted = nullptr;
   /// Incremented by the number of candidate visits performed. Optional.
   uint64_t* visits = nullptr;
+  /// Run governor checked every 1024 candidate visits when set — the
+  /// cooperative checkpoint that keeps a single pathological join from
+  /// outliving its deadline. A tripped governor stops the search like an
+  /// exhausted budget, but reports through *governor_tripped instead
+  /// (results are then incomplete). The governor itself is thread-safe;
+  /// give each concurrent search its own tripped flag.
+  const RunGovernor* governor = nullptr;
+  bool* governor_tripped = nullptr;
 };
 
 /// Backtracking conjunctive matcher.

@@ -10,18 +10,28 @@ StatusOr<ClassifierReport> ClassifyTermination(
   ClassifierReport report;
   report.rule_class = rules.Classify();
 
+  // The graph-based conditions are combinatorial on the rule set alone
+  // (no chase), finish in microseconds, and run ungoverned.
   const Schema& schema = vocabulary->schema;
   report.weakly_acyclic = CheckWeakAcyclicity(rules, schema).acyclic;
   report.richly_acyclic = CheckRichAcyclicity(rules, schema).acyclic;
   report.jointly_acyclic = CheckJointAcyclicity(rules, schema).acyclic;
-  StatusOr<MfaResult> mfa = CheckModelFaithfulAcyclicity(rules, vocabulary);
-  report.mfa = mfa.ok() && mfa->status == MfaStatus::kAcyclic;
   report.sticky = CheckStickiness(rules, schema).sticky;
+
+  // MFA chases the critical instance: governed, at most a quarter of the
+  // classifier budget so the variant analyses always get a turn.
+  MfaOptions mfa_options;
+  mfa_options.deadline =
+      Deadline::Earlier(options.deadline, options.deadline.Slice(0.25));
+  mfa_options.cancel = options.cancel;
+  StatusOr<MfaResult> mfa =
+      CheckModelFaithfulAcyclicity(rules, vocabulary, mfa_options);
+  report.mfa = mfa.ok() && mfa->status == MfaStatus::kAcyclic;
 
   const bool use_syntactic =
       report.rule_class == RuleClass::kSimpleLinear && !options.force_decider;
 
-  auto analyze = [&](ChaseVariant variant,
+  auto analyze = [&](ChaseVariant variant, double budget_fraction,
                      VariantAnalysis* analysis) -> Status {
     WallTimer timer;
     if (use_syntactic) {
@@ -33,8 +43,17 @@ StatusOr<ClassifierReport> ClassifyTermination(
                                   : TerminationVerdict::kNonTerminating;
       analysis->method = "syntactic (Thm 1)";
     } else {
+      DeciderOptions decider = options.decider;
+      decider.deadline = Deadline::Earlier(
+          decider.deadline,
+          Deadline::Earlier(options.deadline,
+                            options.deadline.Slice(budget_fraction)));
+      decider.cancel = options.cancel;
       StatusOr<DeciderResult> result =
-          DecideTermination(rules, vocabulary, variant, options.decider);
+          options.fallback_probe
+              ? DecideTerminationWithFallback(rules, vocabulary, variant,
+                                              decider)
+              : DecideTermination(rules, vocabulary, variant, decider);
       if (!result.ok()) return result.status();
       analysis->verdict = result->verdict;
       analysis->method = "critical-instance decider (Thm 2/4)";
@@ -44,10 +63,12 @@ StatusOr<ClassifierReport> ClassifyTermination(
     return Status::Ok();
   };
 
+  // Oblivious gets half of what remains after MFA; semi-oblivious gets
+  // everything still left when its turn comes.
   GCHASE_RETURN_IF_ERROR(
-      analyze(ChaseVariant::kOblivious, &report.oblivious));
+      analyze(ChaseVariant::kOblivious, 0.5, &report.oblivious));
   GCHASE_RETURN_IF_ERROR(
-      analyze(ChaseVariant::kSemiOblivious, &report.semi_oblivious));
+      analyze(ChaseVariant::kSemiOblivious, 1.0, &report.semi_oblivious));
   return report;
 }
 
@@ -84,6 +105,16 @@ std::string ReportToString(const ClassifierReport& report) {
       out += "                   ";
       out += analysis.decider->certificate_text;
       out += '\n';
+    }
+    if (analysis.decider.has_value() &&
+        analysis.decider->verdict == TerminationVerdict::kUnknown) {
+      out += "                   gave up: ";
+      out += StopReasonName(analysis.decider->unknown.reason);
+      out += " during ";
+      out += analysis.decider->unknown.phase;
+      out += " phase after ";
+      out += std::to_string(analysis.decider->unknown.elapsed_seconds * 1e3);
+      out += " ms\n";
     }
   };
   render("oblivious chase:   ", report.oblivious);

@@ -16,12 +16,28 @@ namespace gchase {
 
 /// Options for ClassifyTermination.
 struct ClassifierOptions {
-  /// Resource policy forwarded to the critical-instance decider.
+  /// Resource policy forwarded to the critical-instance decider. Its
+  /// deadline is composed (Deadline::Earlier) with the per-phase slice of
+  /// the classifier-level `deadline` below; its cancellation token is
+  /// superseded by the classifier-level `cancel` below.
   DeciderOptions decider;
   /// Run the decider even on simple linear sets (where the syntactic
   /// characterizations of Theorem 1 are exact and much cheaper). Useful
   /// for cross-validation.
   bool force_decider = false;
+  /// Wall-clock budget for the whole classification. Split across the
+  /// chase-running phases: MFA gets at most a quarter, the two variant
+  /// analyses split what remains (the pure graph conditions — WA, RA, JA,
+  /// stickiness — are microseconds and run ungoverned). Expiry downgrades
+  /// the affected phase to kUnknown; the report is always complete.
+  Deadline deadline;
+  /// External cancellation, forwarded to every chase-running phase.
+  CancellationToken cancel;
+  /// Use the exact-then-bounded-probe cascade
+  /// (DecideTerminationWithFallback) for decider-based analyses. The
+  /// probe can rescue a verdict after the exact run hits a cap or its
+  /// deadline slice. Disable for strictly single-run behavior.
+  bool fallback_probe = true;
 };
 
 /// One chase variant's analysis.

@@ -1,5 +1,8 @@
 #include "termination/decider.h"
 
+#include <algorithm>
+
+#include "base/timer.h"
 #include "model/printer.h"
 
 namespace gchase {
@@ -40,7 +43,11 @@ StatusOr<DeciderResult> DecideTermination(const RuleSet& rules,
   chase_options.max_join_work = options.max_join_work;
   chase_options.discovery_threads = options.discovery_threads;
   chase_options.track_provenance = true;
+  chase_options.deadline = options.deadline;
+  chase_options.cancel = options.cancel;
+  chase_options.fault_injector = options.fault_injector;
 
+  WallTimer timer;
   ChaseRun run(rules, chase_options, database);
   PumpDetector detector(run, options.pump);
 
@@ -84,10 +91,56 @@ StatusOr<DeciderResult> DecideTermination(const RuleSet& rules,
       break;
     }
     case ChaseOutcome::kResourceLimit:
+    case ChaseOutcome::kDeadlineExceeded:
+    case ChaseOutcome::kCancelled:
+      // Graceful degradation, not failure: the partial chase stats above
+      // are already filled in, and the structured detail says why and
+      // where the run gave up.
       result.verdict = TerminationVerdict::kUnknown;
+      result.unknown.reason = StopReasonOf(outcome);
+      result.unknown.phase = "exact";
+      result.unknown.elapsed_seconds = timer.ElapsedSeconds();
       break;
   }
   return result;
+}
+
+StatusOr<DeciderResult> DecideTerminationWithFallback(
+    const RuleSet& rules, Vocabulary* vocabulary, ChaseVariant variant,
+    const DeciderOptions& options) {
+  WallTimer timer;
+
+  // Phase 1 — exact: full caps, 3/4 of the remaining wall-clock budget
+  // (the probe is cheap; reserving a quarter guarantees it gets a turn).
+  DeciderOptions exact = options;
+  exact.deadline =
+      Deadline::Earlier(options.deadline, options.deadline.Slice(0.75));
+  StatusOr<DeciderResult> first =
+      DecideTermination(rules, vocabulary, variant, exact);
+  if (!first.ok()) return first;
+  if (first->verdict != TerminationVerdict::kUnknown) return first;
+  if (first->unknown.reason == StopReason::kCancelled) return first;
+
+  // Phase 2 — bounded probe: sharply capped, rest of the budget, no fault
+  // injection. Its verdicts stay sound (termination under a cap is
+  // termination; a verified pump is a proof), it just concludes less
+  // often.
+  DeciderOptions probe = options;
+  probe.fault_injector = nullptr;
+  probe.max_atoms = std::min<uint64_t>(options.max_atoms, 1u << 14);
+  probe.max_steps = std::min<uint64_t>(options.max_steps, 1u << 16);
+  probe.max_hom_discoveries =
+      std::min<uint64_t>(options.max_hom_discoveries, 1ull << 20);
+  probe.max_join_work = std::min<uint64_t>(options.max_join_work, 1ull << 24);
+  StatusOr<DeciderResult> second =
+      DecideTermination(rules, vocabulary, variant, probe);
+  if (!second.ok()) return second;
+  second->phase = "probe";
+  if (second->verdict == TerminationVerdict::kUnknown) {
+    second->unknown.phase = "probe";
+    second->unknown.elapsed_seconds = timer.ElapsedSeconds();
+  }
+  return second;
 }
 
 }  // namespace gchase

@@ -24,6 +24,19 @@ enum class TerminationVerdict {
 /// Returns "terminating", "non-terminating" or "unknown".
 const char* TerminationVerdictName(TerminationVerdict verdict);
 
+/// Structured detail behind a kUnknown verdict: why the analysis gave up,
+/// in which phase, and how long it had run — enough for a caller to
+/// decide whether to retry with a bigger budget, fall back, or move on.
+struct UnknownDetail {
+  StopReason reason = StopReason::kNone;
+  /// Which analysis phase gave up: "exact" (the full-cap decider chase)
+  /// or "probe" (the bounded fallback). Empty when the verdict is not
+  /// kUnknown.
+  std::string phase;
+  /// Wall-clock seconds the analysis had spent when it gave up.
+  double elapsed_seconds = 0.0;
+};
+
 /// Resource policy for one DecideTermination call.
 struct DeciderOptions {
   /// Caps on the exploratory chase of the critical instance. The chase of
@@ -49,11 +62,28 @@ struct DeciderOptions {
   /// CriticalInstanceOptions::excluded_constants; used by the looping
   /// operator's anchor).
   std::vector<Term> excluded_constants;
+  /// Wall-clock budget for the decision. On expiry the exploratory chase
+  /// stops cooperatively and the verdict downgrades to kUnknown (reason
+  /// kDeadline) with partial stats intact — the call never hangs and
+  /// never fails. Default: infinite.
+  Deadline deadline;
+  /// External cancellation; downgrades to kUnknown (reason kCancelled).
+  CancellationToken cancel;
+  /// Test-only fault injection, forwarded to the exploratory chase (and
+  /// by DecideTerminationWithFallback to its exact phase only, so the
+  /// fallback path is deterministically testable).
+  FaultInjector fault_injector;
 };
 
 /// Outcome details of one decision.
 struct DeciderResult {
   TerminationVerdict verdict = TerminationVerdict::kUnknown;
+  /// Why/where the analysis gave up when verdict == kUnknown.
+  UnknownDetail unknown;
+  /// Which cascade phase produced the verdict: "exact" for a plain
+  /// DecideTermination call, "probe" when the bounded fallback of
+  /// DecideTerminationWithFallback decided.
+  std::string phase = "exact";
   /// Present when verdict == kNonTerminating.
   std::optional<PumpCertificate> certificate;
   /// Human-readable rendering of the certificate ("" unless
@@ -90,6 +120,24 @@ StatusOr<DeciderResult> DecideTermination(const RuleSet& rules,
                                           Vocabulary* vocabulary,
                                           ChaseVariant variant,
                                           const DeciderOptions& options = {});
+
+/// Graceful-degradation cascade: exact decider → bounded probe → unknown.
+///
+/// Phase 1 ("exact") runs DecideTermination under 3/4 of the remaining
+/// budget. If it concludes, done. If it times out — or gives up on a
+/// count cap — phase 2 ("probe") retries with sharply bounded caps and
+/// the rest of the budget: a cheap run that still yields *sound* verdicts
+/// (a chase that completes under any cap proves termination; a verified
+/// pump proves non-termination) and otherwise returns kUnknown with the
+/// reason, phase and elapsed time filled in. Cancellation skips the
+/// fallback — the user asked to stop, not to degrade.
+///
+/// Per-item downgrades make batch analyses total: one pathological rule
+/// set costs its time slice and reports kUnknown instead of hanging the
+/// batch.
+StatusOr<DeciderResult> DecideTerminationWithFallback(
+    const RuleSet& rules, Vocabulary* vocabulary, ChaseVariant variant,
+    const DeciderOptions& options = {});
 
 }  // namespace gchase
 

@@ -69,6 +69,8 @@ StatusOr<MfaResult> CheckModelFaithfulAcyclicity(const RuleSet& rules,
   chase_options.max_hom_discoveries = options.max_hom_discoveries;
   chase_options.max_join_work = options.max_join_work;
   chase_options.track_provenance = true;
+  chase_options.deadline = options.deadline;
+  chase_options.cancel = options.cancel;
 
   ChaseRun run(rules, chase_options, database);
   AncestryTracker tracker(num_tags);
@@ -110,6 +112,7 @@ StatusOr<MfaResult> CheckModelFaithfulAcyclicity(const RuleSet& rules,
     result.status = MfaStatus::kAcyclic;
   } else {
     result.status = MfaStatus::kUnknown;
+    result.stop_reason = StopReasonOf(outcome);
   }
   return result;
 }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "base/governor.h"
 #include "base/status.h"
 #include "model/tgd.h"
 #include "model/vocabulary.h"
@@ -20,6 +21,9 @@ enum class MfaStatus {
 
 struct MfaResult {
   MfaStatus status = MfaStatus::kUnknown;
+  /// Why the test stopped when status == kUnknown (resource cap,
+  /// deadline, or cancellation); kNone for definite verdicts.
+  StopReason stop_reason = StopReason::kNone;
   /// Atoms materialized by the MFA chase.
   uint64_t chase_atoms = 0;
   /// Nulls created before the verdict.
@@ -31,6 +35,10 @@ struct MfaOptions {
   uint64_t max_steps = 1u << 22;
   uint64_t max_hom_discoveries = 1ull << 24;
   uint64_t max_join_work = 1ull << 28;
+  /// Wall-clock budget; expiry downgrades to kUnknown, never a hang.
+  Deadline deadline;
+  /// External cancellation; same downgrade.
+  CancellationToken cancel;
 };
 
 /// Model-faithful acyclicity (Cuenca Grau et al., KR 2012): run the

@@ -6,9 +6,9 @@ namespace gchase {
 
 namespace {
 
-bool RunOnce(const RuleSet& rules, const std::vector<Atom>& database,
-             const RestrictedProbeOptions& options, TriggerOrder order,
-             uint64_t seed) {
+ChaseOutcome RunOnce(const RuleSet& rules, const std::vector<Atom>& database,
+                     const RestrictedProbeOptions& options, TriggerOrder order,
+                     uint64_t seed) {
   ChaseOptions chase_options;
   chase_options.variant = ChaseVariant::kRestricted;
   chase_options.order = order;
@@ -18,8 +18,9 @@ bool RunOnce(const RuleSet& rules, const std::vector<Atom>& database,
   chase_options.max_hom_discoveries = options.max_hom_discoveries;
   chase_options.max_join_work = options.max_join_work;
   chase_options.discovery_threads = options.discovery_threads;
-  return RunChase(rules, chase_options, database).outcome ==
-         ChaseOutcome::kTerminated;
+  chase_options.deadline = options.deadline;
+  chase_options.cancel = options.cancel;
+  return RunChase(rules, chase_options, database).outcome;
 }
 
 }  // namespace
@@ -37,24 +38,41 @@ StatusOr<RestrictedProbeResult> ProbeRestrictedTermination(
   }
 
   RestrictedProbeResult result;
+  uint32_t terminated = 0;
+  uint32_t diverged = 0;
+  // Tallies one run. Aborted runs (deadline / cancellation) are evidence
+  // of nothing: they join runs_aborted, not the diverged side of the
+  // order-sensitivity comparison.
+  auto tally = [&result, &terminated, &diverged](ChaseOutcome outcome) {
+    switch (outcome) {
+      case ChaseOutcome::kTerminated:
+        ++terminated;
+        return true;
+      case ChaseOutcome::kResourceLimit:
+        ++diverged;
+        return false;
+      default:
+        ++result.runs_aborted;
+        if (result.stop_reason == StopReason::kNone) {
+          result.stop_reason = StopReasonOf(outcome);
+        }
+        return false;
+    }
+  };
   result.fifo_terminated =
-      RunOnce(rules, facts, options, TriggerOrder::kFifo, 0);
+      tally(RunOnce(rules, facts, options, TriggerOrder::kFifo, 0));
   result.datalog_first_terminated =
-      RunOnce(rules, facts, options, TriggerOrder::kDatalogFirst, 0);
+      tally(RunOnce(rules, facts, options, TriggerOrder::kDatalogFirst, 0));
   for (uint32_t i = 0; i < options.num_random_orders; ++i) {
-    if (RunOnce(rules, facts, options, TriggerOrder::kRandom,
-                options.seed + i * 0x9e3779b9u)) {
+    const ChaseOutcome outcome = RunOnce(rules, facts, options,
+                                         TriggerOrder::kRandom,
+                                         options.seed + i * 0x9e3779b9u);
+    if (tally(outcome)) {
       ++result.random_orders_terminated;
-    } else {
+    } else if (outcome == ChaseOutcome::kResourceLimit) {
       ++result.random_orders_diverged;
     }
   }
-  const uint32_t terminated = result.random_orders_terminated +
-                              (result.fifo_terminated ? 1 : 0) +
-                              (result.datalog_first_terminated ? 1 : 0);
-  const uint32_t diverged = result.random_orders_diverged +
-                            (result.fifo_terminated ? 0 : 1) +
-                            (result.datalog_first_terminated ? 0 : 1);
   result.order_sensitive = terminated > 0 && diverged > 0;
   return result;
 }

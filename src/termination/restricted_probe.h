@@ -27,6 +27,13 @@ struct RestrictedProbeOptions {
   /// Probe the critical instance when true (default); otherwise the
   /// caller-provided database.
   bool use_critical_instance = true;
+  /// Wall-clock budget shared by all sampled runs. Once it expires, the
+  /// run in flight stops at its next checkpoint and every remaining run
+  /// returns immediately; aborted runs are counted separately and are
+  /// *not* evidence of divergence.
+  Deadline deadline;
+  /// External cancellation; same accounting as the deadline.
+  CancellationToken cancel;
 };
 
 /// What the probe observed.
@@ -35,9 +42,15 @@ struct RestrictedProbeResult {
   bool datalog_first_terminated = false;
   uint32_t random_orders_terminated = 0;
   uint32_t random_orders_diverged = 0;
+  /// Sampled runs cut short by the deadline or cancellation (neither
+  /// terminated nor diverged — no evidence either way).
+  uint32_t runs_aborted = 0;
+  /// Why runs were aborted, when runs_aborted > 0.
+  StopReason stop_reason = StopReason::kNone;
   /// True when at least one sampled order terminated and at least one hit
   /// the cap: direct evidence that the restricted chase's termination is
   /// order-dependent on this input (CT_rest,∀ vs CT_rest,∃ differ).
+  /// Aborted runs contribute to neither side.
   bool order_sensitive = false;
 };
 
