@@ -67,6 +67,7 @@ inline std::string JsonNumber(uint64_t value) {
 inline std::string ChaseStatsToJson(const ChaseStats& stats) {
   std::string out = "{";
   out += "\"discovery_threads\": " + JsonNumber(uint64_t{stats.discovery_threads});
+  out += ", \"parallel_rounds\": " + JsonNumber(stats.parallel_rounds);
   out += ", \"peak\": {";
   out += "\"atoms\": " + JsonNumber(stats.peak_atoms);
   out += ", \"position_index_keys\": " + JsonNumber(stats.peak_position_index_keys);
@@ -91,6 +92,9 @@ inline std::string ChaseStatsToJson(const ChaseStats& stats) {
     out += ", \"applied\": " + JsonNumber(round.applied);
     out += ", \"discovery_ms\": " + JsonNumber(round.discovery_seconds * 1e3);
     out += ", \"apply_ms\": " + JsonNumber(round.apply_seconds * 1e3);
+    out += ", \"estimated_work\": " + JsonNumber(round.estimated_work);
+    out += ", \"parallel\": ";
+    out += round.parallel_discovery ? "true" : "false";
     out += "}";
   }
   out += "]}";

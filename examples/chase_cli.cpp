@@ -27,12 +27,14 @@
 // The input file holds rules and facts in the library's syntax; see
 // examples/rules/*.dlgp.
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "base/timer.h"
 #include "bench/bench_util.h"
@@ -102,6 +104,18 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = static_cast<uint32_t>(std::strtoul(argv[i] + 10, nullptr, 10));
       if (threads == 0) threads = 1;
+      // Oversubscribing buys nothing for a CPU-bound fan-out; cap at what
+      // the machine actually has (hardware_concurrency can report 0 when
+      // unknown — treat that as 1).
+      const uint32_t cores =
+          std::max(1u, std::thread::hardware_concurrency());
+      if (threads > cores) {
+        std::fprintf(stderr,
+                     "%% --threads=%u exceeds hardware_concurrency=%u; "
+                     "capping\n",
+                     threads, cores);
+        threads = cores;
+      }
     } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
       deadline_ms = std::strtoll(argv[i] + 14, nullptr, 10);
       if (deadline_ms < 0) {
@@ -176,8 +190,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(run.nulls_created()),
               static_cast<unsigned long long>(run.rounds()),
               seconds * 1e3);
-  for (const Atom& atom : run.instance().atoms()) {
-    std::printf("%s.\n", AtomToString(atom, parsed->vocabulary).c_str());
+  for (gchase::AtomView atom : run.instance().atoms()) {
+    std::printf("%s.\n",
+                AtomToString(atom.ToAtom(), parsed->vocabulary).c_str());
   }
   return ExitCodeFor(outcome);
 }

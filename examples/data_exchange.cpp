@@ -72,9 +72,10 @@ int main() {
   std::printf("universal solution (%u atoms, %llu nulls):\n",
               result.instance.size(),
               static_cast<unsigned long long>(result.nulls_created));
-  for (const Atom& atom : result.instance.atoms()) {
+  for (gchase::AtomView atom : result.instance.atoms()) {
     if (atom.predicate < 2) continue;  // skip the source relations
-    std::printf("  %s\n", AtomToString(atom, program.vocabulary).c_str());
+    std::printf("  %s\n",
+                AtomToString(atom.ToAtom(), program.vocabulary).c_str());
   }
 
   // 3. The *core* universal solution: the smallest one (what an actual

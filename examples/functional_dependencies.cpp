@@ -32,9 +32,9 @@ void RunScenario(const char* title, const char* text) {
                   result.instance.size(),
                   static_cast<unsigned long long>(result.tgd_applications),
                   static_cast<unsigned long long>(result.egd_applications));
-      for (const Atom& atom : result.instance.atoms()) {
+      for (gchase::AtomView atom : result.instance.atoms()) {
         std::printf("  %s\n",
-                    AtomToString(atom, parsed->vocabulary).c_str());
+                    AtomToString(atom.ToAtom(), parsed->vocabulary).c_str());
       }
       break;
     case EgdChaseOutcome::kFailed:

@@ -71,8 +71,9 @@ int main() {
                                                           : "capped",
               result.instance.size(),
               static_cast<unsigned long long>(result.applied_triggers));
-  for (const Atom& atom : result.instance.atoms()) {
-    std::printf("  %s\n", AtomToString(atom, program.vocabulary).c_str());
+  for (gchase::AtomView atom : result.instance.atoms()) {
+    std::printf("  %s\n",
+                AtomToString(atom.ToAtom(), program.vocabulary).c_str());
   }
 
   // 4. Certain answers of a query over the universal model.

@@ -5,16 +5,18 @@
 # the governor/abort-path tests under ASan+UBSan (abort paths unwind
 # partially-built state, exactly where lifetime bugs hide).
 #
-# Usage: scripts/verify.sh [--skip-tsan] [--skip-asan]
+# Usage: scripts/verify.sh [--skip-tsan] [--skip-asan] [--skip-perf]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 skip_tsan=0
 skip_asan=0
+skip_perf=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) skip_tsan=1 ;;
     --skip-asan) skip_asan=1 ;;
+    --skip-perf) skip_perf=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -46,6 +48,21 @@ if [[ "$skip_asan" == 0 ]]; then
     --target governor_test egd_test chase_limits_test decider_test
   (cd build-asan && ctest -j"$(nproc)" \
     -R 'Governor|Deadline|Cancellation|FaultInjection|Egd|ChaseLimits|Decider')
+fi
+
+if [[ "$skip_perf" == 0 ]]; then
+  # Tier 4 (perf smoke): run E10 on the two smallest workloads in the
+  # tier-1 build. This is a correctness smoke for the bench harness plus a
+  # coarse perf tripwire — if a committed BENCH_e10.json exists, diff the
+  # fresh smoke rows against it and fail on >10% regressions of matched
+  # (workload, variant, threads) rows. Smoke rows are a subset, so extra
+  # baseline rows are ignored by the comparator.
+  cmake --build --preset default -j"$(nproc)" --target bench_e10_storage_executor
+  (cd build/bench && ./bench_e10_storage_executor --smoke --benchmark_filter=none)
+  if [[ -f BENCH_e10.json ]]; then
+    python3 scripts/bench_compare.py BENCH_e10.json build/bench/BENCH_e10.json \
+      --threshold 0.50
+  fi
 fi
 
 echo "verify: OK"

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
-#include <thread>
+#include <limits>
 #include <utility>
 
 #include "base/hash.h"
@@ -66,6 +66,10 @@ ChaseRun::ChaseRun(const RuleSet& rules, ChaseOptions options,
       governor_(options_.deadline, options_.cancel) {
   stats_.per_rule.assign(rules_.size(), RuleStats{});
   stats_.discovery_threads = std::max<uint32_t>(1, options_.discovery_threads);
+  if (options_.executor != nullptr) {
+    stats_.discovery_threads =
+        std::min(stats_.discovery_threads, options_.executor->worker_count());
+  }
   for (const Atom& atom : database) {
     auto [id, inserted] = instance_.Insert(atom);
     if (inserted && options_.track_provenance) {
@@ -219,13 +223,55 @@ bool ChaseRun::GovernorStop(FaultSite site, uint64_t ordinal,
   return true;
 }
 
+uint64_t ChaseRun::EstimateDiscoveryWork(AtomId watermark) const {
+  constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+  uint64_t total = 0;
+  for (uint32_t r = 0; r < rules_.size(); ++r) {
+    const std::vector<Atom>& body = rules_.rule(r).body();
+    for (std::size_t pivot = 0; pivot < body.size(); ++pivot) {
+      const uint64_t delta =
+          instance_.CountWithPredicateSince(body[pivot].predicate, watermark);
+      if (delta == 0) continue;  // the unit enumerates nothing
+      uint64_t fanout = 1;
+      for (std::size_t i = 0; i < body.size(); ++i) {
+        if (i == pivot) continue;
+        fanout = std::max<uint64_t>(
+            fanout, instance_.AtomsWithPredicate(body[i].predicate).size());
+      }
+      const uint64_t unit = delta > kMax / fanout ? kMax : delta * fanout;
+      total = total > kMax - unit ? kMax : total + unit;
+    }
+  }
+  return total;
+}
+
+ThreadPool* ChaseRun::Pool(uint32_t num_threads) {
+  if (options_.executor != nullptr) return options_.executor.get();
+  if (owned_pool_ == nullptr) {
+    owned_pool_ = std::make_shared<ThreadPool>(num_threads);
+  }
+  return owned_pool_.get();
+}
+
 std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverTriggers(
     AtomId watermark, bool* capped, bool* stopped,
     ChaseOutcome* stop_outcome) {
-  const uint32_t num_threads = std::max<uint32_t>(1, options_.discovery_threads);
-  if (num_threads <= 1) {
+  uint32_t num_threads = std::max<uint32_t>(1, options_.discovery_threads);
+  if (options_.executor != nullptr) {
+    num_threads = std::min(num_threads, options_.executor->worker_count());
+  }
+  last_estimated_work_ = EstimateDiscoveryWork(watermark);
+  last_parallel_ = false;
+  // Adaptive cutover: tiny rounds run serial even with a pool configured —
+  // waking parked workers costs more than a handful of index probes. Both
+  // engines produce identical results, so this is purely a scheduling
+  // decision.
+  if (num_threads <= 1 ||
+      (options_.parallel_cutover_work != 0 &&
+       last_estimated_work_ < options_.parallel_cutover_work)) {
     return DiscoverSerial(watermark, capped, stopped, stop_outcome);
   }
+  last_parallel_ = true;
   return DiscoverParallel(watermark, capped, stopped, stop_outcome,
                           num_threads);
 }
@@ -334,58 +380,47 @@ std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverParallel(
   // A governor/injector trip anywhere makes the whole phase stop early:
   // workers publish the abort outcome here (first writer wins is fine —
   // outcomes from concurrent trips are interchangeable) and every worker
-  // checks it before claiming the next unit.
+  // checks it before starting the next unit.
   std::atomic<int> abort_outcome{-1};
-  std::atomic<std::size_t> next_unit{0};
-  auto worker = [&]() {
-    HomomorphismFinder finder(instance_);
-    for (;;) {
-      if (abort_outcome.load(std::memory_order_relaxed) >= 0) return;
-      const std::size_t u = next_unit.fetch_add(1, std::memory_order_relaxed);
-      if (u >= units.size()) return;
-      DiscoveryUnit& unit = units[u];
-      ChaseOutcome unit_outcome;
-      if (GovernorStop(FaultSite::kDiscovery, u, &unit_outcome)) {
-        abort_outcome.store(static_cast<int>(unit_outcome),
-                            std::memory_order_relaxed);
-        return;
-      }
-      const Tgd& rule = rules_.rule(unit.rule);
-      const std::size_t body_size = rule.body().size();
-      HomSearchOptions search;
-      search.watermark = watermark;
-      search.ranges.assign(body_size, MatchRange::kAll);
-      for (std::size_t i = 0; i < unit.pivot; ++i) {
-        search.ranges[i] = MatchRange::kOldOnly;
-      }
-      search.ranges[unit.pivot] = MatchRange::kDeltaOnly;
-      search.max_candidate_visits = join_budget;
-      search.visits = &unit.visits;
-      search.budget_exhausted = &unit.budget_exhausted;
-      search.governor = &governor_;
-      search.governor_tripped = &unit.governor_tripped;
-      finder.FindAllWithOptions(
-          rule.body(), rule.num_variables(), search, Binding(),
-          [&unit, local_found_cap](const Binding& binding) {
-            unit.found.push_back(binding);
-            if (unit.found.size() >= local_found_cap) {
-              unit.budget_exhausted = true;
-              return false;
-            }
-            return true;
-          });
-      if (unit.governor_tripped) {
-        abort_outcome.store(static_cast<int>(OutcomeOf(governor_.Check())),
-                            std::memory_order_relaxed);
-        return;
-      }
+  Pool(num_threads)->ParallelFor(units.size(), [&](uint64_t u) {
+    if (abort_outcome.load(std::memory_order_relaxed) >= 0) return;
+    DiscoveryUnit& unit = units[u];
+    ChaseOutcome unit_outcome;
+    if (GovernorStop(FaultSite::kDiscovery, u, &unit_outcome)) {
+      abort_outcome.store(static_cast<int>(unit_outcome),
+                          std::memory_order_relaxed);
+      return;
     }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(num_threads - 1);
-  for (uint32_t t = 0; t + 1 < num_threads; ++t) pool.emplace_back(worker);
-  worker();
-  for (std::thread& t : pool) t.join();
+    const Tgd& rule = rules_.rule(unit.rule);
+    const std::size_t body_size = rule.body().size();
+    HomomorphismFinder finder(instance_);
+    HomSearchOptions search;
+    search.watermark = watermark;
+    search.ranges.assign(body_size, MatchRange::kAll);
+    for (std::size_t i = 0; i < unit.pivot; ++i) {
+      search.ranges[i] = MatchRange::kOldOnly;
+    }
+    search.ranges[unit.pivot] = MatchRange::kDeltaOnly;
+    search.max_candidate_visits = join_budget;
+    search.visits = &unit.visits;
+    search.budget_exhausted = &unit.budget_exhausted;
+    search.governor = &governor_;
+    search.governor_tripped = &unit.governor_tripped;
+    finder.FindAllWithOptions(
+        rule.body(), rule.num_variables(), search, Binding(),
+        [&unit, local_found_cap](const Binding& binding) {
+          unit.found.push_back(binding);
+          if (unit.found.size() >= local_found_cap) {
+            unit.budget_exhausted = true;
+            return false;
+          }
+          return true;
+        });
+    if (unit.governor_tripped) {
+      abort_outcome.store(static_cast<int>(OutcomeOf(governor_.Check())),
+                          std::memory_order_relaxed);
+    }
+  });
 
   // Deterministic merge in (rule, pivot, discovery) order — the exact
   // order the serial engine discovers in — re-running the shared-state
@@ -485,6 +520,9 @@ ChaseOutcome ChaseRun::Execute(const AtomObserver& observer) {
     round.delta_atoms = frontier_end - watermark;
     round.candidates = pending.size();
     round.discovery_seconds = discovery_seconds;
+    round.estimated_work = last_estimated_work_;
+    round.parallel_discovery = last_parallel_;
+    if (last_parallel_) ++stats_.parallel_rounds;
 
     // Reorder within the round per the configured strategy. Every
     // strategy applies all discovered triggers before the next round, so
@@ -509,6 +547,19 @@ ChaseOutcome ChaseRun::Execute(const AtomObserver& observer) {
         break;
       }
     }
+
+    // Pre-size the instance for the round's worst-case growth (every
+    // pending trigger fires and every head atom is new) so the apply loop
+    // never rehashes the dedup table or position index mid-flight.
+    uint64_t reserve_atoms = 0;
+    uint64_t reserve_terms = 0;
+    for (const PendingTrigger& trigger : pending) {
+      for (const Atom& head_atom : rules_.rule(trigger.rule).head()) {
+        ++reserve_atoms;
+        reserve_terms += head_atom.arity();
+      }
+    }
+    instance_.ReserveAdditional(reserve_atoms, reserve_terms);
 
     // Apply in the chosen order (always serial: application mutates the
     // instance, and restricted-chase semantics depend on the order).

@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
 #include "base/governor.h"
+#include "base/thread_pool.h"
 #include "model/tgd.h"
 #include "storage/homomorphism.h"
 #include "storage/instance.h"
@@ -81,6 +83,20 @@ struct ChaseOptions {
   /// mutates the instance), so restricted-chase order sensitivity is
   /// unaffected.
   uint32_t discovery_threads = 1;
+  /// Persistent executor for the discovery fan-out. When set, the run
+  /// wakes this pool's parked workers each parallel round instead of
+  /// spawning threads; the pool may be shared across consecutive runs
+  /// (the restricted-probe driver does this). When unset and
+  /// discovery_threads > 1, the run creates a private pool for its
+  /// lifetime. The pool's worker count caps the effective parallelism.
+  std::shared_ptr<ThreadPool> executor;
+  /// Adaptive serial/parallel cutover: a round whose estimated join work
+  /// (delta cardinality x candidate fan-out, summed over discovery
+  /// units) falls below this threshold runs the serial engine even when
+  /// discovery_threads > 1 — waking workers for a handful of probes
+  /// costs more than the probes. 0 disables the cutover (always
+  /// parallel). Results are bit-identical either way.
+  uint64_t parallel_cutover_work = uint64_t{1} << 15;
   /// Cap on applied triggers (chase steps).
   uint64_t max_steps = std::numeric_limits<uint64_t>::max();
   /// Cap on total atoms in the instance.
@@ -191,6 +207,8 @@ struct RoundStats {
   uint64_t applied = 0;            ///< Triggers fired this round.
   double discovery_seconds = 0.0;  ///< Wall time of the discovery phase.
   double apply_seconds = 0.0;      ///< Wall time of the application phase.
+  uint64_t estimated_work = 0;     ///< Join-work estimate driving cutover.
+  bool parallel_discovery = false; ///< Round ran the parallel engine.
 };
 
 /// Observability counters for one chase execution. Collection is always
@@ -204,6 +222,7 @@ struct ChaseStats {
   uint64_t peak_position_index_entries = 0;  ///< Total posting-list entries.
   uint64_t peak_dedup_keys = 0;              ///< Applied trigger keys.
   uint32_t discovery_threads = 1;            ///< Effective worker count.
+  uint64_t parallel_rounds = 0;              ///< Rounds using the pool.
 };
 
 /// A single chase execution. Construct, Execute() once, then inspect.
@@ -291,6 +310,17 @@ class ChaseRun {
                                                ChaseOutcome* stop_outcome,
                                                uint32_t num_threads);
 
+  /// Estimated join work for this round's discovery pass: for each
+  /// (rule, pivot) unit, delta cardinality of the pivot predicate times
+  /// the largest other-conjunct relation (its candidate fan-out),
+  /// saturating at uint64 max. Cheap — two index lookups per unit — and
+  /// feeds the serial/parallel cutover.
+  uint64_t EstimateDiscoveryWork(AtomId watermark) const;
+
+  /// The executor for parallel rounds: options_.executor if provided,
+  /// else a lazily created pool owned by this run.
+  ThreadPool* Pool(uint32_t num_threads);
+
   /// Folds current index sizes into the stats peaks.
   void UpdateStatsPeaks();
 
@@ -307,6 +337,16 @@ class ChaseRun {
     std::size_t operator()(const std::vector<uint32_t>& key) const noexcept;
   };
   std::unordered_set<std::vector<uint32_t>, KeyHash> applied_keys_;
+
+  /// Lazily created pool for parallel discovery when the caller did not
+  /// supply ChaseOptions::executor. Lives for the rest of the run so
+  /// every parallel round reuses the same parked workers.
+  std::shared_ptr<ThreadPool> owned_pool_;
+
+  /// Scratch written by DiscoverTriggers, folded into the round's stats
+  /// entry by Execute (the entry does not exist yet at discovery time).
+  uint64_t last_estimated_work_ = 0;
+  bool last_parallel_ = false;
 
   ChaseStats stats_;
   uint64_t applied_triggers_ = 0;

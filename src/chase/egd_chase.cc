@@ -185,8 +185,8 @@ EgdChaseResult RunStandardChaseWithEgds(const RuleSet& rules,
       if (!merged) break;
       // Renormalize the whole instance under the merged terms.
       Instance normalized;
-      for (const Atom& atom : result.instance.atoms()) {
-        Atom canonical = atom;
+      for (AtomView atom : result.instance.atoms()) {
+        Atom canonical = atom.ToAtom();
         for (Term& t : canonical.args) t = unionfind.Canonical(t);
         normalized.Insert(canonical);
       }

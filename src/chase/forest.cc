@@ -62,7 +62,7 @@ ForestStats ChaseForest::Stats() const {
   std::unordered_map<uint32_t, std::vector<AtomId>> atoms_with_term;
   uint32_t zero_ary = 0;
   for (AtomId id = 0; id < instance.size(); ++id) {
-    const Atom& atom = instance.atom(id);
+    const AtomView atom = instance.atom(id);
     if (atom.args.empty()) {
       ++zero_ary;
       continue;
@@ -73,7 +73,7 @@ ForestStats ChaseForest::Stats() const {
     }
   }
   for (AtomId id = 0; id < nodes_.size(); ++id) {
-    const Atom& atom = instance.atom(id);
+    const AtomView atom = instance.atom(id);
     std::unordered_set<uint32_t> node_terms;
     for (Term t : atom.args) node_terms.insert(t.raw());
     std::unordered_set<AtomId> bag;
@@ -103,7 +103,7 @@ std::string ChaseForest::ToDot(const Vocabulary& vocabulary) const {
   std::string out = "digraph chase_forest {\n  rankdir=TB;\n";
   for (AtomId id = 0; id < nodes_.size(); ++id) {
     out += "  a" + std::to_string(id) + " [label=\"" +
-           AtomToString(instance.atom(id), vocabulary) + "\"";
+           AtomToString(instance.atom(id).ToAtom(), vocabulary) + "\"";
     if (nodes_[id].parent == kNoAtomId) out += ", shape=box";
     out += "];\n";
   }

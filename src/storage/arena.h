@@ -1,0 +1,233 @@
+#ifndef GCHASE_STORAGE_ARENA_H_
+#define GCHASE_STORAGE_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "base/check.h"
+#include "base/hash.h"
+#include "model/atom.h"
+
+namespace gchase {
+
+/// A non-owning view of a contiguous run of terms inside a TermArena.
+/// Iterable and indexable like the `std::vector<Term>` it replaces, so
+/// `for (Term t : view.args)` and `view.args[pos]` read unchanged.
+class TermSpan {
+ public:
+  TermSpan() = default;
+  TermSpan(const Term* data, uint32_t size) : data_(data), size_(size) {}
+
+  const Term* begin() const { return data_; }
+  const Term* end() const { return data_ + size_; }
+  uint32_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  Term operator[](uint32_t i) const {
+    GCHASE_CHECK(i < size_);
+    return data_[i];
+  }
+
+  friend bool operator==(TermSpan a, TermSpan b) {
+    if (a.size_ != b.size_) return false;
+    for (uint32_t i = 0; i < a.size_; ++i) {
+      if (a.data_[i] != b.data_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(TermSpan a, TermSpan b) { return !(a == b); }
+
+ private:
+  const Term* data_ = nullptr;
+  uint32_t size_ = 0;
+};
+
+/// Columnar atom storage: all arguments of all atoms of an instance live
+/// in one contiguous term array, and each atom is a (predicate, offset,
+/// arity) record into it. Appending an atom costs zero heap allocations
+/// once the arena's geometric growth has levelled off — the per-atom
+/// `std::vector<Term>` of the old row store is gone.
+///
+/// Invalidation rule: spans returned by `Span()` (and the `AtomView`s an
+/// Instance builds from them) point into the arena and are invalidated by
+/// the next `Append()`/`Reserve()` that reallocates. Hold them only
+/// across mutation-free stretches — exactly the contract the
+/// homomorphism search already obeys for posting lists.
+class TermArena {
+ public:
+  /// Copies `count` terms into the arena; returns their offset.
+  uint32_t Append(const Term* terms, uint32_t count) {
+    const uint32_t offset = static_cast<uint32_t>(terms_.size());
+    terms_.insert(terms_.end(), terms, terms + count);
+    return offset;
+  }
+
+  TermSpan Span(uint32_t offset, uint32_t count) const {
+    GCHASE_CHECK(offset + count <= terms_.size());
+    return TermSpan(terms_.data() + offset, count);
+  }
+
+  const std::vector<Term>& terms() const { return terms_; }
+  std::size_t size() const { return terms_.size(); }
+  void Reserve(std::size_t total_terms) { terms_.reserve(total_terms); }
+
+ private:
+  std::vector<Term> terms_;
+};
+
+/// One atom of a columnar instance: 12 bytes, stored densely by id.
+struct AtomRecord {
+  PredicateId predicate = 0;
+  uint32_t offset = 0;  ///< First argument's index in the TermArena.
+  uint32_t arity = 0;
+};
+
+/// A lightweight, trivially-copyable view of a stored atom. Mirrors the
+/// read surface of `Atom` (`.predicate`, `.args`, `.arity()`) so most
+/// call sites work unchanged; materialize with `ToAtom()` where an owning
+/// atom is genuinely needed (sets, maps, mutation).
+///
+/// Views borrow from the instance's arena: they are invalidated by the
+/// next insertion (see TermArena's invalidation rule).
+struct AtomView {
+  PredicateId predicate = 0;
+  TermSpan args;
+
+  uint32_t arity() const { return args.size(); }
+
+  bool HasNull() const {
+    for (Term t : args) {
+      if (t.IsNull()) return true;
+    }
+    return false;
+  }
+
+  Atom ToAtom() const {
+    Atom atom;
+    atom.predicate = predicate;
+    atom.args.assign(args.begin(), args.end());
+    return atom;
+  }
+
+  friend bool operator==(const AtomView& a, const AtomView& b) {
+    return a.predicate == b.predicate && a.args == b.args;
+  }
+  friend bool operator!=(const AtomView& a, const AtomView& b) {
+    return !(a == b);
+  }
+};
+
+/// Content hash over a predicate and a term run — the single hash an
+/// Instance computes per probe/insert. Identical to HashAtom for the same
+/// logical atom, but usable against both an `Atom` and arena storage.
+inline uint64_t HashAtomTerms(PredicateId predicate, const Term* args,
+                              uint32_t arity) {
+  std::size_t seed = 0x9ae16a3b2f90404fULL;
+  HashCombine(&seed, predicate);
+  for (uint32_t i = 0; i < arity; ++i) HashCombine(&seed, args[i].raw());
+  // HashCombine diffuses the low bits poorly for sequential ids, and the
+  // dedup table indexes with a power-of-two mask (no prime-bucket rescue
+  // like unordered_map) — finalize with splitmix64 so low bits carry the
+  // whole word.
+  uint64_t h = seed;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+/// Open-addressing hash map from a 64-bit key to a uint32 value, laid out
+/// as two parallel arrays (keys / values) — no nodes, no per-entry
+/// allocation, one multiplicative mix per probe. The value 0xffffffff is
+/// reserved as the empty-slot sentinel, so stored values must stay below
+/// it (posting-list slots and atom ids always do; inserting the sentinel
+/// is a checked failure).
+///
+/// Capacity is a power of two with linear probing at a max load factor of
+/// 1/2 (join probes are miss-heavy, and unsuccessful linear-probe chains
+/// grow as 1/(1-load)^2); `Reserve()` pre-sizes for a known key
+/// cardinality so bulk insert phases never rehash mid-flight.
+class FlatIndex64 {
+ public:
+  static constexpr uint32_t kNotFound = 0xffffffffu;
+
+  /// Returns the value stored under `key`, or kNotFound.
+  uint32_t Find(uint64_t key) const {
+    if (values_.empty()) return kNotFound;
+    const std::size_t mask = values_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(Mix(key)) & mask;
+    while (values_[i] != kNotFound) {
+      if (keys_[i] == key) return values_[i];
+      i = (i + 1) & mask;
+    }
+    return kNotFound;
+  }
+
+  /// Returns the value stored under `key`, inserting `value_if_new` (and
+  /// setting *inserted) when the key is absent.
+  uint32_t FindOrInsert(uint64_t key, uint32_t value_if_new, bool* inserted) {
+    GCHASE_CHECK(value_if_new != kNotFound);
+    GrowIfNeeded(count_ + 1);
+    const std::size_t mask = values_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(Mix(key)) & mask;
+    while (values_[i] != kNotFound) {
+      if (keys_[i] == key) {
+        *inserted = false;
+        return values_[i];
+      }
+      i = (i + 1) & mask;
+    }
+    keys_[i] = key;
+    values_[i] = value_if_new;
+    ++count_;
+    *inserted = true;
+    return value_if_new;
+  }
+
+  std::size_t size() const { return count_; }
+
+  /// Pre-sizes the table for `expected_keys` total entries.
+  void Reserve(std::size_t expected_keys) { GrowIfNeeded(expected_keys); }
+
+ private:
+  static uint64_t Mix(uint64_t key) {
+    // splitmix64 finalizer: full-avalanche, so linear probing does not
+    // cluster on the structured (term, pred, pos) key packing.
+    key ^= key >> 30;
+    key *= 0xbf58476d1ce4e5b9ULL;
+    key ^= key >> 27;
+    key *= 0x94d049bb133111ebULL;
+    key ^= key >> 31;
+    return key;
+  }
+
+  void GrowIfNeeded(std::size_t want) {
+    // Max load factor 1/2.
+    if (!values_.empty() && want * 2 <= values_.size()) return;
+    std::size_t capacity = values_.empty() ? 16 : values_.size();
+    while (want * 2 > capacity) capacity *= 2;
+    if (capacity == values_.size()) return;
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<uint32_t> old_values = std::move(values_);
+    keys_.assign(capacity, 0);
+    values_.assign(capacity, kNotFound);
+    const std::size_t mask = capacity - 1;
+    for (std::size_t i = 0; i < old_values.size(); ++i) {
+      if (old_values[i] == kNotFound) continue;
+      std::size_t j = static_cast<std::size_t>(Mix(old_keys[i])) & mask;
+      while (values_[j] != kNotFound) j = (j + 1) & mask;
+      keys_[j] = old_keys[i];
+      values_[j] = old_values[i];
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<uint32_t> values_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace gchase
+
+#endif  // GCHASE_STORAGE_ARENA_H_

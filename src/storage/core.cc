@@ -21,8 +21,8 @@ struct InstanceQuery {
 
 InstanceQuery BuildQuery(const Instance& instance) {
   InstanceQuery query;
-  for (const Atom& atom : instance.atoms()) {
-    Atom pattern = atom;
+  for (AtomView atom : instance.atoms()) {
+    Atom pattern = atom.ToAtom();
     for (Term& t : pattern.args) {
       if (!t.IsNull()) continue;
       auto [it, inserted] = query.var_of_null.emplace(
@@ -40,8 +40,8 @@ InstanceQuery BuildQuery(const Instance& instance) {
 Instance ApplyFold(const Instance& instance, const InstanceQuery& query,
                    const Binding& binding) {
   Instance image;
-  for (const Atom& atom : instance.atoms()) {
-    Atom mapped = atom;
+  for (AtomView atom : instance.atoms()) {
+    Atom mapped = atom.ToAtom();
     for (Term& t : mapped.args) {
       if (!t.IsNull()) continue;
       auto it = query.var_of_null.find(t.index());
@@ -69,7 +69,7 @@ CoreResult ComputeCore(const Instance& instance, const CoreOptions& options) {
 
     // Candidate fold targets: every term of the instance.
     std::unordered_set<uint32_t> term_raws;
-    for (const Atom& atom : result.core.atoms()) {
+    for (AtomView atom : result.core.atoms()) {
       for (Term t : atom.args) term_raws.insert(t.raw());
     }
 

@@ -125,7 +125,7 @@ class Search {
         break;
       }
       if (!InRange(id, range)) continue;
-      const Atom& fact = instance_.atom(id);
+      const AtomView fact = instance_.atom(id);
       // Unify pattern against fact, recording newly bound variables.
       trail.clear();
       bool ok = true;

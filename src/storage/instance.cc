@@ -1,5 +1,6 @@
 #include "storage/instance.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 namespace gchase {
@@ -11,23 +12,103 @@ const std::vector<AtomId>& EmptyIdList() {
 }
 }  // namespace
 
-std::pair<AtomId, bool> Instance::Insert(const Atom& atom) {
+bool Instance::RecordEquals(AtomId id, PredicateId pred, const Term* args,
+                            uint32_t arity) const {
+  const AtomRecord& record = records_[id];
+  if (record.predicate != pred || record.arity != arity) return false;
+  const Term* stored = arena_.terms().data() + record.offset;
+  for (uint32_t i = 0; i < arity; ++i) {
+    if (stored[i] != args[i]) return false;
+  }
+  return true;
+}
+
+std::size_t Instance::DedupSlotFor(uint64_t hash, PredicateId pred,
+                                   const Term* args, uint32_t arity) const {
+  const std::size_t mask = dedup_ids_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(hash) & mask;
+  while (dedup_ids_[i] != kEmptySlot) {
+    if (dedup_hashes_[i] == hash &&
+        RecordEquals(dedup_ids_[i], pred, args, arity)) {
+      return i;
+    }
+    i = (i + 1) & mask;
+  }
+  return i;
+}
+
+void Instance::GrowDedup(std::size_t want) {
+  // Max load factor 1/2, power-of-two capacity. Linear-probe miss chains
+  // grow as 1/(1-load)^2, and the chase's Contains traffic is miss-heavy
+  // (every candidate head atom is probed before insertion) — the extra
+  // 12 bytes/slot buys ~1.5-probe misses instead of ~6 at 7/10 load.
+  if (!dedup_ids_.empty() && want * 2 <= dedup_ids_.size()) return;
+  std::size_t capacity = dedup_ids_.empty() ? 16 : dedup_ids_.size();
+  while (want * 2 > capacity) capacity *= 2;
+  if (capacity == dedup_ids_.size()) return;
+  std::vector<uint64_t> old_hashes = std::move(dedup_hashes_);
+  std::vector<AtomId> old_ids = std::move(dedup_ids_);
+  dedup_hashes_.assign(capacity, 0);
+  dedup_ids_.assign(capacity, kEmptySlot);
+  const std::size_t mask = capacity - 1;
+  for (std::size_t i = 0; i < old_ids.size(); ++i) {
+    if (old_ids[i] == kEmptySlot) continue;
+    std::size_t j = static_cast<std::size_t>(old_hashes[i]) & mask;
+    while (dedup_ids_[j] != kEmptySlot) j = (j + 1) & mask;
+    dedup_hashes_[j] = old_hashes[i];
+    dedup_ids_[j] = old_ids[i];
+  }
+}
+
+std::pair<AtomId, bool> Instance::TryAdd(const Atom& atom) {
   GCHASE_CHECK_MSG(atom.IsGround(), "instances hold ground atoms only");
-  auto it = dedup_.find(atom);
-  if (it != dedup_.end()) return {it->second, false};
-  AtomId id = static_cast<AtomId>(atoms_.size());
-  atoms_.push_back(atom);
-  dedup_.emplace(atom, id);
+  const uint32_t arity = atom.arity();
+  const uint64_t hash = HashAtomTerms(atom.predicate, atom.args.data(), arity);
+  GrowDedup(records_.size() + 1);
+  const std::size_t slot =
+      DedupSlotFor(hash, atom.predicate, atom.args.data(), arity);
+  if (dedup_ids_[slot] != kEmptySlot) return {dedup_ids_[slot], false};
+
+  const AtomId id = static_cast<AtomId>(records_.size());
+  GCHASE_CHECK(id != kEmptySlot);
+  const uint32_t offset = arena_.Append(atom.args.data(), arity);
+  records_.push_back(AtomRecord{atom.predicate, offset, arity});
+  dedup_hashes_[slot] = hash;
+  dedup_ids_[slot] = id;
+
   if (atom.predicate >= by_predicate_.size()) {
     by_predicate_.resize(atom.predicate + 1);
   }
   by_predicate_[atom.predicate].push_back(id);
-  for (uint32_t pos = 0; pos < atom.arity(); ++pos) {
-    position_index_[PositionKey(atom.predicate, pos, atom.args[pos])]
-        .push_back(id);
+  for (uint32_t pos = 0; pos < arity; ++pos) {
+    bool inserted = false;
+    const uint32_t posting_slot = position_index_.FindOrInsert(
+        PositionKey(atom.predicate, pos, atom.args[pos]),
+        static_cast<uint32_t>(postings_.size()), &inserted);
+    if (inserted) postings_.emplace_back();
+    postings_[posting_slot].push_back(id);
     ++position_entries_;
   }
   return {id, true};
+}
+
+std::optional<AtomId> Instance::Find(const Atom& atom) const {
+  if (dedup_ids_.empty()) return std::nullopt;
+  const uint32_t arity = atom.arity();
+  const uint64_t hash = HashAtomTerms(atom.predicate, atom.args.data(), arity);
+  const std::size_t slot =
+      DedupSlotFor(hash, atom.predicate, atom.args.data(), arity);
+  if (dedup_ids_[slot] == kEmptySlot) return std::nullopt;
+  return dedup_ids_[slot];
+}
+
+std::vector<Atom> Instance::MaterializeAtoms() const {
+  std::vector<Atom> out;
+  out.reserve(records_.size());
+  for (AtomId id = 0; id < records_.size(); ++id) {
+    out.push_back(atom(id).ToAtom());
+  }
+  return out;
 }
 
 const std::vector<AtomId>& Instance::AtomsWithPredicate(
@@ -36,22 +117,38 @@ const std::vector<AtomId>& Instance::AtomsWithPredicate(
   return by_predicate_[pred];
 }
 
+uint32_t Instance::CountWithPredicateSince(PredicateId pred,
+                                           AtomId watermark) const {
+  const std::vector<AtomId>& ids = AtomsWithPredicate(pred);
+  // Append order means the list is sorted by id.
+  auto it = std::lower_bound(ids.begin(), ids.end(), watermark);
+  return static_cast<uint32_t>(ids.end() - it);
+}
+
 const std::vector<AtomId>& Instance::AtomsWithTermAt(PredicateId pred,
                                                      uint32_t position,
                                                      Term term) const {
-  auto it = position_index_.find(PositionKey(pred, position, term));
-  if (it == position_index_.end()) return EmptyIdList();
-  return it->second;
+  const uint32_t slot =
+      position_index_.Find(PositionKey(pred, position, term));
+  if (slot == FlatIndex64::kNotFound) return EmptyIdList();
+  return postings_[slot];
 }
 
 uint32_t Instance::CountNulls() const {
   std::unordered_set<uint32_t> nulls;
-  for (const Atom& atom : atoms_) {
-    for (Term t : atom.args) {
-      if (t.IsNull()) nulls.insert(t.index());
-    }
+  for (Term t : arena_.terms()) {
+    if (t.IsNull()) nulls.insert(t.index());
   }
   return static_cast<uint32_t>(nulls.size());
+}
+
+void Instance::ReserveAdditional(uint64_t extra_atoms, uint64_t extra_terms) {
+  arena_.Reserve(arena_.size() + extra_terms);
+  records_.reserve(records_.size() + extra_atoms);
+  GrowDedup(records_.size() + extra_atoms);
+  // Worst case every new argument position opens a fresh index key.
+  position_index_.Reserve(position_index_.size() + extra_terms);
+  postings_.reserve(postings_.size() + extra_terms);
 }
 
 }  // namespace gchase

@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "base/check.h"
 #include "model/atom.h"
+#include "storage/arena.h"
 
 namespace gchase {
 
@@ -16,47 +16,103 @@ namespace gchase {
 /// for semi-naive evaluation.
 using AtomId = uint32_t;
 
-/// A set of ground atoms (facts over constants and labeled nulls) with:
-///  - content-hash deduplication,
-///  - a per-predicate atom list,
-///  - a position index (predicate, position, term) -> atoms, used by the
-///    homomorphism engine to seed joins.
+/// A set of ground atoms (facts over constants and labeled nulls) stored
+/// columnar:
+///  - all atom arguments live in one contiguous TermArena; an atom is a
+///    (predicate, offset, arity) record, read through AtomView — no
+///    per-atom heap allocation;
+///  - content-hash dedup via an open-addressing table that hashes each
+///    probe atom exactly once (TryAdd = Contains + Insert in one probe);
+///  - a per-predicate atom list;
+///  - a (predicate, position, term) -> atoms position index over a flat
+///    SoA hash table (FlatIndex64), used by the homomorphism engine to
+///    seed joins. Posting lists are append-ordered AtomId arrays.
 ///
 /// Thread-safety contract: all const members are safe to call from any
 /// number of threads concurrently as long as no thread is mutating (there
 /// are no mutable caches and no lazily built indexes). The chase's
 /// parallel trigger-discovery phase relies on exactly this: workers share
 /// one read-only Instance between mutation-free phases.
+///
+/// Invalidation contract: AtomViews, TermSpans and posting-list
+/// references borrow from the instance's internal arrays and are
+/// invalidated by the next TryAdd/Insert/ReserveAdditional. AtomIds are
+/// stable forever.
 class Instance {
  public:
   Instance() = default;
 
-  /// Inserts `atom` (must be ground). Returns its id and whether it was new.
-  std::pair<AtomId, bool> Insert(const Atom& atom);
+  /// Inserts `atom` (must be ground) unless already present. Returns the
+  /// atom's id — the prior id on a duplicate — and whether it was new.
+  /// The atom is hashed exactly once, shared by the dedup probe and the
+  /// insert, so a Contains-then-Add sequence should be a single TryAdd.
+  std::pair<AtomId, bool> TryAdd(const Atom& atom);
 
-  bool Contains(const Atom& atom) const {
-    return dedup_.find(atom) != dedup_.end();
-  }
+  /// Synonym for TryAdd (the historical name).
+  std::pair<AtomId, bool> Insert(const Atom& atom) { return TryAdd(atom); }
+
+  bool Contains(const Atom& atom) const { return Find(atom).has_value(); }
 
   /// Returns the id of `atom` if present.
-  std::optional<AtomId> Find(const Atom& atom) const {
-    auto it = dedup_.find(atom);
-    if (it == dedup_.end()) return std::nullopt;
-    return it->second;
+  std::optional<AtomId> Find(const Atom& atom) const;
+
+  /// Borrowed view of the atom; invalidated by the next insertion.
+  AtomView atom(AtomId id) const {
+    GCHASE_CHECK(id < records_.size());
+    const AtomRecord& record = records_[id];
+    return AtomView{record.predicate,
+                    arena_.Span(record.offset, record.arity)};
   }
 
-  const Atom& atom(AtomId id) const {
-    GCHASE_CHECK(id < atoms_.size());
-    return atoms_[id];
-  }
+  uint32_t size() const { return static_cast<uint32_t>(records_.size()); }
+  bool empty() const { return records_.empty(); }
 
-  uint32_t size() const { return static_cast<uint32_t>(atoms_.size()); }
-  bool empty() const { return atoms_.empty(); }
+  /// Iterable range of AtomViews in id order:
+  /// `for (AtomView atom : instance.atoms())`.
+  class AtomIterator {
+   public:
+    AtomIterator(const Instance* instance, AtomId id)
+        : instance_(instance), id_(id) {}
+    AtomView operator*() const { return instance_->atom(id_); }
+    AtomIterator& operator++() {
+      ++id_;
+      return *this;
+    }
+    friend bool operator!=(const AtomIterator& a, const AtomIterator& b) {
+      return a.id_ != b.id_;
+    }
+    friend bool operator==(const AtomIterator& a, const AtomIterator& b) {
+      return a.id_ == b.id_;
+    }
 
-  const std::vector<Atom>& atoms() const { return atoms_; }
+   private:
+    const Instance* instance_;
+    AtomId id_;
+  };
+  class AtomRange {
+   public:
+    explicit AtomRange(const Instance* instance) : instance_(instance) {}
+    AtomIterator begin() const { return AtomIterator(instance_, 0); }
+    AtomIterator end() const {
+      return AtomIterator(instance_, instance_->size());
+    }
+
+   private:
+    const Instance* instance_;
+  };
+  AtomRange atoms() const { return AtomRange(this); }
+
+  /// Owning copies of all atoms in id order (for callers that need to
+  /// outlive the instance or mutate; iteration should use atoms()).
+  std::vector<Atom> MaterializeAtoms() const;
 
   /// Ids of atoms with this predicate (append order).
   const std::vector<AtomId>& AtomsWithPredicate(PredicateId pred) const;
+
+  /// Number of atoms with this predicate whose id is >= `watermark` —
+  /// the per-predicate delta cardinality, O(log n) via the append-ordered
+  /// posting list. Feeds round-start work estimates.
+  uint32_t CountWithPredicateSince(PredicateId pred, AtomId watermark) const;
 
   /// Ids of atoms with `term` at `position` of `pred` (append order).
   const std::vector<AtomId>& AtomsWithTermAt(PredicateId pred,
@@ -74,7 +130,17 @@ class Instance {
   /// layers can sample it in O(1).
   uint64_t PositionIndexEntries() const { return position_entries_; }
 
+  /// Pre-sizes the arena, record array, dedup table and position index
+  /// for `extra_atoms` more atoms carrying `extra_terms` arguments in
+  /// total, so a bulk-add phase (delta application) proceeds without
+  /// mid-flight rehashing or reallocation. A hint: overestimates waste
+  /// only reserved capacity, underestimates fall back to geometric
+  /// growth.
+  void ReserveAdditional(uint64_t extra_atoms, uint64_t extra_terms);
+
  private:
+  static constexpr AtomId kEmptySlot = 0xffffffffu;
+
   static uint64_t PositionKey(PredicateId pred, uint32_t position, Term term) {
     GCHASE_CHECK(position < 256);
     GCHASE_CHECK(pred < (1u << 24));
@@ -82,10 +148,29 @@ class Instance {
            (static_cast<uint64_t>(pred) << 8) | position;
   }
 
-  std::vector<Atom> atoms_;
-  std::unordered_map<Atom, AtomId> dedup_;
+  /// True if stored atom `id` equals (pred, args).
+  bool RecordEquals(AtomId id, PredicateId pred, const Term* args,
+                    uint32_t arity) const;
+
+  /// Linear-probe slot for an atom with hash `hash`: either the slot
+  /// holding its id or the empty slot where it would go. Requires a
+  /// non-empty table.
+  std::size_t DedupSlotFor(uint64_t hash, PredicateId pred, const Term* args,
+                           uint32_t arity) const;
+
+  /// Grows the dedup table so `want` entries fit under the load cap.
+  void GrowDedup(std::size_t want);
+
+  TermArena arena_;
+  std::vector<AtomRecord> records_;
+  /// Open-addressing dedup: parallel hash/id arrays (id kEmptySlot =
+  /// free). Stored hashes make rehash-on-grow a move, not a recompute.
+  std::vector<uint64_t> dedup_hashes_;
+  std::vector<AtomId> dedup_ids_;
   std::vector<std::vector<AtomId>> by_predicate_;
-  std::unordered_map<uint64_t, std::vector<AtomId>> position_index_;
+  /// (pred, pos, term) key -> slot in postings_.
+  FlatIndex64 position_index_;
+  std::vector<std::vector<AtomId>> postings_;
   uint64_t position_entries_ = 0;
 };
 

@@ -8,7 +8,7 @@ namespace gchase {
 std::string WriteInstanceText(const Instance& instance,
                               const Vocabulary& vocabulary) {
   std::string out;
-  for (const Atom& atom : instance.atoms()) {
+  for (AtomView atom : instance.atoms()) {
     out += vocabulary.schema.name(atom.predicate);
     out += '(';
     for (uint32_t i = 0; i < atom.arity(); ++i) {

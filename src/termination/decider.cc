@@ -76,11 +76,12 @@ StatusOr<DeciderResult> DecideTermination(const RuleSet& rules,
       result.verdict = TerminationVerdict::kNonTerminating;
       const PumpCertificate& certificate = *result.certificate;
       std::string text = "pump: ";
-      text += AtomToString(run.instance().atom(certificate.ancestor),
+      text += AtomToString(run.instance().atom(certificate.ancestor).ToAtom(),
                            *vocabulary);
       text += "  ~>  ";
-      text += AtomToString(run.instance().atom(certificate.descendant),
-                           *vocabulary);
+      text +=
+          AtomToString(run.instance().atom(certificate.descendant).ToAtom(),
+                       *vocabulary);
       text += "  via rules [";
       for (std::size_t i = 0; i < certificate.segment_rules.size(); ++i) {
         if (i > 0) text += ", ";

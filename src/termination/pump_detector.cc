@@ -37,7 +37,7 @@ const std::vector<uint32_t>& PumpDetector::TypeOf(AtomId id) {
   if (id >= type_cache_.size()) type_cache_.resize(id + 1);
   std::vector<uint32_t>& sig = type_cache_[id];
   if (!sig.empty()) return sig;
-  const Atom& atom = run_.instance().atom(id);
+  const AtomView atom = run_.instance().atom(id);
   sig.reserve(atom.arity() + 1);
   sig.push_back(atom.predicate + 1);  // +1 keeps the signature non-empty
   std::unordered_map<uint32_t, uint32_t> null_occurrence;
@@ -77,8 +77,8 @@ bool PumpDetector::TryReplay(AtomId u_id, AtomId v_id,
                              PumpCertificate* certificate) {
   const Instance& instance = run_.instance();
   const std::vector<AtomProvenance>& prov = run_.provenance();
-  const Atom& u = instance.atom(u_id);
-  const Atom& v = instance.atom(v_id);
+  const AtomView u = instance.atom(u_id);
+  const AtomView v = instance.atom(v_id);
 
   // --- Positional term map phi: terms(u) -> terms(v). ------------------
   std::unordered_map<uint32_t, uint32_t> phi;  // raw -> raw
@@ -113,7 +113,7 @@ bool PumpDetector::TryReplay(AtomId u_id, AtomId v_id,
   std::unordered_set<uint32_t> generation;
   for (uint32_t t : segment) {
     for (AtomId id : triggers[t].produced) {
-      segment_produced.insert(instance.atom(id));
+      segment_produced.insert(instance.atom(id).ToAtom());
     }
     for (Term n : triggers[t].created_nulls) generation.insert(n.raw());
   }
@@ -155,8 +155,7 @@ bool PumpDetector::TryReplay(AtomId u_id, AtomId v_id,
     // Every body atom must be phi-stable, segment-produced, or produced
     // by the replay so far.
     for (AtomId body_id : trigger.body_atoms) {
-      const Atom& body = instance.atom(body_id);
-      Atom image = body;
+      Atom image = instance.atom(body_id).ToAtom();
       bool stable = true;
       for (Term& term : image.args) {
         Term mapped = apply_phi(term);
@@ -211,7 +210,7 @@ bool PumpDetector::TryReplay(AtomId u_id, AtomId v_id,
   }
 
   // Productivity: the replayed copy of v must be a genuinely new atom.
-  Atom v_image = v;
+  Atom v_image = v.ToAtom();
   bool v_moved = false;
   for (Term& term : v_image.args) {
     Term mapped = apply_phi(term);

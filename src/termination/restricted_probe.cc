@@ -18,6 +18,7 @@ ChaseOutcome RunOnce(const RuleSet& rules, const std::vector<Atom>& database,
   chase_options.max_hom_discoveries = options.max_hom_discoveries;
   chase_options.max_join_work = options.max_join_work;
   chase_options.discovery_threads = options.discovery_threads;
+  chase_options.executor = options.executor;
   chase_options.deadline = options.deadline;
   chase_options.cancel = options.cancel;
   return RunChase(rules, chase_options, database).outcome;
@@ -59,17 +60,37 @@ StatusOr<RestrictedProbeResult> ProbeRestrictedTermination(
         return false;
     }
   };
-  result.fifo_terminated =
-      tally(RunOnce(rules, facts, options, TriggerOrder::kFifo, 0));
-  result.datalog_first_terminated =
-      tally(RunOnce(rules, facts, options, TriggerOrder::kDatalogFirst, 0));
+  // Enumerate the sampled runs up front so the fan-out and the serial
+  // path walk the same list. No run depends on another and none is ever
+  // skipped (aborted runs still tally), so executing them concurrently
+  // and tallying in list order below reproduces the serial probe exactly.
+  struct ProbeRun {
+    TriggerOrder order;
+    uint64_t seed;
+  };
+  std::vector<ProbeRun> runs;
+  runs.push_back(ProbeRun{TriggerOrder::kFifo, 0});
+  runs.push_back(ProbeRun{TriggerOrder::kDatalogFirst, 0});
   for (uint32_t i = 0; i < options.num_random_orders; ++i) {
-    const ChaseOutcome outcome = RunOnce(rules, facts, options,
-                                         TriggerOrder::kRandom,
-                                         options.seed + i * 0x9e3779b9u);
-    if (tally(outcome)) {
+    runs.push_back(
+        ProbeRun{TriggerOrder::kRandom, options.seed + i * 0x9e3779b9u});
+  }
+  std::vector<ChaseOutcome> outcomes(runs.size(), ChaseOutcome::kTerminated);
+  auto execute = [&](uint64_t i) {
+    outcomes[i] =
+        RunOnce(rules, facts, options, runs[i].order, runs[i].seed);
+  };
+  if (options.executor != nullptr) {
+    options.executor->ParallelFor(runs.size(), execute);
+  } else {
+    for (uint64_t i = 0; i < runs.size(); ++i) execute(i);
+  }
+  result.fifo_terminated = tally(outcomes[0]);
+  result.datalog_first_terminated = tally(outcomes[1]);
+  for (std::size_t i = 2; i < outcomes.size(); ++i) {
+    if (tally(outcomes[i])) {
       ++result.random_orders_terminated;
-    } else if (outcome == ChaseOutcome::kResourceLimit) {
+    } else if (outcomes[i] == ChaseOutcome::kResourceLimit) {
       ++result.random_orders_diverged;
     }
   }

@@ -2,9 +2,11 @@
 #define GCHASE_TERMINATION_RESTRICTED_PROBE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "base/status.h"
+#include "base/thread_pool.h"
 #include "chase/chase.h"
 #include "model/tgd.h"
 #include "model/vocabulary.h"
@@ -24,6 +26,13 @@ struct RestrictedProbeOptions {
   /// Worker threads for each probe run's trigger-discovery phase (see
   /// ChaseOptions::discovery_threads; outcome-invariant).
   uint32_t discovery_threads = 1;
+  /// Executor for the probe. When set, the sampled runs fan out over the
+  /// pool's workers (each run stays internally serial — a run inside a
+  /// pool task inlines its own discovery) and the pool is also handed to
+  /// any runs that do execute parallel discovery. Every run always
+  /// executes and the tally is applied in the fixed (fifo, datalog-first,
+  /// random_0..n) order, so results are identical to the serial probe.
+  std::shared_ptr<ThreadPool> executor;
   /// Probe the critical instance when true (default); otherwise the
   /// caller-provided database.
   bool use_critical_instance = true;

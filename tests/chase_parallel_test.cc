@@ -4,8 +4,10 @@
 // decorrelated kRandom seeding, full RunChase result plumbing).
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -54,18 +56,25 @@ struct CapturedRun {
 
 CapturedRun Capture(const ParsedProgram& program, ChaseVariant variant,
                     uint32_t threads, TriggerOrder order = TriggerOrder::kFifo,
-                    uint64_t seed = 0) {
+                    uint64_t seed = 0,
+                    std::shared_ptr<ThreadPool> executor = nullptr,
+                    FaultInjector fault_injector = nullptr) {
   ChaseOptions options;
   options.variant = variant;
   options.order = order;
   options.order_seed = seed;
   options.max_atoms = 200000;
   options.discovery_threads = threads;
+  // Test-friendly workloads are small; disable the adaptive cutover so a
+  // threads > 1 capture genuinely runs the parallel engine.
+  options.parallel_cutover_work = 0;
+  options.executor = std::move(executor);
+  options.fault_injector = std::move(fault_injector);
   options.track_provenance = true;
   ChaseRun run(program.rules, options, program.facts);
   CapturedRun captured;
   captured.outcome = run.Execute();
-  captured.atoms = run.instance().atoms();
+  captured.atoms = run.instance().MaterializeAtoms();
   captured.triggers = run.triggers();
   return captured;
 }
@@ -133,6 +142,7 @@ TEST(ParallelDiscoveryTest, CappedRunStillReportsResourceLimit) {
     ChaseOptions options;
     options.max_atoms = 100;
     options.discovery_threads = threads;
+    options.parallel_cutover_work = 0;
     ChaseResult result = RunChase(program.rules, options, program.facts);
     EXPECT_EQ(result.outcome, ChaseOutcome::kResourceLimit) << threads;
   }
@@ -140,6 +150,7 @@ TEST(ParallelDiscoveryTest, CappedRunStillReportsResourceLimit) {
     ChaseOptions options;
     options.max_hom_discoveries = 10;
     options.discovery_threads = threads;
+    options.parallel_cutover_work = 0;
     ChaseResult result = RunChase(program.rules, options, program.facts);
     EXPECT_EQ(result.outcome, ChaseOutcome::kResourceLimit) << threads;
   }
@@ -305,6 +316,122 @@ TEST(RandomOrderSeedingTest, AdjacentSeedsDivergeInTheEngine) {
   EXPECT_TRUE(any_diverged);
   // Same seed replays the same sequence (determinism is untouched).
   EXPECT_EQ(sequence_for(1), base);
+}
+
+// --- persistent executor -------------------------------------------------
+
+TEST(ThreadPoolTest, SharedPoolSurvivesConsecutiveRuns) {
+  // One pool, two complete RunChase executions: the second run must reuse
+  // the parked workers (no respawn, no poisoned state) and still produce
+  // the serial-identical result.
+  auto pool = std::make_shared<ThreadPool>(4);
+  ParsedProgram program = MakeClosureInstance(20);
+  CapturedRun serial = Capture(program, ChaseVariant::kSemiOblivious, 1);
+  CapturedRun first = Capture(program, ChaseVariant::kSemiOblivious, 4,
+                              TriggerOrder::kFifo, 0, pool);
+  CapturedRun second = Capture(program, ChaseVariant::kSemiOblivious, 4,
+                               TriggerOrder::kFifo, 0, pool);
+  ExpectBitIdentical(serial, first, "pool first run");
+  ExpectBitIdentical(serial, second, "pool second run");
+  EXPECT_EQ(pool->worker_count(), 4u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryUnitExactlyOnce) {
+  ThreadPool pool(4);
+  for (uint64_t n : {0ull, 1ull, 7ull, 1000ull}) {
+    std::vector<std::atomic<uint32_t>> hits(n);
+    pool.ParallelFor(n, [&](uint64_t u) {
+      hits[u].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (uint64_t u = 0; u < n; ++u) {
+      ASSERT_EQ(hits[u].load(), 1u) << "n=" << n << " unit " << u;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> total{0};
+  pool.ParallelFor(8, [&](uint64_t) {
+    EXPECT_TRUE(ThreadPool::InPoolTask());
+    // The nested call must inline serially on this worker, not wait for
+    // pool slots that are all busy running the outer loop.
+    pool.ParallelFor(16, [&](uint64_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 8u * 16u);
+  EXPECT_FALSE(ThreadPool::InPoolTask());
+}
+
+// --- determinism under fault injection -----------------------------------
+
+TEST(ParallelDiscoveryTest, FaultAbortIsBitIdenticalAtEightThreads) {
+  // Cancel at the Nth discovery-unit checkpoint overall. Every completed
+  // round visits all of its units exactly once in both engines, so the
+  // trip lands in the same round serially and in parallel; a tripped
+  // round's candidates are dropped wholesale, so outcome and instance
+  // must match bit for bit even though the tripping unit may differ.
+  ParsedProgram program = MakeClosureInstance(16);
+  // Count the run's discovery checkpoints first so every sampled nth is
+  // guaranteed to fire (a never-firing injector would test nothing).
+  auto counter = std::make_shared<std::atomic<uint64_t>>(0);
+  Capture(program, ChaseVariant::kSemiOblivious, 1, TriggerOrder::kFifo, 0,
+          nullptr, [counter](FaultSite site, uint64_t) {
+            if (site == FaultSite::kDiscovery) counter->fetch_add(1);
+            return InjectedFault::kNone;
+          });
+  const uint64_t total_units = counter->load();
+  ASSERT_GE(total_units, 4u);
+  for (uint64_t nth : {uint64_t{1}, total_units / 2, total_units}) {
+    auto make_injector = [&]() {
+      auto calls = std::make_shared<std::atomic<uint64_t>>(0);
+      return FaultInjector([calls, nth](FaultSite site, uint64_t) {
+        if (site != FaultSite::kDiscovery) return InjectedFault::kNone;
+        return calls->fetch_add(1) + 1 == nth ? InjectedFault::kCancel
+                                              : InjectedFault::kNone;
+      });
+    };
+    CapturedRun serial =
+        Capture(program, ChaseVariant::kSemiOblivious, 1, TriggerOrder::kFifo,
+                0, nullptr, make_injector());
+    CapturedRun parallel =
+        Capture(program, ChaseVariant::kSemiOblivious, 8, TriggerOrder::kFifo,
+                0, nullptr, make_injector());
+    EXPECT_EQ(serial.outcome, ChaseOutcome::kCancelled) << nth;
+    std::string label = "fault nth=" + std::to_string(nth);
+    ExpectBitIdentical(serial, parallel, label.c_str());
+  }
+}
+
+// --- adaptive cutover ----------------------------------------------------
+
+TEST(AdaptiveCutoverTest, SmallRoundsRunSerialLargeThresholdZeroForces) {
+  ParsedProgram program = MakeClosureInstance(20);
+  // A huge threshold keeps every round serial even at 4 threads...
+  ChaseOptions options;
+  options.variant = ChaseVariant::kSemiOblivious;
+  options.discovery_threads = 4;
+  options.parallel_cutover_work = std::numeric_limits<uint64_t>::max();
+  ChaseResult all_serial = RunChase(program.rules, options, program.facts);
+  EXPECT_EQ(all_serial.stats.parallel_rounds, 0u);
+  for (const RoundStats& round : all_serial.stats.per_round) {
+    EXPECT_FALSE(round.parallel_discovery);
+    EXPECT_GT(round.estimated_work, 0u);
+  }
+  // ...threshold 0 forces the pool for every round...
+  options.parallel_cutover_work = 0;
+  ChaseResult all_parallel = RunChase(program.rules, options, program.facts);
+  EXPECT_EQ(all_parallel.stats.parallel_rounds,
+            all_parallel.stats.per_round.size());
+  // ...and the scheduling choice never changes the result.
+  EXPECT_EQ(all_serial.outcome, all_parallel.outcome);
+  EXPECT_EQ(all_serial.applied_triggers, all_parallel.applied_triggers);
+  ASSERT_EQ(all_serial.instance.size(), all_parallel.instance.size());
+  for (AtomId id = 0; id < all_serial.instance.size(); ++id) {
+    ASSERT_TRUE(all_serial.instance.atom(id) == all_parallel.instance.atom(id))
+        << "atom " << id;
+  }
 }
 
 }  // namespace

@@ -159,7 +159,7 @@ TEST(ChaseTest, FairnessDrivesInterleavedRules) {
   EXPECT_EQ(result.outcome, ChaseOutcome::kResourceLimit);
   uint32_t p_atoms = 0;
   uint32_t q_atoms = 0;
-  for (const Atom& atom : result.instance.atoms()) {
+  for (AtomView atom : result.instance.atoms()) {
     if (atom.predicate == 0) ++p_atoms;
     if (atom.predicate == 1) ++q_atoms;
   }

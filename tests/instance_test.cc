@@ -1,7 +1,12 @@
 #include "storage/instance.h"
 
+#include <string>
+#include <vector>
+
 #include "gtest/gtest.h"
 #include "model/atom.h"
+#include "model/vocabulary.h"
+#include "storage/io.h"
 
 namespace gchase {
 namespace {
@@ -64,6 +69,173 @@ TEST(InstanceDeathTest, RejectsNonGroundAtoms) {
   Instance instance;
   Atom bad(0, {Term::Variable(0)});
   EXPECT_DEATH(instance.Insert(bad), "ground");
+}
+
+// --- columnar storage: TryAdd, views, arena ------------------------------
+
+TEST(InstanceTest, TryAddReturnsPriorIdWithoutSeparateContains) {
+  // The single-probe contract: a duplicate TryAdd hands back the original
+  // id, so Contains-then-Add call sites collapse into one hash + probe.
+  Instance instance;
+  auto [id0, new0] = instance.TryAdd(MakeAtom(3, {7, 8, 9}));
+  EXPECT_TRUE(new0);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    auto [id, inserted] = instance.TryAdd(MakeAtom(3, {7, 8, 9}));
+    EXPECT_FALSE(inserted);
+    EXPECT_EQ(id, id0);
+  }
+  EXPECT_EQ(instance.size(), 1u);
+}
+
+TEST(InstanceTest, AtomViewsMirrorInsertedAtoms) {
+  Instance instance;
+  Atom original = MakeAtom(5, {1, 2, 3});
+  auto [id, inserted] = instance.TryAdd(original);
+  ASSERT_TRUE(inserted);
+  const AtomView view = instance.atom(id);
+  EXPECT_EQ(view.predicate, original.predicate);
+  ASSERT_EQ(view.arity(), original.arity());
+  for (uint32_t i = 0; i < view.arity(); ++i) {
+    EXPECT_EQ(view.args[i], original.args[i]);
+  }
+  EXPECT_FALSE(view.HasNull());
+  EXPECT_TRUE(view.ToAtom() == original);
+
+  // atoms() iterates views in id order; MaterializeAtoms copies them.
+  instance.TryAdd(MakeAtom(5, {4, 5, 6}));
+  std::vector<Atom> materialized = instance.MaterializeAtoms();
+  ASSERT_EQ(materialized.size(), instance.size());
+  AtomId next = 0;
+  for (AtomView atom : instance.atoms()) {
+    EXPECT_TRUE(atom.ToAtom() == materialized[next]);
+    EXPECT_TRUE(atom == instance.atom(next));
+    ++next;
+  }
+  EXPECT_EQ(next, instance.size());
+}
+
+TEST(InstanceTest, ZeroArityAtomsRoundTripThroughTheArena) {
+  Instance instance;
+  Atom nullary;
+  nullary.predicate = 2;
+  auto [id, inserted] = instance.TryAdd(nullary);
+  EXPECT_TRUE(inserted);
+  EXPECT_FALSE(instance.TryAdd(nullary).second);
+  EXPECT_EQ(instance.atom(id).arity(), 0u);
+  EXPECT_TRUE(instance.atom(id).ToAtom() == nullary);
+}
+
+TEST(InstanceTest, CountWithPredicateSinceMatchesWatermarkSemantics) {
+  Instance instance;
+  instance.TryAdd(MakeAtom(0, {1}));                          // id 0
+  instance.TryAdd(MakeAtom(1, {1}));                          // id 1
+  const AtomId watermark = instance.size();
+  instance.TryAdd(MakeAtom(0, {2}));                          // id 2
+  instance.TryAdd(MakeAtom(0, {3}));                          // id 3
+  EXPECT_EQ(instance.CountWithPredicateSince(0, 0), 3u);
+  EXPECT_EQ(instance.CountWithPredicateSince(0, watermark), 2u);
+  EXPECT_EQ(instance.CountWithPredicateSince(1, watermark), 0u);
+  EXPECT_EQ(instance.CountWithPredicateSince(9, 0), 0u);
+}
+
+TEST(InstanceTest, ReserveAdditionalPreservesContentAndIds) {
+  Instance instance;
+  for (uint32_t i = 0; i < 10; ++i) instance.TryAdd(MakeAtom(0, {i, i + 1}));
+  std::vector<Atom> before = instance.MaterializeAtoms();
+  instance.ReserveAdditional(1000, 2000);
+  ASSERT_EQ(instance.size(), before.size());
+  for (AtomId id = 0; id < instance.size(); ++id) {
+    EXPECT_TRUE(instance.atom(id).ToAtom() == before[id]);
+  }
+  // Lookups still work after the rehash/reserve.
+  EXPECT_TRUE(instance.Contains(MakeAtom(0, {3, 4})));
+  EXPECT_EQ(instance.AtomsWithTermAt(0, 0, Term::Constant(3)).size(), 1u);
+  // And bulk adds proceed on the reserved capacity.
+  for (uint32_t i = 0; i < 1000; ++i) {
+    instance.TryAdd(MakeAtom(1, {i, i}));
+  }
+  EXPECT_EQ(instance.size(), before.size() + 1000);
+}
+
+TEST(InstanceTest, StressDedupAndPositionIndexAcrossGrowth) {
+  // Push the open-addressing tables through several growth cycles and
+  // verify every atom stays findable with a correct posting list.
+  Instance instance;
+  for (uint32_t i = 0; i < 5000; ++i) {
+    auto [id, inserted] = instance.TryAdd(MakeAtom(i % 7, {i, i % 13}));
+    ASSERT_TRUE(inserted);
+    ASSERT_EQ(id, i);
+  }
+  for (uint32_t i = 0; i < 5000; ++i) {
+    ASSERT_EQ(instance.Find(MakeAtom(i % 7, {i, i % 13})),
+              std::optional<AtomId>(i));
+    ASSERT_EQ(instance.AtomsWithTermAt(i % 7, 0, Term::Constant(i)).size(),
+              1u);
+  }
+  EXPECT_EQ(instance.PositionIndexEntries(), 2u * 5000u);
+}
+
+// --- arena atoms round-trip bit-identically through io.cc ----------------
+
+TEST(InstanceIoTest, ArenaAtomsRoundTripThroughTextIo) {
+  // Ground atoms written by io.cc and read back must reproduce the arena
+  // contents bit for bit (same predicates, same term raws, same order).
+  Vocabulary vocabulary;
+  StatusOr<PredicateId> p = vocabulary.schema.GetOrAdd("p", 2);
+  StatusOr<PredicateId> q = vocabulary.schema.GetOrAdd("q", 1);
+  ASSERT_TRUE(p.ok() && q.ok());
+  Instance instance;
+  for (uint32_t i = 0; i < 20; ++i) {
+    Atom atom;
+    atom.predicate = *p;
+    atom.args.push_back(
+        Term::Constant(vocabulary.constants.Intern("a" + std::to_string(i))));
+    atom.args.push_back(Term::Constant(
+        vocabulary.constants.Intern("b" + std::to_string(i % 5))));
+    instance.TryAdd(atom);
+    Atom unary;
+    unary.predicate = *q;
+    unary.args.push_back(
+        Term::Constant(vocabulary.constants.Intern("a" + std::to_string(i))));
+    instance.TryAdd(unary);
+  }
+
+  const std::string text = WriteInstanceText(instance, vocabulary);
+  StatusOr<Instance> read = ReadInstanceText(text, &vocabulary);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read->size(), instance.size());
+  for (AtomId id = 0; id < instance.size(); ++id) {
+    const AtomView a = instance.atom(id);
+    const AtomView b = read->atom(id);
+    ASSERT_EQ(a.predicate, b.predicate) << "atom " << id;
+    ASSERT_EQ(a.arity(), b.arity()) << "atom " << id;
+    for (uint32_t pos = 0; pos < a.arity(); ++pos) {
+      ASSERT_EQ(a.args[pos].raw(), b.args[pos].raw())
+          << "atom " << id << " pos " << pos;
+    }
+  }
+  // Writing the read-back instance reproduces the text verbatim: the
+  // serialization is a pure function of the arena contents.
+  EXPECT_EQ(WriteInstanceText(*read, vocabulary), text);
+}
+
+TEST(InstanceIoTest, NulledAtomsWriteStableText) {
+  // Labeled nulls cannot be re-read as constants, but their *written*
+  // form must be a stable function of the arena (same text on every
+  // call), since benchmarks diff serialized instances across engines.
+  Vocabulary vocabulary;
+  StatusOr<PredicateId> p = vocabulary.schema.GetOrAdd("p", 2);
+  ASSERT_TRUE(p.ok());
+  Instance instance;
+  Atom atom;
+  atom.predicate = *p;
+  atom.args.push_back(
+      Term::Constant(vocabulary.constants.Intern("c")));
+  atom.args.push_back(Term::Null(42));
+  instance.TryAdd(atom);
+  const std::string first = WriteInstanceText(instance, vocabulary);
+  EXPECT_EQ(first, WriteInstanceText(instance, vocabulary));
+  EXPECT_NE(first.find("_:n42"), std::string::npos);
 }
 
 }  // namespace

@@ -34,8 +34,8 @@ std::vector<Atom> RandomDatabase(const Schema& schema, Vocabulary* vocab,
 /// the instance is a universal model.
 std::set<Atom> CertainAtoms(const Instance& instance) {
   std::set<Atom> certain;
-  for (const Atom& atom : instance.atoms()) {
-    if (!atom.HasNull()) certain.insert(atom);
+  for (AtomView atom : instance.atoms()) {
+    if (!atom.HasNull()) certain.insert(atom.ToAtom());
   }
   return certain;
 }
