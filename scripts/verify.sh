@@ -3,66 +3,131 @@
 # again under ThreadSanitizer (the parallel trigger-discovery phase is the
 # only concurrency in the codebase; see docs/architecture.md §chase), then
 # the governor/abort-path tests under ASan+UBSan (abort paths unwind
-# partially-built state, exactly where lifetime bugs hide).
+# partially-built state, exactly where lifetime bugs hide), then the perf
+# smoke against the committed E10 baseline, then a short differential
+# fuzzing campaign (see docs/fuzzing.md).
+#
+# Fails fast: the first failing tier stops the run and becomes the exit
+# code, so callers (and CI logs) can tell tiers apart at a glance:
+#
+#   10  tier-1    build or full ctest suite failed
+#   11  tsan      race check of the parallel discovery phase failed
+#   12  asan      abort-path leak/UB check failed
+#   13  perf      bench smoke failed or regressed vs BENCH_e10.json
+#   14  fuzz      differential-oracle campaign found a violation
+#    2  usage     unknown flag
+#
+# A summary table of tier outcomes is printed on every exit path.
 #
 # Usage: scripts/verify.sh [--skip-tsan] [--skip-asan] [--skip-perf]
+#                          [--skip-fuzz]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 skip_tsan=0
 skip_asan=0
 skip_perf=0
+skip_fuzz=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) skip_tsan=1 ;;
     --skip-asan) skip_asan=1 ;;
     --skip-perf) skip_perf=1 ;;
+    --skip-fuzz) skip_fuzz=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
 
-# Tier 1: everything, sanitizer-free.
-cmake --preset default
-cmake --build --preset default -j"$(nproc)"
-ctest --preset default -j"$(nproc)"
+tier_names=(tier-1 tsan asan perf fuzz)
+tier_codes=(10 11 12 13 14)
+declare -A tier_status
+for name in "${tier_names[@]}"; do tier_status[$name]=skipped; done
 
-if [[ "$skip_tsan" == 0 ]]; then
+print_summary() {
+  echo
+  echo "verify summary"
+  echo "--------------------"
+  for name in "${tier_names[@]}"; do
+    printf '%-8s %s\n' "$name" "${tier_status[$name]}"
+  done
+}
+trap print_summary EXIT
+
+# run_tier <name> <function>: runs the tier, fails fast with its code.
+run_tier() {
+  local name="$1" fn="$2" code=0
+  for i in "${!tier_names[@]}"; do
+    [[ "${tier_names[$i]}" == "$name" ]] && code="${tier_codes[$i]}"
+  done
+  tier_status[$name]=running
+  if "$fn"; then
+    tier_status[$name]=ok
+  else
+    tier_status[$name]=FAILED
+    exit "$code"
+  fi
+}
+
+tier1() {
+  # Tier 1: everything, sanitizer-free.
+  cmake --preset default &&
+  cmake --build --preset default -j"$(nproc)" &&
+  ctest --preset default -j"$(nproc)"
+}
+
+tier_tsan() {
   # Tier 2: race-check the concurrent discovery phase (now including the
   # governor's cross-thread cancellation). Only the threaded test binaries
   # are built — TSan compile+run is ~10x, and nothing else spawns threads.
-  cmake --preset tsan
+  cmake --preset tsan &&
   cmake --build build-tsan -j"$(nproc)" \
-    --target chase_test chase_limits_test chase_parallel_test governor_test
+    --target chase_test chase_limits_test chase_parallel_test governor_test &&
   (cd build-tsan && ctest -j"$(nproc)" \
     -R 'ParallelDiscovery|ChaseStats|NullCap|RandomOrderSeeding|ChaseTest|ChaseLimits|Governor|Deadline|Cancellation|FaultInjection')
-fi
+}
 
-if [[ "$skip_asan" == 0 ]]; then
+tier_asan() {
   # Tier 3: the abort-path tests under ASan+UBSan. A run stopped by a
   # deadline, cancellation, or injected fault leaves a partial instance
   # and stats behind; this tier proves the early returns don't leak or
   # touch freed state, and that no abort path hangs (ctest enforces the
   # per-test TIMEOUT).
-  cmake --preset asan
+  cmake --preset asan &&
   cmake --build build-asan -j"$(nproc)" \
-    --target governor_test egd_test chase_limits_test decider_test
+    --target governor_test egd_test chase_limits_test decider_test &&
   (cd build-asan && ctest -j"$(nproc)" \
     -R 'Governor|Deadline|Cancellation|FaultInjection|Egd|ChaseLimits|Decider')
-fi
+}
 
-if [[ "$skip_perf" == 0 ]]; then
+tier_perf() {
   # Tier 4 (perf smoke): run E10 on the two smallest workloads in the
   # tier-1 build. This is a correctness smoke for the bench harness plus a
   # coarse perf tripwire — if a committed BENCH_e10.json exists, diff the
-  # fresh smoke rows against it and fail on >10% regressions of matched
+  # fresh smoke rows against it and fail on regressions of matched
   # (workload, variant, threads) rows. Smoke rows are a subset, so extra
   # baseline rows are ignored by the comparator.
-  cmake --build --preset default -j"$(nproc)" --target bench_e10_storage_executor
-  (cd build/bench && ./bench_e10_storage_executor --smoke --benchmark_filter=none)
-  if [[ -f BENCH_e10.json ]]; then
+  cmake --build --preset default -j"$(nproc)" \
+    --target bench_e10_storage_executor &&
+  (cd build/bench && ./bench_e10_storage_executor --smoke --benchmark_filter=none) &&
+  { [[ ! -f BENCH_e10.json ]] ||
     python3 scripts/bench_compare.py BENCH_e10.json build/bench/BENCH_e10.json \
-      --threshold 0.50
-  fi
-fi
+      --threshold 0.50; }
+}
+
+tier_fuzz() {
+  # Tier 5 (fuzz smoke): a short deterministic differential-oracle
+  # campaign. Violations are shrunk and written to tests/fuzz_corpus/,
+  # ready to be committed as regression cases (fuzz_corpus_test replays
+  # everything in that directory).
+  cmake --build --preset default -j"$(nproc)" --target chase_fuzz &&
+  ./build/tools/chase_fuzz --trials=100 --seed=1 \
+    --corpus-dir=tests/fuzz_corpus --json=-
+}
+
+run_tier tier-1 tier1
+if [[ "$skip_tsan" == 0 ]]; then run_tier tsan tier_tsan; fi
+if [[ "$skip_asan" == 0 ]]; then run_tier asan tier_asan; fi
+if [[ "$skip_perf" == 0 ]]; then run_tier perf tier_perf; fi
+if [[ "$skip_fuzz" == 0 ]]; then run_tier fuzz tier_fuzz; fi
 
 echo "verify: OK"

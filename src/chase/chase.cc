@@ -361,10 +361,11 @@ std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverParallel(
 
   // Budgets are snapshotted at round start and granted to every unit in
   // full: a worker cannot know how much budget its siblings are spending.
-  // Under binding caps the parallel engine may therefore do (bounded)
-  // extra work before the deterministic merge below re-applies the caps
-  // exactly; with caps not binding — the only regime where equivalence is
-  // meaningful — every unit runs to completion just like the serial loop.
+  // When no cap ends up binding — checked after the join below — every
+  // unit runs to completion just like the serial loop and the merge is
+  // exact. When a cap does bind, the phase is re-run serially (see the
+  // fallback below) so that capped runs, too, are bit-identical to
+  // discovery_threads == 1.
   const uint64_t join_budget = options_.max_join_work > join_work_
                                    ? options_.max_join_work - join_work_
                                    : 0;
@@ -422,25 +423,47 @@ std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverParallel(
     }
   });
 
-  // Deterministic merge in (rule, pivot, discovery) order — the exact
-  // order the serial engine discovers in — re-running the shared-state
-  // steps (dedup against applied_keys_, counter updates, cap checks) that
-  // workers could not touch concurrently. Work accounting is merged even
-  // when the phase aborted, so partial stats stay truthful.
+  uint64_t total_visits = 0;
+  uint64_t total_found = 0;
+  bool any_exhausted = false;
   for (const DiscoveryUnit& unit : units) {
-    join_work_ += unit.visits;
-    if (unit.budget_exhausted) *capped = true;
+    total_visits += unit.visits;
+    total_found += unit.found.size();
+    any_exhausted |= unit.budget_exhausted;
   }
   if (abort_outcome.load(std::memory_order_relaxed) >= 0) {
+    // Work accounting is merged even when the phase aborted, so partial
+    // stats stay truthful.
+    join_work_ += total_visits;
+    if (any_exhausted) *capped = true;
     *stopped = true;
     *stop_outcome =
         static_cast<ChaseOutcome>(abort_outcome.load(std::memory_order_relaxed));
     return {};
   }
+
+  // Cap-adjacent rounds fall back to the serial engine wholesale. A
+  // binding cap stops the serial loop mid-search at a point that depends
+  // on cumulative spending across units — unreconstructible from per-unit
+  // results that each ran against the full snapshot. Re-running serially
+  // (discarding the parallel phase's work and accounting) keeps capped
+  // runs bit-identical to discovery_threads == 1, and costs at most one
+  // extra discovery pass per chase: a capped round is terminal.
+  if (any_exhausted || total_visits >= join_budget ||
+      total_found >= local_found_cap) {
+    last_parallel_ = false;
+    return DiscoverSerial(watermark, capped, stopped, stop_outcome);
+  }
+
+  // Deterministic merge in (rule, pivot, discovery) order — the exact
+  // order the serial engine discovers in — re-running the shared-state
+  // steps (dedup against applied_keys_, counter updates) that workers
+  // could not touch concurrently. No cap checks here: the fallback above
+  // guarantees total_visits < join_budget and total_found <
+  // min(hom_budget, step_budget), so no cap can trip during the merge.
+  join_work_ += total_visits;
   std::vector<PendingTrigger> pending;
-  bool merge_capped = false;
   for (const DiscoveryUnit& unit : units) {
-    if (merge_capped) break;
     for (const Binding& binding : unit.found) {
       ++hom_discoveries_;
       std::vector<uint32_t> key = TriggerKey(unit.rule, binding);
@@ -448,14 +471,8 @@ std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverParallel(
         ++stats_.per_rule[unit.rule].discovered;
         pending.push_back(PendingTrigger{unit.rule, binding});
       }
-      if (applied_triggers_ + pending.size() >= options_.max_steps ||
-          hom_discoveries_ >= options_.max_hom_discoveries) {
-        merge_capped = true;
-        break;
-      }
     }
   }
-  if (merge_capped) *capped = true;
   return pending;
 }
 

@@ -1,0 +1,122 @@
+#include "fuzz/fuzz_case.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "model/parser.h"
+#include "model/printer.h"
+
+namespace gchase {
+
+FuzzCase MakeFuzzCase(uint64_t seed, uint64_t trial,
+                      const FuzzCaseOptions& options) {
+  Rng rng = TrialRng(seed, trial);
+
+  RandomRuleSetOptions rule_options;
+  rule_options.rule_class = PickRuleClass(&rng, options.weights);
+  rule_options.num_predicates = options.num_predicates;
+  rule_options.min_arity = options.min_arity;
+  rule_options.max_arity = options.max_arity;
+  rule_options.num_rules = options.num_rules;
+  rule_options.max_body_atoms = options.max_body_atoms;
+  rule_options.max_head_atoms = options.max_head_atoms;
+  // Vary the existential density per case: low densities make mostly
+  // terminating sets, high densities mostly diverging ones, and the
+  // oracles need both sides of every verdict.
+  rule_options.existential_probability = 0.2 + 0.5 * rng.NextDouble();
+
+  RandomProgram program = GenerateRandomRuleSet(&rng, rule_options);
+
+  FuzzCase fuzz_case;
+  fuzz_case.database =
+      GenerateRandomDatabase(&rng, program.vocabulary.schema,
+                             &program.vocabulary.constants, options.database);
+  fuzz_case.vocabulary = std::move(program.vocabulary);
+  fuzz_case.rules = std::move(program.rules);
+  fuzz_case.profile = RuleClassName(rule_options.rule_class);
+  fuzz_case.seed = seed;
+  fuzz_case.trial = trial;
+  return fuzz_case;
+}
+
+std::string WriteRepro(const FuzzCase& fuzz_case) {
+  std::string out = "% chase-fuzz repro v1\n";
+  if (!fuzz_case.oracle.empty()) {
+    out += "% oracle: " + fuzz_case.oracle + "\n";
+  }
+  if (!fuzz_case.profile.empty()) {
+    out += "% profile: " + fuzz_case.profile + "\n";
+  }
+  out += "% seed: " + std::to_string(fuzz_case.seed) + "\n";
+  out += "% trial: " + std::to_string(fuzz_case.trial) + "\n";
+  out += RuleSetToString(fuzz_case.rules, fuzz_case.vocabulary);
+  for (const Atom& fact : fuzz_case.database) {
+    out += AtomToString(fact, fuzz_case.vocabulary);
+    out += ".\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Returns the value of a `% key: value` metadata line, or empty.
+std::string MetadataValue(std::string_view line, std::string_view key) {
+  // Expected shape: "% <key>: <value>".
+  std::size_t pos = line.find('%');
+  if (pos == std::string_view::npos) return "";
+  std::string_view rest = line.substr(pos + 1);
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  if (rest.substr(0, key.size()) != key) return "";
+  rest.remove_prefix(key.size());
+  if (rest.empty() || rest.front() != ':') return "";
+  rest.remove_prefix(1);
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  while (!rest.empty() && (rest.back() == '\r' || rest.back() == ' ')) {
+    rest.remove_suffix(1);
+  }
+  return std::string(rest);
+}
+
+}  // namespace
+
+StatusOr<FuzzCase> ParseRepro(std::string_view text) {
+  StatusOr<ParsedProgram> parsed = ParseProgram(text);
+  if (!parsed.ok()) return parsed.status();
+  if (!parsed->egds.empty()) {
+    return Status::InvalidArgument("repro files must not contain EGDs");
+  }
+
+  FuzzCase fuzz_case;
+  fuzz_case.vocabulary = std::move(parsed->vocabulary);
+  fuzz_case.rules = std::move(parsed->rules);
+  fuzz_case.database = std::move(parsed->facts);
+
+  // Metadata lives in leading comment lines; unknown keys are ignored so
+  // the format can grow.
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    std::string_view trimmed = line;
+    while (!trimmed.empty() && trimmed.front() == ' ') trimmed.remove_prefix(1);
+    if (trimmed.empty()) continue;
+    if (trimmed.front() != '%') break;  // program text begins
+    if (std::string value = MetadataValue(line, "oracle"); !value.empty()) {
+      fuzz_case.oracle = value;
+    } else if (std::string profile = MetadataValue(line, "profile");
+               !profile.empty()) {
+      fuzz_case.profile = profile;
+    } else if (std::string seed = MetadataValue(line, "seed"); !seed.empty()) {
+      fuzz_case.seed = std::strtoull(seed.c_str(), nullptr, 10);
+    } else if (std::string trial = MetadataValue(line, "trial");
+               !trial.empty()) {
+      fuzz_case.trial = std::strtoull(trial.c_str(), nullptr, 10);
+    }
+  }
+  return fuzz_case;
+}
+
+}  // namespace gchase

@@ -1,0 +1,75 @@
+#ifndef GCHASE_FUZZ_FUZZ_CASE_H_
+#define GCHASE_FUZZ_FUZZ_CASE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "generator/random_database.h"
+#include "generator/random_rules.h"
+#include "model/atom.h"
+#include "model/tgd.h"
+#include "model/vocabulary.h"
+
+namespace gchase {
+
+/// One differential-fuzzing input: a rule set Σ and a ground database D
+/// over one vocabulary, plus the provenance needed to regenerate it
+/// bit-identically (seed, trial, profile). Value type — the shrinker
+/// copies cases freely while searching for a minimal failing subset.
+struct FuzzCase {
+  Vocabulary vocabulary;
+  RuleSet rules;
+  std::vector<Atom> database;
+
+  /// Rule-class profile the case was drawn from ("SL", "L", "G",
+  /// "general") — recorded so a corpus entry documents which paper
+  /// theorems applied to it.
+  std::string profile;
+  uint64_t seed = 0;
+  uint64_t trial = 0;
+  /// Name of the oracle this case violates (set when a repro is written;
+  /// empty for fresh cases). The corpus replay test runs exactly this
+  /// oracle again.
+  std::string oracle;
+};
+
+/// Shape knobs for one generated case. Sizes default small: the oracles
+/// run several chases and two termination decisions per trial, and the
+/// paper's properties are size-independent — small inputs find the same
+/// bugs faster and shrink better.
+struct FuzzCaseOptions {
+  /// Class mix per trial (drawn via PickRuleClass).
+  ClassWeights weights;
+  uint32_t num_predicates = 4;
+  uint32_t min_arity = 1;
+  uint32_t max_arity = 3;
+  uint32_t num_rules = 4;
+  uint32_t max_body_atoms = 3;
+  uint32_t max_head_atoms = 2;
+  RandomDatabaseOptions database;
+};
+
+/// Generates the case for (seed, trial): draws a rule class from the
+/// weights, a rule set of that class, and a random database over the
+/// resulting schema. Deterministic — the same (seed, trial, options)
+/// always yields the same case, which is what makes every corpus entry
+/// reproducible from its recorded metadata alone.
+FuzzCase MakeFuzzCase(uint64_t seed, uint64_t trial,
+                      const FuzzCaseOptions& options);
+
+/// Serializes a case as a self-contained repro file: `%`-comment
+/// metadata (replayed by ParseRepro) followed by the rules and facts in
+/// the library's program syntax, so the file parses with ParseProgram
+/// and loads with chase_cli unchanged.
+std::string WriteRepro(const FuzzCase& fuzz_case);
+
+/// Parses a repro file produced by WriteRepro (metadata lines are
+/// optional — any rules+facts program loads, with empty provenance).
+StatusOr<FuzzCase> ParseRepro(std::string_view text);
+
+}  // namespace gchase
+
+#endif  // GCHASE_FUZZ_FUZZ_CASE_H_

@@ -1,0 +1,92 @@
+#ifndef GCHASE_FUZZ_RUNNER_H_
+#define GCHASE_FUZZ_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/cancellation.h"
+#include "base/deadline.h"
+#include "fuzz/fuzz_case.h"
+#include "fuzz/oracles.h"
+#include "fuzz/shrinker.h"
+
+namespace gchase {
+
+/// Configuration of one fuzzing campaign.
+struct FuzzRunnerOptions {
+  uint64_t trials = 100;
+  uint64_t seed = 1;
+  /// Wall-clock backstop per oracle evaluation, so a probe can never
+  /// hang. The deterministic work caps in OracleOptions do the real
+  /// bounding (a typical trial finishes in well under a second); a trial
+  /// that still burns the backstop counts as inconclusive — but because
+  /// that verdict depends on machine speed, a backstop tight enough to
+  /// fire also makes reports non-reproducible. Keep it generous.
+  int64_t trial_deadline_ms = 10000;
+  /// Whole-campaign budget (the nightly job's 15 minutes). Expiry stops
+  /// cleanly after the trial in flight; the report says so.
+  Deadline total_deadline;
+  CancellationToken cancel;
+  /// Oracles to evaluate each trial; empty = all of them.
+  std::vector<OracleId> oracles;
+  FuzzCaseOptions case_options;
+  /// Caps template for each oracle evaluation (its deadline/cancel are
+  /// overwritten per trial from the fields above).
+  OracleOptions oracle_options;
+  /// Minimize violating cases before reporting them.
+  bool shrink = true;
+  ShrinkOptions shrink_options;
+  /// Directory for shrunken repro files (one self-contained .dlgp per
+  /// violation); empty = do not write files.
+  std::string corpus_dir;
+  /// Per-trial progress lines on stderr.
+  bool verbose = false;
+};
+
+/// Per-oracle tallies. trials = passes + violations + inconclusive.
+struct OracleCounters {
+  uint64_t trials = 0;
+  uint64_t passes = 0;
+  uint64_t violations = 0;
+  uint64_t inconclusive = 0;
+};
+
+/// One confirmed oracle violation, already shrunken when shrinking is
+/// on. The repro file (when written) replays it standalone.
+struct FuzzViolation {
+  OracleId oracle = OracleId::kVariantContainment;
+  uint64_t seed = 0;
+  uint64_t trial = 0;
+  std::string detail;
+  /// Path of the written repro, or "" when corpus_dir was empty / the
+  /// write failed.
+  std::string repro_path;
+  FuzzCase shrunk;
+};
+
+struct FuzzReport {
+  uint64_t trials_run = 0;
+  /// True when the total deadline or cancellation stopped the campaign
+  /// before all trials ran.
+  bool stopped_early = false;
+  double elapsed_seconds = 0.0;
+  /// Indexed by OracleId.
+  std::vector<OracleCounters> per_oracle;
+  std::vector<FuzzViolation> violations;
+};
+
+/// Runs the campaign: per trial, regenerate the case from (seed, trial)
+/// and evaluate every selected oracle under the per-trial governor; on a
+/// violation, shrink and write a repro. Deterministic by seed — the same
+/// (seed, trials, shape) enumerate the same cases in the same order.
+FuzzReport RunFuzz(const FuzzRunnerOptions& options);
+
+/// Serializes the report in the repo's BENCH_-style JSON (per-oracle
+/// counter rows keyed on the oracle name, plus the campaign header).
+std::string FuzzReportToJson(const FuzzRunnerOptions& options,
+                             const FuzzReport& report);
+
+}  // namespace gchase
+
+#endif  // GCHASE_FUZZ_RUNNER_H_

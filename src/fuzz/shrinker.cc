@@ -1,0 +1,114 @@
+#include "fuzz/shrinker.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace gchase {
+
+namespace {
+
+/// Rebuilds a case from rule/fact subsets. The vocabulary is carried
+/// over whole — predicates no surviving rule mentions are harmless, and
+/// keeping ids stable means every candidate prints with the original
+/// names.
+FuzzCase MakeCandidate(const FuzzCase& base, const std::vector<Tgd>& rules,
+                       const std::vector<Atom>& facts) {
+  FuzzCase candidate;
+  candidate.vocabulary = base.vocabulary;
+  for (const Tgd& rule : rules) candidate.rules.Add(rule);
+  candidate.database = facts;
+  candidate.profile = base.profile;
+  candidate.seed = base.seed;
+  candidate.trial = base.trial;
+  candidate.oracle = base.oracle;
+  return candidate;
+}
+
+/// Greedy chunked minimization of one item list: remove chunks of
+/// decreasing size while the predicate keeps failing, iterating to a
+/// fixpoint. Budget exhaustion returns the current (still failing) list
+/// with *converged cleared.
+template <typename T>
+std::vector<T> Minimize(
+    std::vector<T> items,
+    const std::function<bool(const std::vector<T>&)>& still_fails,
+    const ShrinkOptions& options, uint64_t* evaluations, bool* converged) {
+  bool progress = true;
+  while (progress && !items.empty()) {
+    progress = false;
+    for (std::size_t chunk = std::max<std::size_t>(1, items.size() / 2);
+         chunk >= 1; chunk /= 2) {
+      for (std::size_t start = 0; start < items.size();) {
+        if (*evaluations >= options.max_evaluations ||
+            options.deadline.Expired()) {
+          *converged = false;
+          return items;
+        }
+        std::vector<T> candidate;
+        candidate.reserve(items.size());
+        for (std::size_t i = 0; i < items.size(); ++i) {
+          if (i < start || i >= start + chunk) candidate.push_back(items[i]);
+        }
+        ++*evaluations;
+        if (still_fails(candidate)) {
+          items = std::move(candidate);
+          progress = true;
+          // Keep `start` in place: the next chunk slid into this offset.
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+  return items;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkCase(const FuzzCase& failing, const FailurePredicate& fails,
+                        const ShrinkOptions& options) {
+  ShrinkResult result;
+  result.minimized = failing;
+  ++result.evaluations;
+  if (!fails(failing)) {
+    // Not a failing case (flaky predicate?) — nothing sound to shrink.
+    result.converged = false;
+    return result;
+  }
+
+  std::vector<Tgd> rules = failing.rules.rules();
+  std::vector<Atom> facts = failing.database;
+  const std::size_t initial_rules = rules.size();
+  const std::size_t initial_facts = facts.size();
+
+  // Alternate rule and fact passes until neither shrinks: removing rules
+  // often unlocks fact removals and vice versa.
+  bool any_progress = true;
+  while (any_progress && result.converged) {
+    any_progress = false;
+    const std::size_t rules_before = rules.size();
+    rules = Minimize<Tgd>(
+        std::move(rules),
+        [&](const std::vector<Tgd>& candidate) {
+          return fails(MakeCandidate(failing, candidate, facts));
+        },
+        options, &result.evaluations, &result.converged);
+    const std::size_t facts_before = facts.size();
+    facts = Minimize<Atom>(
+        std::move(facts),
+        [&](const std::vector<Atom>& candidate) {
+          return fails(MakeCandidate(failing, rules, candidate));
+        },
+        options, &result.evaluations, &result.converged);
+    any_progress = rules.size() < rules_before || facts.size() < facts_before;
+  }
+
+  result.rules_removed = static_cast<uint32_t>(initial_rules - rules.size());
+  result.facts_removed = static_cast<uint32_t>(initial_facts - facts.size());
+  result.minimized = MakeCandidate(failing, rules, facts);
+  return result;
+}
+
+}  // namespace gchase

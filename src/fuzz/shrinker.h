@@ -1,0 +1,50 @@
+#ifndef GCHASE_FUZZ_SHRINKER_H_
+#define GCHASE_FUZZ_SHRINKER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "base/deadline.h"
+#include "fuzz/fuzz_case.h"
+
+namespace gchase {
+
+/// Does this case still exhibit the failure? The shrinker calls it once
+/// per candidate reduction; it must be deterministic (evaluate the same
+/// oracle with the same budgets every time) or the minimization walks in
+/// circles.
+using FailurePredicate = std::function<bool(const FuzzCase&)>;
+
+struct ShrinkOptions {
+  /// Cap on predicate evaluations — each one typically re-runs several
+  /// chases, so this is the shrinker's real cost knob.
+  uint64_t max_evaluations = 512;
+  /// Wall-clock budget for the whole minimization. Expiry stops at the
+  /// smallest failing case found so far (which is always still failing).
+  Deadline deadline;
+};
+
+struct ShrinkResult {
+  /// The minimized case: the smallest (Σ, D) the search found that still
+  /// satisfies the predicate. Always a failing case — at worst the
+  /// unmodified input.
+  FuzzCase minimized;
+  uint64_t evaluations = 0;
+  uint32_t rules_removed = 0;
+  uint32_t facts_removed = 0;
+  /// False when the evaluation budget or deadline stopped the greedy
+  /// fixpoint before no single-element removal could succeed.
+  bool converged = true;
+};
+
+/// Greedy delta debugging over the case's rules, then its facts: try
+/// removing chunks of decreasing size (n/2, n/4, ..., 1), keep any chunk
+/// removal that still fails, and iterate to a fixpoint. `failing` must
+/// satisfy the predicate on entry (checked; if it does not, the input is
+/// returned unchanged with converged=false).
+ShrinkResult ShrinkCase(const FuzzCase& failing, const FailurePredicate& fails,
+                        const ShrinkOptions& options = {});
+
+}  // namespace gchase
+
+#endif  // GCHASE_FUZZ_SHRINKER_H_

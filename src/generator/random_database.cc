@@ -1,0 +1,76 @@
+#include "generator/random_database.h"
+
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "base/check.h"
+#include "base/hash.h"
+
+namespace gchase {
+
+namespace {
+
+/// Content hash for duplicate suppression during generation (instances
+/// dedup on insert, but the generator promises a duplicate-free vector).
+struct AtomKeyHash {
+  std::size_t operator()(const Atom& atom) const noexcept {
+    std::size_t h = atom.predicate;
+    for (Term t : atom.args) HashCombine(&h, t.raw());
+    return h;
+  }
+};
+struct AtomKeyEq {
+  bool operator()(const Atom& a, const Atom& b) const noexcept {
+    return a.predicate == b.predicate && a.args == b.args;
+  }
+};
+
+Atom MakeFact(PredicateId pred, uint32_t arity, const std::vector<Term>& pool,
+              Rng* rng) {
+  Atom atom;
+  atom.predicate = pred;
+  atom.args.reserve(arity);
+  for (uint32_t i = 0; i < arity; ++i) {
+    atom.args.push_back(pool[rng->NextBelow(pool.size())]);
+  }
+  return atom;
+}
+
+}  // namespace
+
+std::vector<Atom> GenerateRandomDatabase(Rng* rng, const Schema& schema,
+                                         SymbolTable* constants,
+                                         const RandomDatabaseOptions& options) {
+  GCHASE_CHECK(options.num_constants > 0);
+  std::vector<Term> pool;
+  pool.reserve(options.num_constants);
+  for (uint32_t i = 0; i < options.num_constants; ++i) {
+    pool.push_back(
+        Term::Constant(constants->Intern("c" + std::to_string(i))));
+  }
+
+  std::vector<Atom> facts;
+  std::unordered_set<Atom, AtomKeyHash, AtomKeyEq> seen;
+  auto emit = [&](Atom atom) {
+    if (seen.insert(atom).second) facts.push_back(std::move(atom));
+  };
+
+  if (options.cover_all_predicates) {
+    for (PredicateId pred = 0; pred < schema.num_predicates(); ++pred) {
+      if (facts.size() >= options.num_facts) break;
+      emit(MakeFact(pred, schema.arity(pred), pool, rng));
+    }
+  }
+  if (schema.num_predicates() > 0) {
+    for (uint32_t i = 0; i < options.num_facts; ++i) {
+      if (facts.size() >= options.num_facts) break;
+      PredicateId pred =
+          static_cast<PredicateId>(rng->NextBelow(schema.num_predicates()));
+      emit(MakeFact(pred, schema.arity(pred), pool, rng));
+    }
+  }
+  return facts;
+}
+
+}  // namespace gchase

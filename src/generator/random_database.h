@@ -1,0 +1,37 @@
+#ifndef GCHASE_GENERATOR_RANDOM_DATABASE_H_
+#define GCHASE_GENERATOR_RANDOM_DATABASE_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "model/atom.h"
+#include "model/schema.h"
+#include "model/symbol_table.h"
+
+namespace gchase {
+
+/// Knobs for the random ground-database generator.
+struct RandomDatabaseOptions {
+  /// Size of the constant pool facts draw from (constants are interned
+  /// as "c0", "c1", ... — small pools create dense joins, large pools
+  /// sparse ones).
+  uint32_t num_constants = 4;
+  /// Facts to generate (duplicates are possible and deduplicate on
+  /// insertion, so the emitted vector may be shorter than this).
+  uint32_t num_facts = 12;
+  /// Guarantee at least one fact per schema predicate, so every rule
+  /// body has a chance to fire. Counted against num_facts first.
+  bool cover_all_predicates = true;
+};
+
+/// Generates a random ground database over `schema`: uniformly random
+/// predicates with uniformly random constants from the pool. Constants
+/// are interned into `constants`; the result is duplicate-free and
+/// deterministic in `rng`.
+std::vector<Atom> GenerateRandomDatabase(Rng* rng, const Schema& schema,
+                                         SymbolTable* constants,
+                                         const RandomDatabaseOptions& options);
+
+}  // namespace gchase
+
+#endif  // GCHASE_GENERATOR_RANDOM_DATABASE_H_

@@ -41,6 +41,26 @@ Atom MakeBodyAtom(PredicateId pred, uint32_t arity, double repeat_probability,
 
 }  // namespace
 
+RuleClass PickRuleClass(Rng* rng, const ClassWeights& weights) {
+  const double w[4] = {
+      weights.simple_linear > 0 ? weights.simple_linear : 0.0,
+      weights.linear > 0 ? weights.linear : 0.0,
+      weights.guarded > 0 ? weights.guarded : 0.0,
+      weights.general > 0 ? weights.general : 0.0,
+  };
+  const double total = w[0] + w[1] + w[2] + w[3];
+  if (total <= 0.0) return RuleClass::kSimpleLinear;
+  double pick = rng->NextDouble() * total;
+  static constexpr RuleClass kClasses[4] = {
+      RuleClass::kSimpleLinear, RuleClass::kLinear, RuleClass::kGuarded,
+      RuleClass::kGeneral};
+  for (int i = 0; i < 4; ++i) {
+    pick -= w[i];
+    if (pick < 0.0) return kClasses[i];
+  }
+  return RuleClass::kGeneral;
+}
+
 RandomProgram GenerateRandomRuleSet(Rng* rng,
                                     const RandomRuleSetOptions& options) {
   GCHASE_CHECK(options.num_predicates > 0);

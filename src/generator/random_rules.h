@@ -44,6 +44,33 @@ struct RandomProgram {
 RandomProgram GenerateRandomRuleSet(Rng* rng,
                                     const RandomRuleSetOptions& options);
 
+/// Relative weights for drawing a rule class per generated case. The
+/// fuzz driver skews toward the classes the paper's theorems cover (SL
+/// and L have exact characterizations; G has the decidable critical
+/// instance); kGeneral defaults to 0 because no oracle is exact there.
+/// Weights need not sum to 1; negative weights are treated as 0.
+struct ClassWeights {
+  double simple_linear = 1.0;
+  double linear = 1.0;
+  double guarded = 1.0;
+  double general = 0.0;
+};
+
+/// Draws a rule class proportionally to `weights`. All-zero (or
+/// all-negative) weights fall back to kSimpleLinear.
+RuleClass PickRuleClass(Rng* rng, const ClassWeights& weights);
+
+/// The canonical per-trial seed derivation: SplitMix64-mixes the user
+/// seed with the trial ordinal so adjacent trials get decorrelated
+/// streams (see base/rng.h on why plain addition is not a substitute).
+/// Every consumer of (seed, trial) pairs — the fuzz runner, repro
+/// replay, the shrinker's re-execution — must go through this one
+/// function so a corpus entry's recorded (seed, trial) replays
+/// bit-identically.
+inline Rng TrialRng(uint64_t seed, uint64_t trial) {
+  return Rng(SplitMix64(seed ^ SplitMix64(trial)));
+}
+
 }  // namespace gchase
 
 #endif  // GCHASE_GENERATOR_RANDOM_RULES_H_

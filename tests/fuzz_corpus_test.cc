@@ -1,0 +1,70 @@
+// Replays every checked-in fuzz repro against the oracle recorded in its
+// metadata. The corpus is a regression suite: each entry once violated
+// (or exercised a fix for) an oracle, so a reappearing bug flips the
+// replay from pass to violation. chase_fuzz writes new entries with
+// --corpus-dir=tests/fuzz_corpus; see docs/fuzzing.md.
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_case.h"
+#include "fuzz/oracles.h"
+#include "gtest/gtest.h"
+
+#ifndef GCHASE_CORPUS_DIR
+#error "build must define GCHASE_CORPUS_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace gchase {
+namespace {
+
+std::vector<std::filesystem::path> CorpusFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(GCHASE_CORPUS_DIR)) {
+    if (entry.path().extension() == ".dlgp") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(FuzzCorpusTest, CorpusIsNonTrivial) {
+  EXPECT_GE(CorpusFiles().size(), 3u);
+}
+
+TEST(FuzzCorpusTest, EveryEntryParsesAndNamesAnOracle) {
+  for (const std::filesystem::path& path : CorpusFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    StatusOr<FuzzCase> repro = ParseRepro(ReadFile(path));
+    ASSERT_TRUE(repro.ok()) << repro.status().ToString();
+    EXPECT_FALSE(repro->rules.empty());
+    ASSERT_FALSE(repro->oracle.empty());
+    EXPECT_TRUE(OracleByName(repro->oracle).has_value()) << repro->oracle;
+  }
+}
+
+TEST(FuzzCorpusTest, EveryEntryReplaysClean) {
+  for (const std::filesystem::path& path : CorpusFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    StatusOr<FuzzCase> repro = ParseRepro(ReadFile(path));
+    ASSERT_TRUE(repro.ok()) << repro.status().ToString();
+    std::optional<OracleId> oracle = OracleByName(repro->oracle);
+    ASSERT_TRUE(oracle.has_value()) << repro->oracle;
+    OracleResult result = RunOracle(*oracle, *repro);
+    EXPECT_NE(result.outcome, OracleOutcome::kViolation)
+        << repro->oracle << ": " << result.detail;
+  }
+}
+
+}  // namespace
+}  // namespace gchase

@@ -1,0 +1,360 @@
+#include <string>
+#include <vector>
+
+#include "chase/chase.h"
+#include "fuzz/fuzz_case.h"
+#include "fuzz/oracles.h"
+#include "fuzz/runner.h"
+#include "fuzz/shrinker.h"
+#include "gtest/gtest.h"
+#include "model/parser.h"
+#include "model/printer.h"
+
+namespace gchase {
+namespace {
+
+FuzzCase CaseFromText(const std::string& text) {
+  StatusOr<FuzzCase> parsed = ParseRepro(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return *std::move(parsed);
+}
+
+TEST(FuzzCaseTest, DeterministicForSeedAndTrial) {
+  FuzzCaseOptions options;
+  FuzzCase a = MakeFuzzCase(7, 11, options);
+  FuzzCase b = MakeFuzzCase(7, 11, options);
+  EXPECT_EQ(WriteRepro(a), WriteRepro(b));
+}
+
+TEST(FuzzCaseTest, TrialsAreDecorrelated) {
+  FuzzCaseOptions options;
+  FuzzCase a = MakeFuzzCase(7, 1, options);
+  FuzzCase b = MakeFuzzCase(7, 2, options);
+  EXPECT_NE(WriteRepro(a), WriteRepro(b));
+  FuzzCase c = MakeFuzzCase(8, 1, options);
+  EXPECT_NE(WriteRepro(a), WriteRepro(c));
+}
+
+TEST(FuzzCaseTest, ProfilesProduceTheirClass) {
+  struct Profile {
+    ClassWeights weights;
+    const char* name;
+  };
+  const Profile profiles[] = {
+      {{1.0, 0.0, 0.0, 0.0}, "SL"},
+      {{0.0, 1.0, 0.0, 0.0}, "L"},
+      {{0.0, 0.0, 1.0, 0.0}, "G"},
+  };
+  for (const Profile& profile : profiles) {
+    FuzzCaseOptions options;
+    options.weights = profile.weights;
+    for (uint64_t trial = 0; trial < 25; ++trial) {
+      FuzzCase fuzz_case = MakeFuzzCase(3, trial, options);
+      EXPECT_EQ(fuzz_case.profile, profile.name) << "trial " << trial;
+      // Subsumption-aware checks: an L-profile set may happen to be
+      // simple-linear, but it must at least be linear; same for G.
+      if (fuzz_case.profile == "SL") {
+        EXPECT_TRUE(fuzz_case.rules.IsSimpleLinear()) << "trial " << trial;
+      } else if (fuzz_case.profile == "L") {
+        EXPECT_TRUE(fuzz_case.rules.IsLinear()) << "trial " << trial;
+      } else {
+        EXPECT_TRUE(fuzz_case.rules.IsGuarded()) << "trial " << trial;
+      }
+      EXPECT_FALSE(fuzz_case.database.empty()) << "trial " << trial;
+    }
+  }
+}
+
+TEST(FuzzCaseTest, MixedProfileDrawsEveryClass) {
+  FuzzCaseOptions options;  // default weights: SL/L/G equally
+  bool saw_sl = false, saw_l = false, saw_g = false;
+  for (uint64_t trial = 0; trial < 50; ++trial) {
+    const std::string profile = MakeFuzzCase(1, trial, options).profile;
+    saw_sl = saw_sl || profile == "SL";
+    saw_l = saw_l || profile == "L";
+    saw_g = saw_g || profile == "G";
+    EXPECT_NE(profile, "general");
+  }
+  EXPECT_TRUE(saw_sl);
+  EXPECT_TRUE(saw_l);
+  EXPECT_TRUE(saw_g);
+}
+
+TEST(FuzzCaseTest, ReproRoundTrips) {
+  FuzzCaseOptions options;
+  FuzzCase original = MakeFuzzCase(5, 9, options);
+  original.oracle = "order-equivalence";
+  const std::string text = WriteRepro(original);
+
+  StatusOr<FuzzCase> parsed = ParseRepro(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->oracle, "order-equivalence");
+  EXPECT_EQ(parsed->profile, original.profile);
+  EXPECT_EQ(parsed->seed, 5u);
+  EXPECT_EQ(parsed->trial, 9u);
+  EXPECT_EQ(parsed->rules.size(), original.rules.size());
+  EXPECT_EQ(parsed->database.size(), original.database.size());
+  // The round-trip is exact: re-serializing the parsed case reproduces
+  // the file byte-for-byte.
+  EXPECT_EQ(WriteRepro(*parsed), text);
+}
+
+TEST(FuzzCaseTest, ParseReproWithoutMetadata) {
+  StatusOr<FuzzCase> parsed = ParseRepro("p(V0) -> q(V0) .\np(c0).\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->oracle.empty());
+  EXPECT_EQ(parsed->seed, 0u);
+  EXPECT_EQ(parsed->rules.size(), 1u);
+  EXPECT_EQ(parsed->database.size(), 1u);
+}
+
+TEST(FuzzCaseTest, ParseReproRejectsEgds) {
+  EXPECT_FALSE(ParseRepro("p(V0,V1) -> V0 = V1 .\np(c0,c1).\n").ok());
+}
+
+TEST(OracleTest, NamesRoundTrip) {
+  EXPECT_EQ(AllOracles().size(), kNumOracles);
+  for (OracleId oracle : AllOracles()) {
+    std::optional<OracleId> back = OracleByName(OracleName(oracle));
+    ASSERT_TRUE(back.has_value()) << OracleName(oracle);
+    EXPECT_EQ(*back, oracle);
+  }
+  EXPECT_FALSE(OracleByName("no-such-oracle").has_value());
+}
+
+TEST(OracleTest, AllOraclesPassOnTerminatingCase) {
+  const FuzzCase fuzz_case = CaseFromText(
+      "e(V0,V1), p(V0) -> p(V1) .\n"
+      "p(V0) -> q(V0,V1) .\n"
+      "e(c0,c1).\ne(c1,c2).\np(c0).\n");
+  for (OracleId oracle : AllOracles()) {
+    OracleResult result = RunOracle(oracle, fuzz_case);
+    EXPECT_EQ(result.outcome, OracleOutcome::kPass)
+        << OracleName(oracle) << ": " << result.detail;
+  }
+}
+
+TEST(OracleTest, NoOracleFiresOnDivergingCase) {
+  // The canonical diverging simple-linear set: the probes run into their
+  // caps, and every oracle must treat that as pass-or-inconclusive —
+  // never as a violation.
+  const FuzzCase fuzz_case =
+      CaseFromText("e(V0,V1) -> e(V1,V2) .\ne(c0,c1).\n");
+  for (OracleId oracle : AllOracles()) {
+    OracleResult result = RunOracle(oracle, fuzz_case);
+    EXPECT_NE(result.outcome, OracleOutcome::kViolation)
+        << OracleName(oracle) << ": " << result.detail;
+  }
+}
+
+TEST(OracleTest, DeciderVsProbeOnDivergingCaseIsConclusive) {
+  // Theorem-4 side with a definite answer: WA fails, the decider says
+  // "diverges", and the capped critical-instance probe agrees.
+  const FuzzCase fuzz_case =
+      CaseFromText("e(V0,V1) -> e(V1,V2) .\ne(c0,c1).\n");
+  OracleResult result = RunOracle(OracleId::kDeciderVsProbe, fuzz_case);
+  EXPECT_EQ(result.outcome, OracleOutcome::kPass) << result.detail;
+  result = RunOracle(OracleId::kSyntacticVsDecider, fuzz_case);
+  EXPECT_EQ(result.outcome, OracleOutcome::kPass) << result.detail;
+}
+
+TEST(OracleTest, ExpiredDeadlineIsInconclusiveNotViolation) {
+  const FuzzCase fuzz_case = CaseFromText("p(V0) -> q(V0,V1) .\np(c0).\n");
+  OracleOptions options;
+  options.deadline = Deadline::AfterMillis(0);
+  for (OracleId oracle : AllOracles()) {
+    OracleResult result = RunOracle(oracle, fuzz_case, options);
+    if (oracle == OracleId::kIoRoundTrip) {
+      // The round-trip property holds for every instance the engine can
+      // produce, so the oracle still compares the deadline-truncated
+      // instance and passes.
+      EXPECT_EQ(result.outcome, OracleOutcome::kPass) << result.detail;
+    } else {
+      EXPECT_EQ(result.outcome, OracleOutcome::kInconclusive)
+          << OracleName(oracle) << ": " << result.detail;
+    }
+  }
+}
+
+TEST(OracleTest, CancellationIsInconclusive) {
+  const FuzzCase fuzz_case = CaseFromText("p(V0) -> q(V0,V1) .\np(c0).\n");
+  OracleOptions options;
+  options.cancel.RequestCancel();
+  for (OracleId oracle : AllOracles()) {
+    OracleResult result = RunOracle(oracle, fuzz_case, options);
+    EXPECT_EQ(result.outcome, OracleOutcome::kInconclusive)
+        << OracleName(oracle) << ": " << result.detail;
+  }
+}
+
+TEST(OracleTest, OrderEquivalenceOnOrderSensitiveCase) {
+  // Firing the existential rule first leaves both e-atoms; firing the
+  // ground rule first skips the (then satisfied) existential. Results
+  // differ atom-for-atom but are homomorphically equivalent.
+  const FuzzCase fuzz_case = CaseFromText(
+      "p(V0) -> e(V0,V1) .\n"
+      "p(V0) -> e(V0,V0) .\n"
+      "p(c0).\n");
+  OracleResult result = RunOracle(OracleId::kOrderEquivalence, fuzz_case);
+  EXPECT_EQ(result.outcome, OracleOutcome::kPass) << result.detail;
+}
+
+// --- Shrinker ------------------------------------------------------------
+
+FuzzCase PlantedCase() {
+  return CaseFromText(
+      "p(V0) -> q(V0) .\n"
+      "q(V0) -> p(V0) .\n"
+      "e(V0,V1) -> e(V1,V2) .\n"
+      "r(V0) -> s(V0,V1) .\n"
+      "s(V0,V1) -> q(V1) .\n"
+      "p(c0).\nq(c1).\nr(c2).\ns(c0,c1).\n"
+      "e(c0,c1).\np(c3).\nq(c2).\nr(c0).\n");
+}
+
+TEST(ShrinkerTest, PlantedSyntheticKernelMinimizesExactly) {
+  const FuzzCase input = PlantedCase();
+  // Synthetic failure: the case "fails" iff it still contains a rule
+  // over predicate e and an e-fact — a 1-rule/1-fact kernel the greedy
+  // ddmin must isolate exactly.
+  auto fails = [](const FuzzCase& candidate) {
+    bool has_rule = false;
+    for (const Tgd& rule : candidate.rules.rules()) {
+      for (const Atom& atom : rule.body()) {
+        has_rule = has_rule ||
+                   candidate.vocabulary.schema.name(atom.predicate) == "e";
+      }
+    }
+    bool has_fact = false;
+    for (const Atom& fact : candidate.database) {
+      has_fact =
+          has_fact || candidate.vocabulary.schema.name(fact.predicate) == "e";
+    }
+    return has_rule && has_fact;
+  };
+  ShrinkResult result = ShrinkCase(input, fails);
+  EXPECT_TRUE(result.converged);
+  ASSERT_EQ(result.minimized.rules.size(), 1u);
+  ASSERT_EQ(result.minimized.database.size(), 1u);
+  EXPECT_EQ(result.rules_removed, input.rules.size() - 1);
+  EXPECT_EQ(result.facts_removed, input.database.size() - 1);
+  EXPECT_TRUE(fails(result.minimized));
+}
+
+TEST(ShrinkerTest, PlantedDivergenceKernelViaEngine) {
+  const FuzzCase input = PlantedCase();
+  // Real-engine predicate: the restricted chase blows a small atom cap.
+  // Only the e-chain rule (fed by one e-fact) diverges; the distractor
+  // rules terminate. Deterministic: bounded by logical caps only.
+  auto fails = [](const FuzzCase& candidate) {
+    ChaseOptions options;
+    options.variant = ChaseVariant::kRestricted;
+    options.max_atoms = 64;
+    return RunChase(candidate.rules, options, candidate.database).outcome ==
+           ChaseOutcome::kResourceLimit;
+  };
+  ASSERT_TRUE(fails(input));
+  ShrinkResult result = ShrinkCase(input, fails);
+  EXPECT_TRUE(result.converged);
+  ASSERT_EQ(result.minimized.rules.size(), 1u);
+  ASSERT_EQ(result.minimized.database.size(), 1u);
+  EXPECT_TRUE(fails(result.minimized));
+  // The kernel is the diverging chain rule, not a distractor.
+  const Tgd& rule = result.minimized.rules.rule(0);
+  EXPECT_EQ(result.minimized.vocabulary.schema.name(rule.body()[0].predicate),
+            "e");
+}
+
+TEST(ShrinkerTest, NonFailingInputReturnsUnconverged) {
+  const FuzzCase input = PlantedCase();
+  ShrinkResult result =
+      ShrinkCase(input, [](const FuzzCase&) { return false; });
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.evaluations, 1u);
+  EXPECT_EQ(result.minimized.rules.size(), input.rules.size());
+  EXPECT_EQ(result.minimized.database.size(), input.database.size());
+}
+
+TEST(ShrinkerTest, EvaluationBudgetStopsEarlyButStaysFailing) {
+  const FuzzCase input = PlantedCase();
+  auto fails = [](const FuzzCase& candidate) {
+    return !candidate.database.empty();
+  };
+  ShrinkOptions options;
+  options.max_evaluations = 2;
+  ShrinkResult result = ShrinkCase(input, fails, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_LE(result.evaluations, 2u);
+  EXPECT_TRUE(fails(result.minimized));
+}
+
+TEST(ShrinkerTest, DeterministicMinimization) {
+  const FuzzCase input = PlantedCase();
+  auto fails = [](const FuzzCase& candidate) {
+    return candidate.rules.size() >= 2 && candidate.database.size() >= 2;
+  };
+  ShrinkResult a = ShrinkCase(input, fails);
+  ShrinkResult b = ShrinkCase(input, fails);
+  EXPECT_EQ(WriteRepro(a.minimized), WriteRepro(b.minimized));
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.minimized.rules.size(), 2u);
+  EXPECT_EQ(a.minimized.database.size(), 2u);
+}
+
+// --- Runner --------------------------------------------------------------
+
+TEST(RunnerTest, SmallCampaignIsDeterministic) {
+  FuzzRunnerOptions options;
+  options.trials = 5;
+  options.seed = 42;
+  FuzzReport a = RunFuzz(options);
+  FuzzReport b = RunFuzz(options);
+  EXPECT_EQ(a.trials_run, 5u);
+  ASSERT_EQ(a.per_oracle.size(), kNumOracles);
+  for (uint32_t i = 0; i < kNumOracles; ++i) {
+    EXPECT_EQ(a.per_oracle[i].trials, b.per_oracle[i].trials);
+    EXPECT_EQ(a.per_oracle[i].passes, b.per_oracle[i].passes);
+    EXPECT_EQ(a.per_oracle[i].violations, b.per_oracle[i].violations);
+    EXPECT_EQ(a.per_oracle[i].inconclusive, b.per_oracle[i].inconclusive);
+    EXPECT_EQ(a.per_oracle[i].violations, 0u);
+  }
+}
+
+TEST(RunnerTest, OracleSubsetOnlyRunsSelected) {
+  FuzzRunnerOptions options;
+  options.trials = 3;
+  options.seed = 1;
+  options.oracles = {OracleId::kIoRoundTrip};
+  FuzzReport report = RunFuzz(options);
+  ASSERT_EQ(report.per_oracle.size(), kNumOracles);
+  for (OracleId oracle : AllOracles()) {
+    const OracleCounters& counters =
+        report.per_oracle[static_cast<uint32_t>(oracle)];
+    EXPECT_EQ(counters.trials, oracle == OracleId::kIoRoundTrip ? 3u : 0u)
+        << OracleName(oracle);
+  }
+}
+
+TEST(RunnerTest, CancelledCampaignStopsEarly) {
+  FuzzRunnerOptions options;
+  options.trials = 100;
+  options.cancel.RequestCancel();
+  FuzzReport report = RunFuzz(options);
+  EXPECT_TRUE(report.stopped_early);
+  EXPECT_EQ(report.trials_run, 0u);
+}
+
+TEST(RunnerTest, JsonReportHasBenchShape) {
+  FuzzRunnerOptions options;
+  options.trials = 2;
+  FuzzReport report = RunFuzz(options);
+  const std::string json = FuzzReportToJson(options, report);
+  EXPECT_NE(json.find("\"experiment\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"oracle\": \"variant-containment\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"violations\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gchase

@@ -1,0 +1,173 @@
+// chase_fuzz: differential fuzzing driver for the chase engines and
+// termination deciders. Generates random (Σ, D) pairs via the seeded
+// generator and checks invariants the paper guarantees (see
+// docs/fuzzing.md for the oracle ↔ theorem table). Any violation is
+// shrunk by greedy delta debugging and written as a self-contained
+// repro file that `fuzz_corpus_test` replays forever after.
+//
+// Usage:
+//   chase_fuzz [--trials=N] [--seed=S] [--deadline-ms=M]
+//              [--total-deadline-ms=M] [--oracles=a,b,...]
+//              [--corpus-dir=DIR] [--json=FILE] [--profile=sl|l|g|mixed]
+//              [--no-shrink] [--verbose] [--list-oracles]
+//     --trials=N            trials to run (default 100)
+//     --seed=S              campaign seed; same seed => bit-identical
+//                           campaign (default 1)
+//     --deadline-ms=M       wall-clock backstop per oracle evaluation —
+//                           the deterministic work caps do the real
+//                           bounding; this only guards against hangs
+//                           (default 10000)
+//     --total-deadline-ms=M whole-campaign budget; the nightly CI job
+//                           sets ~15 minutes (default: none)
+//     --oracles=a,b         comma list of oracle names (default: all;
+//                           see --list-oracles)
+//     --corpus-dir=DIR      write shrunken repros here (default: none)
+//     --json=FILE           write the BENCH_-style report here ('-' or
+//                           absent: stdout)
+//     --profile=P           rule-class mix: sl, l, g, or mixed (default)
+//     --no-shrink           report violations unminimized
+//     --verbose             per-trial progress on stderr
+//
+// Exit codes: 0 all oracles passed, 1 usage/IO error, 2 violations
+// found, 3 campaign stopped early (total deadline / SIGINT) without
+// violations.
+//
+// Ctrl-C trips the cancellation token: the trial in flight stops at its
+// next governor checkpoint and the report covers what ran.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "fuzz/runner.h"
+
+namespace {
+
+gchase::CancellationToken g_cancel;
+
+extern "C" void HandleSigint(int) { g_cancel.RequestCancel(); }
+
+bool ParseUint64Flag(const char* arg, const char* name, uint64_t* value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *value = std::strtoull(arg + len, nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gchase;
+  FuzzRunnerOptions options;
+  options.trials = 100;
+  options.seed = 1;
+  std::string json_path = "-";
+  uint64_t total_deadline_ms = 0;
+  std::string profile = "mixed";
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    uint64_t value = 0;
+    if (ParseUint64Flag(arg, "--trials=", &options.trials)) {
+    } else if (ParseUint64Flag(arg, "--seed=", &options.seed)) {
+    } else if (ParseUint64Flag(arg, "--deadline-ms=", &value)) {
+      options.trial_deadline_ms = static_cast<int64_t>(value);
+    } else if (ParseUint64Flag(arg, "--total-deadline-ms=",
+                               &total_deadline_ms)) {
+    } else if (std::strncmp(arg, "--oracles=", 10) == 0) {
+      std::string list = arg + 10;
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        std::string name = list.substr(start, comma - start);
+        start = comma + 1;
+        if (name.empty()) continue;
+        std::optional<OracleId> oracle = OracleByName(name);
+        if (!oracle.has_value()) {
+          std::fprintf(stderr, "unknown oracle: %s (try --list-oracles)\n",
+                       name.c_str());
+          return 1;
+        }
+        options.oracles.push_back(*oracle);
+      }
+    } else if (std::strncmp(arg, "--corpus-dir=", 13) == 0) {
+      options.corpus_dir = arg + 13;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_path = arg + 7;
+    } else if (std::strncmp(arg, "--profile=", 10) == 0) {
+      profile = arg + 10;
+    } else if (std::strcmp(arg, "--no-shrink") == 0) {
+      options.shrink = false;
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      options.verbose = true;
+    } else if (std::strcmp(arg, "--list-oracles") == 0) {
+      for (OracleId oracle : AllOracles()) {
+        std::printf("%s\n", OracleName(oracle));
+      }
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return 1;
+    }
+  }
+
+  if (profile == "sl") {
+    options.case_options.weights = {1.0, 0.0, 0.0, 0.0};
+  } else if (profile == "l") {
+    options.case_options.weights = {0.0, 1.0, 0.0, 0.0};
+  } else if (profile == "g") {
+    options.case_options.weights = {0.0, 0.0, 1.0, 0.0};
+  } else if (profile == "mixed") {
+    // Default ClassWeights: SL/L/G equally, no unrestricted-general sets
+    // (no oracle is exact there).
+  } else {
+    std::fprintf(stderr, "unknown profile: %s (sl|l|g|mixed)\n",
+                 profile.c_str());
+    return 1;
+  }
+  if (total_deadline_ms > 0) {
+    options.total_deadline =
+        Deadline::AfterMillis(static_cast<int64_t>(total_deadline_ms));
+  }
+  options.cancel = g_cancel;
+  std::signal(SIGINT, HandleSigint);
+
+  FuzzReport report = RunFuzz(options);
+
+  const std::string json = FuzzReportToJson(options, report);
+  if (json_path == "-") {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << json;
+  }
+
+  uint64_t violations = 0;
+  for (const OracleCounters& counters : report.per_oracle) {
+    violations += counters.violations;
+  }
+  std::fprintf(stderr,
+               "chase_fuzz: %llu trials, %llu violations%s (%.1fs)\n",
+               static_cast<unsigned long long>(report.trials_run),
+               static_cast<unsigned long long>(violations),
+               report.stopped_early ? " (stopped early)" : "",
+               report.elapsed_seconds);
+  for (const FuzzViolation& violation : report.violations) {
+    std::fprintf(stderr, "  %s trial %llu: %s\n    repro: %s\n",
+                 OracleName(violation.oracle),
+                 static_cast<unsigned long long>(violation.trial),
+                 violation.detail.c_str(),
+                 violation.repro_path.empty() ? "(not written)"
+                                              : violation.repro_path.c_str());
+  }
+  if (violations > 0) return 2;
+  if (report.stopped_early) return 3;
+  return 0;
+}
