@@ -92,6 +92,7 @@ inline std::string ChaseStatsToJson(const ChaseStats& stats) {
     out += ", \"applied\": " + JsonNumber(round.applied);
     out += ", \"discovery_ms\": " + JsonNumber(round.discovery_seconds * 1e3);
     out += ", \"apply_ms\": " + JsonNumber(round.apply_seconds * 1e3);
+    out += ", \"round_ms\": " + JsonNumber(round.total_seconds * 1e3);
     out += ", \"estimated_work\": " + JsonNumber(round.estimated_work);
     out += ", \"parallel\": ";
     out += round.parallel_discovery ? "true" : "false";

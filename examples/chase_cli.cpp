@@ -4,7 +4,9 @@
 // Usage:
 //   ./build/examples/chase_cli <file.dlgp> [variant] [max_atoms]
 //                              [--dot] [--stats] [--threads=N]
-//                              [--deadline-ms=N]
+//                              [--deadline-ms=N] [--decide]
+//                              [--trace=FILE] [--trace-categories=LIST]
+//                              [--metrics-json=FILE]
 //     variant:    restricted (default) | semi-oblivious | oblivious
 //     max_atoms:  resource cap (default 10000)
 //     --dot:      emit the guarded chase forest in Graphviz DOT instead
@@ -16,6 +18,21 @@
 //     --deadline-ms=N  wall-clock budget; an expired run stops at its
 //                 next cooperative checkpoint with the partial instance
 //                 and stats intact
+//     --decide:   instead of chasing the input database, run the full
+//                 termination analysis on the rule set: the exact/probe
+//                 decider cascade for both the oblivious and the
+//                 semi-oblivious chase, plus the restricted-chase order
+//                 probe fanned out over a 2-worker pool — the one-flag
+//                 way to exercise the chase, decider and pool layers in
+//                 a single traceable process
+//     --trace=FILE  record a Chrome-trace/Perfetto JSON of the run (load
+//                 it at ui.perfetto.dev); a flame summary of the spans
+//                 goes to stderr
+//     --trace-categories=LIST  comma-separated subset of
+//                 chase,pool,decider,storage,fuzz (default: all)
+//     --metrics-json=FILE  write the process metrics registry snapshot
+//                 (chase.* counters including the parallel-discovery
+//                 fields, forest.* gauges) as JSON
 //
 // Ctrl-C (SIGINT) trips the run's cancellation token instead of killing
 // the process: the chase stops cooperatively and the partial result is
@@ -36,12 +53,18 @@
 #include <sstream>
 #include <thread>
 
+#include "base/thread_pool.h"
 #include "base/timer.h"
 #include "bench/bench_util.h"
 #include "chase/chase.h"
 #include "chase/forest.h"
 #include "model/parser.h"
 #include "model/printer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "termination/decider.h"
+#include "termination/restricted_probe.h"
 
 namespace {
 
@@ -66,6 +89,94 @@ int ExitCodeFor(gchase::ChaseOutcome outcome) {
   return 1;
 }
 
+// Flushes the observability side-channels on every exit path (normal,
+// deadline, SIGINT): destructor order guarantees the trace file, flame
+// summary and metrics snapshot are written no matter which return fires.
+// Buffered events survive Tracer::Stop(), so an aborted run still flushes
+// everything it recorded.
+struct ObsFlusher {
+  std::string trace_path;
+  std::string metrics_path;
+
+  ~ObsFlusher() {
+    if (!trace_path.empty()) {
+      gchase::Tracer::Global().Stop();
+      if (gchase::WriteGlobalTrace(trace_path)) {
+        std::fprintf(
+            stderr, "%% trace written to %s\n%s", trace_path.c_str(),
+            gchase::TraceFlameSummary(gchase::Tracer::Global().Collect())
+                .c_str());
+      } else {
+        std::fprintf(stderr, "cannot write trace to %s\n", trace_path.c_str());
+      }
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      if (out) {
+        out << gchase::MetricsRegistry::Global().SnapshotJson() << "\n";
+      } else {
+        std::fprintf(stderr, "cannot write metrics to %s\n",
+                     metrics_path.c_str());
+      }
+    }
+  }
+};
+
+// The --decide mode: full termination analysis of the rule set. Returns
+// the process exit code (0 = every phase ran; verdicts are data, not
+// errors).
+int RunDecideMode(gchase::ParsedProgram& parsed, int64_t deadline_ms,
+                  uint32_t threads) {
+  using namespace gchase;
+  DeciderOptions options;
+  options.discovery_threads = threads;
+  if (deadline_ms >= 0) options.deadline = Deadline::AfterMillis(deadline_ms);
+  options.cancel = g_cancel;
+
+  for (ChaseVariant variant :
+       {ChaseVariant::kOblivious, ChaseVariant::kSemiOblivious}) {
+    StatusOr<DeciderResult> result = DecideTerminationWithFallback(
+        parsed.rules, &parsed.vocabulary, variant, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%% decide variant=%s verdict=%s phase=%s atoms=%llu\n",
+                ChaseVariantName(variant),
+                TerminationVerdictName(result->verdict),
+                result->phase.c_str(),
+                static_cast<unsigned long long>(result->chase_atoms));
+    if (!result->certificate_text.empty()) {
+      std::printf("%%   %s\n", result->certificate_text.c_str());
+    }
+    PublishChaseMetrics(result->chase_stats);
+  }
+
+  // Restricted-chase order probe over its own 2-worker pool. The pool is
+  // deliberately created regardless of core count so the pool category
+  // records scheduler events (run/steal/park) even on a 1-core host.
+  RestrictedProbeOptions probe;
+  probe.executor = std::make_shared<ThreadPool>(2);
+  probe.num_random_orders = 4;
+  if (deadline_ms >= 0) probe.deadline = Deadline::AfterMillis(deadline_ms);
+  probe.cancel = g_cancel;
+  StatusOr<RestrictedProbeResult> probed =
+      ProbeRestrictedTermination(parsed.rules, &parsed.vocabulary, {}, probe);
+  if (!probed.ok()) {
+    std::fprintf(stderr, "%s\n", probed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "%% probe restricted fifo=%s datalog_first=%s random=%u/%u "
+      "order_sensitive=%s aborted=%u\n",
+      probed->fifo_terminated ? "terminated" : "diverged",
+      probed->datalog_first_terminated ? "terminated" : "diverged",
+      probed->random_orders_terminated,
+      probed->random_orders_terminated + probed->random_orders_diverged,
+      probed->order_sensitive ? "yes" : "no", probed->runs_aborted);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -74,7 +185,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <file.dlgp> [restricted|semi-oblivious|"
                  "oblivious] [max_atoms] [--dot] [--stats] [--threads=N] "
-                 "[--deadline-ms=N]\n",
+                 "[--deadline-ms=N] [--decide] [--trace=FILE] "
+                 "[--trace-categories=LIST] [--metrics-json=FILE]\n",
                  argv[0]);
     return 2;
   }
@@ -93,14 +205,41 @@ int main(int argc, char** argv) {
 
   bool want_dot = false;
   bool want_stats = false;
+  bool want_decide = false;
   uint32_t threads = 1;
   int64_t deadline_ms = -1;
+  uint32_t trace_categories = kAllTraceCategories;
+  ObsFlusher flusher;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dot") == 0) {
       want_dot = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       want_stats = true;
+    } else if (std::strcmp(argv[i], "--decide") == 0) {
+      want_decide = true;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      flusher.trace_path = argv[i] + 8;
+      if (flusher.trace_path.empty()) {
+        std::fprintf(stderr, "--trace needs a file path\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--trace-categories=", 19) == 0) {
+      bool ok = true;
+      trace_categories = ParseTraceCategories(argv[i] + 19, &ok);
+      if (!ok) {
+        std::fprintf(stderr,
+                     "--trace-categories: unknown category in '%s' "
+                     "(known: chase,pool,decider,storage,fuzz)\n",
+                     argv[i] + 19);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) {
+      flusher.metrics_path = argv[i] + 15;
+      if (flusher.metrics_path.empty()) {
+        std::fprintf(stderr, "--metrics-json needs a file path\n");
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = static_cast<uint32_t>(std::strtoul(argv[i] + 10, nullptr, 10));
       if (threads == 0) threads = 1;
@@ -129,13 +268,21 @@ int main(int argc, char** argv) {
   argc = static_cast<int>(args.size());
   argv = args.data();
 
+  if (!flusher.trace_path.empty()) {
+    Tracer::Config trace_config;
+    trace_config.categories = trace_categories;
+    Tracer::Global().Start(trace_config);
+  }
+
+  std::signal(SIGINT, HandleSigint);
+  if (want_decide) return RunDecideMode(*parsed, deadline_ms, threads);
+
   ChaseOptions options;
   options.max_atoms = 10000;
   options.track_provenance = want_dot;
   options.discovery_threads = threads;
   if (deadline_ms >= 0) options.deadline = Deadline::AfterMillis(deadline_ms);
   options.cancel = g_cancel;
-  std::signal(SIGINT, HandleSigint);
   if (argc > 2) {
     if (std::strcmp(argv[2], "oblivious") == 0) {
       options.variant = ChaseVariant::kOblivious;
@@ -154,6 +301,7 @@ int main(int argc, char** argv) {
   ChaseRun run(parsed->rules, options, parsed->facts);
   ChaseOutcome outcome = run.Execute();
   double seconds = timer.ElapsedSeconds();
+  PublishChaseMetrics(run.stats());
 
   const bool aborted = outcome == ChaseOutcome::kDeadlineExceeded ||
                        outcome == ChaseOutcome::kCancelled;
@@ -172,6 +320,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", forest.status().ToString().c_str());
       return 1;
     }
+    PublishForestMetrics(forest->Stats());
     std::printf("%s", forest->ToDot(parsed->vocabulary).c_str());
     return ExitCodeFor(outcome);
   }

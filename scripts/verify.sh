@@ -81,9 +81,10 @@ tier_tsan() {
   # are built — TSan compile+run is ~10x, and nothing else spawns threads.
   cmake --preset tsan &&
   cmake --build build-tsan -j"$(nproc)" \
-    --target chase_test chase_limits_test chase_parallel_test governor_test &&
+    --target chase_test chase_limits_test chase_parallel_test governor_test \
+             obs_test &&
   (cd build-tsan && ctest -j"$(nproc)" \
-    -R 'ParallelDiscovery|ChaseStats|NullCap|RandomOrderSeeding|ChaseTest|ChaseLimits|Governor|Deadline|Cancellation|FaultInjection')
+    -R 'ParallelDiscovery|ChaseStats|NullCap|RandomOrderSeeding|ChaseTest|ChaseLimits|Governor|Deadline|Cancellation|FaultInjection|Tracer|ObsGovernor')
 }
 
 tier_asan() {

@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace gchase {
 
 /// A persistent work-stealing pool for index-space parallelism.
@@ -78,6 +80,7 @@ class ThreadPool {
       for (uint64_t u = 0; u < num_units; ++u) fn(u);
       return;
     }
+    GCHASE_TRACE_SPAN(TraceCategory::kPool, "pool.job", num_units);
     std::lock_guard<std::mutex> job_lock(job_mutex_);
     // Publish the job before any chunk becomes visible: a straggler from
     // the previous job may pick up these chunks through a slot mutex, and
@@ -163,6 +166,7 @@ class ThreadPool {
         std::lock_guard<std::mutex> lock(slot.mu);
         for (const Chunk& c : taken) slot.chunks.push_back(c);
       }
+      GCHASE_TRACE_INSTANT(TraceCategory::kPool, "pool.steal", victim);
       return true;
     }
     return false;
@@ -176,7 +180,11 @@ class ThreadPool {
       // the job (and its fn) stays alive until the chunk is done.
       const std::function<void(uint64_t)>* fn =
           job_fn_.load(std::memory_order_acquire);
-      for (uint64_t u = chunk.begin; u < chunk.end; ++u) (*fn)(u);
+      {
+        GCHASE_TRACE_SPAN(TraceCategory::kPool, "pool.run",
+                          chunk.end - chunk.begin);
+        for (uint64_t u = chunk.begin; u < chunk.end; ++u) (*fn)(u);
+      }
       const uint64_t len = chunk.end - chunk.begin;
       if (remaining_.fetch_sub(len, std::memory_order_acq_rel) == len) {
         std::lock_guard<std::mutex> lock(done_mutex_);
@@ -190,8 +198,13 @@ class ThreadPool {
     uint64_t seen = 0;
     for (;;) {
       {
+        // Park/unpark bracket the wait so a trace shows exactly when a
+        // worker slept versus span between jobs; instants, not spans, so
+        // an exporter reading mid-park still sees a balanced stream.
+        GCHASE_TRACE_INSTANT(TraceCategory::kPool, "pool.park", self);
         std::unique_lock<std::mutex> lock(wake_mutex_);
         wake_cv_.wait(lock, [&]() { return shutdown_ || epoch_ != seen; });
+        GCHASE_TRACE_INSTANT(TraceCategory::kPool, "pool.unpark", self);
         if (shutdown_) return;
         seen = epoch_;
       }

@@ -8,6 +8,8 @@
 #include "base/hash.h"
 #include "base/rng.h"
 #include "base/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gchase {
 
@@ -501,18 +503,24 @@ ChaseOutcome ChaseRun::Execute(const AtomObserver& observer) {
       return outcome;
     }
     const AtomId frontier_end = instance_.size();
+    GCHASE_TRACE_SPAN(TraceCategory::kChase, "chase.round", rounds_);
 
     // Discover triggers whose homomorphism touches the latest delta:
     // pivot decomposition guarantees each homomorphism is found once.
     // Discovery itself is bounded by the step cap — unguarded bodies can
     // otherwise enumerate combinatorially many homomorphisms in a single
     // round before any trigger is applied.
+    WallTimer round_timer;
     WallTimer phase_timer;
     bool discovery_capped = false;
     bool discovery_stopped = false;
     ChaseOutcome stop_outcome = ChaseOutcome::kTerminated;
-    std::vector<PendingTrigger> pending = DiscoverTriggers(
-        watermark, &discovery_capped, &discovery_stopped, &stop_outcome);
+    std::vector<PendingTrigger> pending;
+    {
+      GCHASE_TRACE_SPAN(TraceCategory::kChase, "chase.discovery", rounds_);
+      pending = DiscoverTriggers(watermark, &discovery_capped,
+                                 &discovery_stopped, &stop_outcome);
+    }
     const double discovery_seconds = phase_timer.ElapsedSeconds();
 
     if (discovery_stopped) {
@@ -582,6 +590,13 @@ ChaseOutcome ChaseRun::Execute(const AtomObserver& observer) {
     // instance, and restricted-chase semantics depend on the order).
     phase_timer.Restart();
     const uint64_t applied_before = applied_triggers_;
+    GCHASE_TRACE_SPAN(TraceCategory::kChase, "chase.apply", rounds_ - 1);
+    // Per-rule application timing is threshold-gated: spans are recorded
+    // retroactively (phase 'X') only for triggers slower than the
+    // tracer's threshold, so a healthy run pays two clock reads per
+    // trigger when tracing is on and a single mask load when it is off.
+    Tracer& tracer = Tracer::Global();
+    const bool trace_triggers = tracer.enabled(TraceCategory::kChase);
     for (const PendingTrigger& trigger : pending) {
       // Per-trigger checkpoint: the apply phase stops between triggers,
       // never mid-application, so provenance and dedup state stay
@@ -590,24 +605,36 @@ ChaseOutcome ChaseRun::Execute(const AtomObserver& observer) {
                        &outcome)) {
         round.applied = applied_triggers_ - applied_before;
         round.apply_seconds = phase_timer.ElapsedSeconds();
+        round.total_seconds = round_timer.ElapsedSeconds();
         UpdateStatsPeaks();
         return outcome;
       }
+      const uint64_t trigger_start_ns = trace_triggers ? tracer.NowNs() : 0;
       const Tgd& rule = rules_.rule(trigger.rule);
       if (options_.variant == ChaseVariant::kRestricted &&
           HeadSatisfied(rule, trigger.binding)) {
         ++stats_.per_rule[trigger.rule].skipped_satisfied;
         continue;  // Satisfied triggers are skipped, permanently (monotone).
       }
-      if (!ApplyTrigger(trigger.rule, trigger.binding, observer, &outcome)) {
+      const bool applied =
+          ApplyTrigger(trigger.rule, trigger.binding, observer, &outcome);
+      if (trace_triggers) {
+        const uint64_t now_ns = tracer.NowNs();
+        tracer.RecordComplete(TraceCategory::kChase, "chase.apply_rule",
+                              trigger_start_ns, now_ns - trigger_start_ns,
+                              trigger.rule);
+      }
+      if (!applied) {
         round.applied = applied_triggers_ - applied_before;
         round.apply_seconds = phase_timer.ElapsedSeconds();
+        round.total_seconds = round_timer.ElapsedSeconds();
         UpdateStatsPeaks();
         return outcome;
       }
     }
     round.applied = applied_triggers_ - applied_before;
     round.apply_seconds = phase_timer.ElapsedSeconds();
+    round.total_seconds = round_timer.ElapsedSeconds();
     UpdateStatsPeaks();
     if (discovery_capped) return ChaseOutcome::kResourceLimit;
     watermark = frontier_end;
@@ -627,6 +654,48 @@ ChaseResult RunChase(const RuleSet& rules, const ChaseOptions& options,
   result.stats = run.stats();
   result.instance = run.instance();
   return result;
+}
+
+void PublishChaseMetrics(const ChaseStats& stats, MetricsRegistry* registry) {
+  MetricsRegistry& sink =
+      registry != nullptr ? *registry : MetricsRegistry::Global();
+  sink.Counter("chase.runs")->Increment();
+  sink.Counter("chase.rounds")->Add(stats.per_round.size());
+  sink.Counter("chase.parallel_rounds")->Add(stats.parallel_rounds);
+  uint64_t discovered = 0, applied = 0, skipped = 0;
+  for (const RuleStats& rule : stats.per_rule) {
+    discovered += rule.discovered;
+    applied += rule.applied;
+    skipped += rule.skipped_satisfied;
+  }
+  sink.Counter("chase.triggers_discovered")->Add(discovered);
+  sink.Counter("chase.triggers_applied")->Add(applied);
+  sink.Counter("chase.triggers_skipped_satisfied")->Add(skipped);
+  uint64_t estimated_work = 0;
+  uint64_t discovery_us = 0, apply_us = 0, round_us = 0;
+  constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+  for (const RoundStats& round : stats.per_round) {
+    estimated_work = round.estimated_work > kMax - estimated_work
+                         ? kMax
+                         : estimated_work + round.estimated_work;
+    discovery_us += static_cast<uint64_t>(round.discovery_seconds * 1e6);
+    apply_us += static_cast<uint64_t>(round.apply_seconds * 1e6);
+    round_us += static_cast<uint64_t>(round.total_seconds * 1e6);
+  }
+  sink.Counter("chase.estimated_work")->Add(estimated_work);
+  sink.Counter("chase.discovery_us")->Add(discovery_us);
+  sink.Counter("chase.apply_us")->Add(apply_us);
+  sink.Counter("chase.round_us")->Add(round_us);
+  sink.Gauge("chase.discovery_threads")
+      ->SetMax(static_cast<int64_t>(stats.discovery_threads));
+  sink.Gauge("chase.peak_atoms")
+      ->SetMax(static_cast<int64_t>(stats.peak_atoms));
+  sink.Gauge("chase.peak_position_index_keys")
+      ->SetMax(static_cast<int64_t>(stats.peak_position_index_keys));
+  sink.Gauge("chase.peak_position_index_entries")
+      ->SetMax(static_cast<int64_t>(stats.peak_position_index_entries));
+  sink.Gauge("chase.peak_dedup_keys")
+      ->SetMax(static_cast<int64_t>(stats.peak_dedup_keys));
 }
 
 bool IsModelOf(const Instance& instance, const RuleSet& rules) {

@@ -207,6 +207,10 @@ struct RoundStats {
   uint64_t applied = 0;            ///< Triggers fired this round.
   double discovery_seconds = 0.0;  ///< Wall time of the discovery phase.
   double apply_seconds = 0.0;      ///< Wall time of the application phase.
+  /// Wall time of the whole round, discovery start to apply end — also
+  /// covering the reorder/reserve work between the phases, which the two
+  /// phase timers alone leave invisible.
+  double total_seconds = 0.0;
   uint64_t estimated_work = 0;     ///< Join-work estimate driving cutover.
   bool parallel_discovery = false; ///< Round ran the parallel engine.
 };
@@ -377,6 +381,16 @@ struct ChaseResult {
 /// One-shot helper: runs the chase of `database` w.r.t. `rules`.
 ChaseResult RunChase(const RuleSet& rules, const ChaseOptions& options,
                      const std::vector<Atom>& database);
+
+class MetricsRegistry;
+
+/// Folds one run's ChaseStats into the metrics registry (the global one
+/// when `registry` is null) under the "chase." prefix: run/round/trigger
+/// counters — including the parallel-engine fields parallel_rounds and
+/// per-round estimated_work — plus peak gauges. Counters accumulate
+/// across runs; peak gauges fold a process-wide maximum.
+void PublishChaseMetrics(const ChaseStats& stats,
+                         MetricsRegistry* registry = nullptr);
 
 /// Checks that `instance` satisfies every rule (every body homomorphism
 /// extends to a head homomorphism). A terminated chase must satisfy this.

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "model/printer.h"
+#include "obs/metrics.h"
 
 namespace gchase {
 
@@ -115,6 +116,19 @@ std::string ChaseForest::ToDot(const Vocabulary& vocabulary) const {
   }
   out += "}\n";
   return out;
+}
+
+void PublishForestMetrics(const ForestStats& stats,
+                          MetricsRegistry* registry) {
+  MetricsRegistry& sink =
+      registry != nullptr ? *registry : MetricsRegistry::Global();
+  sink.Gauge("forest.roots")->SetMax(static_cast<int64_t>(stats.roots));
+  sink.Gauge("forest.max_depth")->SetMax(static_cast<int64_t>(stats.max_depth));
+  sink.Gauge("forest.max_branching")
+      ->SetMax(static_cast<int64_t>(stats.max_branching));
+  sink.Gauge("forest.max_bag_size")
+      ->SetMax(static_cast<int64_t>(stats.max_bag_size));
+  sink.Gauge("forest.guarded_invariant")->Set(stats.guarded_invariant ? 1 : 0);
 }
 
 }  // namespace gchase

@@ -69,6 +69,12 @@ class ChaseForest {
   std::vector<ForestNode> nodes_;
 };
 
+/// Folds forest shape statistics into the metrics registry (the global
+/// one when null) as "forest." peak gauges, alongside the "chase."
+/// family PublishChaseMetrics emits.
+void PublishForestMetrics(const ForestStats& stats,
+                          MetricsRegistry* registry = nullptr);
+
 }  // namespace gchase
 
 #endif  // GCHASE_CHASE_FOREST_H_

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "base/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gchase {
 
@@ -47,6 +49,8 @@ FuzzReport RunFuzz(const FuzzRunnerOptions& options) {
       report.stopped_early = true;
       break;
     }
+    GCHASE_TRACE_SPAN(TraceCategory::kFuzz, "fuzz.trial", trial);
+    ++report.trials_started;
     FuzzCase fuzz_case =
         MakeFuzzCase(options.seed, trial, options.case_options);
     if (options.verbose) {
@@ -56,13 +60,28 @@ FuzzReport RunFuzz(const FuzzRunnerOptions& options) {
                    fuzz_case.database.size());
     }
 
+    bool budget_died = false;
     for (OracleId oracle : oracles) {
       OracleOptions oracle_options = options.oracle_options;
       oracle_options.deadline =
           Deadline::Earlier(Deadline::AfterMillis(options.trial_deadline_ms),
                             options.total_deadline);
       oracle_options.cancel = options.cancel;
-      OracleResult result = RunOracle(oracle, fuzz_case, oracle_options);
+      OracleResult result;
+      {
+        GCHASE_TRACE_SPAN(TraceCategory::kFuzz, "fuzz.oracle",
+                          static_cast<uint64_t>(oracle));
+        result = RunOracle(oracle, fuzz_case, oracle_options);
+      }
+      if (result.outcome == OracleOutcome::kInconclusive &&
+          (options.cancel.Cancelled() || options.total_deadline.Expired())) {
+        // The campaign budget died under this evaluation (Ctrl-C or total
+        // deadline), so the verdict says nothing about the case. Leave
+        // the tallies untouched — an "inconclusive" here would pollute
+        // the per-oracle counters of an otherwise clean partial report.
+        budget_died = true;
+        break;
+      }
 
       OracleCounters& counters =
           report.per_oracle[static_cast<uint32_t>(oracle)];
@@ -91,6 +110,7 @@ FuzzReport RunFuzz(const FuzzRunnerOptions& options) {
         // of the per-trial budget, so every candidate gets equal
         // treatment and the minimized case still violates under the
         // budgets a replay will use.
+        GCHASE_TRACE_SPAN(TraceCategory::kFuzz, "fuzz.shrink", trial);
         ShrinkOptions shrink_options = options.shrink_options;
         shrink_options.deadline = Deadline::Earlier(
             Deadline::AfterMillis(8 * options.trial_deadline_ms),
@@ -119,6 +139,10 @@ FuzzReport RunFuzz(const FuzzRunnerOptions& options) {
                      violation.detail.c_str());
       }
       report.violations.push_back(std::move(violation));
+    }
+    if (budget_died) {
+      report.stopped_early = true;
+      break;
     }
     ++report.trials_run;
   }
@@ -163,6 +187,8 @@ std::string FuzzReportToJson(const FuzzRunnerOptions& options,
   out += "  \"seed\": " + std::to_string(options.seed) + ",\n";
   out += "  \"trials_requested\": " + std::to_string(options.trials) + ",\n";
   out += "  \"trials_run\": " + std::to_string(report.trials_run) + ",\n";
+  out +=
+      "  \"trials_started\": " + std::to_string(report.trials_started) + ",\n";
   out += std::string("  \"stopped_early\": ") +
          (report.stopped_early ? "true" : "false") + ",\n";
   std::snprintf(buffer, sizeof(buffer), "%.3f", report.elapsed_seconds);
@@ -196,6 +222,25 @@ std::string FuzzReportToJson(const FuzzRunnerOptions& options,
   }
   out += "\n  ]\n}\n";
   return out;
+}
+
+void PublishFuzzMetrics(const FuzzReport& report, MetricsRegistry* registry) {
+  MetricsRegistry& sink =
+      registry != nullptr ? *registry : MetricsRegistry::Global();
+  sink.Counter("fuzz.trials_run")->Add(report.trials_run);
+  sink.Counter("fuzz.trials_started")->Add(report.trials_started);
+  sink.Counter("fuzz.violations")->Add(report.violations.size());
+  sink.Gauge("fuzz.stopped_early")->Set(report.stopped_early ? 1 : 0);
+  for (uint32_t i = 0; i < report.per_oracle.size(); ++i) {
+    const OracleCounters& counters = report.per_oracle[i];
+    if (counters.trials == 0) continue;
+    const std::string prefix =
+        std::string("fuzz.oracle.") + OracleName(static_cast<OracleId>(i));
+    sink.Counter(prefix + ".trials")->Add(counters.trials);
+    sink.Counter(prefix + ".passes")->Add(counters.passes);
+    sink.Counter(prefix + ".violations")->Add(counters.violations);
+    sink.Counter(prefix + ".inconclusive")->Add(counters.inconclusive);
+  }
 }
 
 }  // namespace gchase

@@ -67,6 +67,11 @@ struct FuzzViolation {
 
 struct FuzzReport {
   uint64_t trials_run = 0;
+  /// Trials that began evaluating at least one oracle. When the campaign
+  /// budget dies mid-trial this exceeds trials_run by one: the partial
+  /// trial's oracle verdicts are discarded (a cancelled evaluation says
+  /// nothing about the case), so the counters stay honest.
+  uint64_t trials_started = 0;
   /// True when the total deadline or cancellation stopped the campaign
   /// before all trials ran.
   bool stopped_early = false;
@@ -86,6 +91,14 @@ FuzzReport RunFuzz(const FuzzRunnerOptions& options);
 /// counter rows keyed on the oracle name, plus the campaign header).
 std::string FuzzReportToJson(const FuzzRunnerOptions& options,
                              const FuzzReport& report);
+
+class MetricsRegistry;
+
+/// Folds the campaign tallies into the metrics registry (the global one
+/// when null): "fuzz.trials_run", "fuzz.violations", and a
+/// "fuzz.oracle.<name>.*" counter family per evaluated oracle.
+void PublishFuzzMetrics(const FuzzReport& report,
+                        MetricsRegistry* registry = nullptr);
 
 }  // namespace gchase
 

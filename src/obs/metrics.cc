@@ -1,0 +1,74 @@
+#include "obs/metrics.h"
+
+namespace gchase {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricCounter* MetricsRegistry::Counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name), std::make_unique<MetricCounter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricGauge* MetricsRegistry::Gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<MetricGauge>())
+             .first;
+  }
+  return it->second.get();
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+int64_t MetricsRegistry::GaugeValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value();
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    \"" + name + "\": " + std::to_string(counter->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    \"" + name + "\": " + std::to_string(gauge->value());
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->value_.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace gchase

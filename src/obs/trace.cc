@@ -1,0 +1,174 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+namespace gchase {
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct NamedCategory {
+  const char* name;
+  TraceCategory category;
+};
+
+constexpr NamedCategory kCategories[] = {
+    {"chase", TraceCategory::kChase},     {"pool", TraceCategory::kPool},
+    {"decider", TraceCategory::kDecider}, {"storage", TraceCategory::kStorage},
+    {"fuzz", TraceCategory::kFuzz},
+};
+
+/// Per-thread buffer cache: valid only while the session stamp matches,
+/// so Start() can discard old buffers without chasing thread-locals —
+/// a stale cache is simply re-registered on the next record.
+struct ThreadSlot {
+  TraceBuffer* buffer = nullptr;
+  uint64_t session = 0;
+};
+
+thread_local ThreadSlot tls_slot;
+
+}  // namespace
+
+const char* TraceCategoryName(TraceCategory category) {
+  for (const NamedCategory& entry : kCategories) {
+    if (entry.category == category) return entry.name;
+  }
+  return "?";
+}
+
+uint32_t ParseTraceCategories(std::string_view csv, bool* ok) {
+  *ok = true;
+  if (csv.empty()) return kAllTraceCategories;
+  uint32_t mask = 0;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t comma = csv.find(',', start);
+    if (comma == std::string_view::npos) comma = csv.size();
+    const std::string_view name = csv.substr(start, comma - start);
+    start = comma + 1;
+    if (name.empty()) continue;
+    bool found = false;
+    for (const NamedCategory& entry : kCategories) {
+      if (name == entry.name) {
+        mask |= static_cast<uint32_t>(entry.category);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      *ok = false;
+      return 0;
+    }
+  }
+  return mask;
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* const tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Start(const Config& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.clear();
+  buffer_capacity_ = config.buffer_capacity;
+  complete_threshold_ns_ = config.complete_threshold_ns;
+  epoch_ns_ = SteadyNowNs();
+  session_.fetch_add(1, std::memory_order_release);
+  enabled_.store(config.categories, std::memory_order_release);
+}
+
+uint64_t Tracer::NowNs() const {
+  const uint64_t now = SteadyNowNs();
+  return now > epoch_ns_ ? now - epoch_ns_ : 0;
+}
+
+TraceBuffer* Tracer::BufferForThisThread() {
+  const uint64_t session = session_.load(std::memory_order_acquire);
+  if (tls_slot.buffer == nullptr || tls_slot.session != session) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint32_t tid = static_cast<uint32_t>(buffers_.size()) + 1;
+    buffers_.push_back(std::make_unique<TraceBuffer>(tid, buffer_capacity_));
+    buffers_created_.fetch_add(1, std::memory_order_relaxed);
+    tls_slot.buffer = buffers_.back().get();
+    tls_slot.session = session;
+  }
+  return tls_slot.buffer;
+}
+
+bool Tracer::RecordBegin(TraceCategory category, const char* name,
+                         uint64_t arg) {
+  TraceEvent event;
+  event.name = name;
+  event.ts_ns = NowNs();
+  event.arg = arg;
+  event.category = category;
+  event.phase = TracePhase::kBegin;
+  return BufferForThisThread()->PushChecked(event);
+}
+
+void Tracer::RecordEnd(TraceCategory category, const char* name) {
+  TraceEvent event;
+  event.name = name;
+  event.ts_ns = NowNs();
+  event.category = category;
+  event.phase = TracePhase::kEnd;
+  BufferForThisThread()->PushEnd(event);
+}
+
+void Tracer::RecordInstant(TraceCategory category, const char* name,
+                           uint64_t arg) {
+  TraceEvent event;
+  event.name = name;
+  event.ts_ns = NowNs();
+  event.arg = arg;
+  event.category = category;
+  event.phase = TracePhase::kInstant;
+  BufferForThisThread()->PushChecked(event);
+}
+
+void Tracer::RecordComplete(TraceCategory category, const char* name,
+                            uint64_t start_ns, uint64_t dur_ns, uint64_t arg) {
+  if (dur_ns < complete_threshold_ns_) return;
+  TraceEvent event;
+  event.name = name;
+  event.ts_ns = start_ns;
+  event.dur_ns = dur_ns;
+  event.arg = arg;
+  event.category = category;
+  event.phase = TracePhase::kComplete;
+  BufferForThisThread()->PushChecked(event);
+}
+
+std::vector<Tracer::ThreadEvents> Tracer::Collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ThreadEvents> out;
+  out.reserve(buffers_.size());
+  for (const std::unique_ptr<TraceBuffer>& buffer : buffers_) {
+    ThreadEvents thread;
+    thread.tid = buffer->tid();
+    thread.dropped = buffer->dropped();
+    const std::size_t n = buffer->count_.load(std::memory_order_acquire);
+    thread.events.assign(buffer->events_.begin(), buffer->events_.begin() + n);
+    out.push_back(std::move(thread));
+  }
+  return out;
+}
+
+uint64_t Tracer::TotalDropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const std::unique_ptr<TraceBuffer>& buffer : buffers_) {
+    total += buffer->dropped();
+  }
+  return total;
+}
+
+}  // namespace gchase

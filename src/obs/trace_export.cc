@@ -1,0 +1,133 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+namespace gchase {
+
+namespace {
+
+std::string Micros(uint64_t ns) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f",
+                static_cast<double>(ns) / 1e3);
+  return buffer;
+}
+
+void AppendEvent(std::string* out, const TraceEvent& event, uint32_t pid,
+                 uint32_t tid) {
+  *out += "{\"name\": \"";
+  *out += event.name;
+  *out += "\", \"cat\": \"";
+  *out += TraceCategoryName(event.category);
+  *out += "\", \"ph\": \"";
+  *out += static_cast<char>(event.phase);
+  *out += "\", \"ts\": " + Micros(event.ts_ns);
+  if (event.phase == TracePhase::kComplete) {
+    *out += ", \"dur\": " + Micros(event.dur_ns);
+  }
+  if (event.phase == TracePhase::kInstant) {
+    *out += ", \"s\": \"t\"";  // instant scope: thread
+  }
+  *out += ", \"pid\": " + std::to_string(pid);
+  *out += ", \"tid\": " + std::to_string(tid);
+  if (event.arg != kNoTraceArg) {
+    *out += ", \"args\": {\"arg\": " + std::to_string(event.arg) + "}";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string TraceToChromeJson(const std::vector<Tracer::ThreadEvents>& threads,
+                              uint32_t pid) {
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  uint64_t dropped = 0;
+  for (const Tracer::ThreadEvents& thread : threads) {
+    dropped += thread.dropped;
+    for (const TraceEvent& event : thread.events) {
+      if (!first) out += ",\n";
+      first = false;
+      AppendEvent(&out, event, pid, thread.tid);
+    }
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\", \"otherData\": {";
+  out += "\"dropped_events\": " + std::to_string(dropped);
+  out += ", \"threads\": " + std::to_string(threads.size());
+  out += "}}\n";
+  return out;
+}
+
+std::string TraceFlameSummary(
+    const std::vector<Tracer::ThreadEvents>& threads) {
+  struct Row {
+    uint64_t count = 0;
+    uint64_t total_ns = 0;
+    uint64_t max_ns = 0;
+  };
+  std::map<std::string, Row> rows;
+  auto fold = [&rows](const char* name, uint64_t dur_ns) {
+    Row& row = rows[name];
+    ++row.count;
+    row.total_ns += dur_ns;
+    row.max_ns = std::max(row.max_ns, dur_ns);
+  };
+  for (const Tracer::ThreadEvents& thread : threads) {
+    // Per-thread begin stack: spans never cross threads, so matching the
+    // innermost open begin of the same name reconstructs durations.
+    std::vector<const TraceEvent*> stack;
+    for (const TraceEvent& event : thread.events) {
+      switch (event.phase) {
+        case TracePhase::kBegin:
+          stack.push_back(&event);
+          break;
+        case TracePhase::kEnd:
+          if (!stack.empty()) {
+            const TraceEvent* begin = stack.back();
+            stack.pop_back();
+            fold(begin->name, event.ts_ns - begin->ts_ns);
+          }
+          break;
+        case TracePhase::kComplete:
+          fold(event.name, event.dur_ns);
+          break;
+        case TracePhase::kInstant:
+          fold(event.name, 0);
+          break;
+      }
+    }
+  }
+
+  std::vector<std::pair<std::string, Row>> sorted(rows.begin(), rows.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ns > b.second.total_ns;
+  });
+
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-28s %10s %12s %12s\n", "span", "count",
+                "total_ms", "max_ms");
+  out += line;
+  for (const auto& [name, row] : sorted) {
+    std::snprintf(line, sizeof(line), "%-28s %10llu %12.3f %12.3f\n",
+                  name.c_str(), static_cast<unsigned long long>(row.count),
+                  static_cast<double>(row.total_ns) / 1e6,
+                  static_cast<double>(row.max_ns) / 1e6);
+    out += line;
+  }
+  return out;
+}
+
+bool WriteGlobalTrace(const std::string& path) {
+  const std::string json = TraceToChromeJson(Tracer::Global().Collect());
+  std::ofstream out(path);
+  if (!out) return false;
+  out << json;
+  out.close();
+  return static_cast<bool>(out);
+}
+
+}  // namespace gchase

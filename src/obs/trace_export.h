@@ -1,0 +1,33 @@
+#ifndef GCHASE_OBS_TRACE_EXPORT_H_
+#define GCHASE_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace gchase {
+
+/// Serializes collected events as a Chrome-trace / Perfetto JSON object:
+/// {"traceEvents": [...], "displayTimeUnit": "ms", "otherData": {...}}.
+/// Each event carries name/cat/ph/ts(µs)/pid/tid (plus dur for 'X' and
+/// args.arg when an argument was attached), so the file loads directly
+/// in chrome://tracing and ui.perfetto.dev. Drop counters are summed
+/// into otherData.dropped_events — a saturated trace says so instead of
+/// silently looking complete.
+std::string TraceToChromeJson(const std::vector<Tracer::ThreadEvents>& threads,
+                              uint32_t pid = 1);
+
+/// Compact terminal summary: one row per span name aggregated across
+/// threads (count, total wall, max), sorted by total time descending.
+/// B/E pairs are matched per thread; unclosed spans are ignored.
+std::string TraceFlameSummary(const std::vector<Tracer::ThreadEvents>& threads);
+
+/// Collects the global tracer's buffers and writes the Chrome-trace JSON
+/// to `path`. Returns false on I/O failure. Safe to call after an
+/// aborted run: collection reads whatever was published before the stop.
+bool WriteGlobalTrace(const std::string& path);
+
+}  // namespace gchase
+
+#endif  // GCHASE_OBS_TRACE_EXPORT_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/trace.h"
+
 namespace gchase {
 
 namespace {
@@ -46,6 +48,9 @@ void Instance::GrowDedup(std::size_t want) {
   std::size_t capacity = dedup_ids_.empty() ? 16 : dedup_ids_.size();
   while (want * 2 > capacity) capacity *= 2;
   if (capacity == dedup_ids_.size()) return;
+  // Span only inside the actual-grow branch: the early-outs above are
+  // the TryAdd fast path and must stay untraced.
+  GCHASE_TRACE_SPAN(TraceCategory::kStorage, "storage.grow_dedup", capacity);
   std::vector<uint64_t> old_hashes = std::move(dedup_hashes_);
   std::vector<AtomId> old_ids = std::move(dedup_ids_);
   dedup_hashes_.assign(capacity, 0);
@@ -143,6 +148,9 @@ uint32_t Instance::CountNulls() const {
 }
 
 void Instance::ReserveAdditional(uint64_t extra_atoms, uint64_t extra_terms) {
+  // The pre-round bulk rebuild of every index: arena, dedup table,
+  // position index. This is where round-boundary rebuild time goes.
+  GCHASE_TRACE_SPAN(TraceCategory::kStorage, "storage.reserve", extra_atoms);
   arena_.Reserve(arena_.size() + extra_terms);
   records_.reserve(records_.size() + extra_atoms);
   GrowDedup(records_.size() + extra_atoms);

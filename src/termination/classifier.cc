@@ -1,22 +1,28 @@
 #include "termination/classifier.h"
 
 #include "base/timer.h"
+#include "obs/trace.h"
 
 namespace gchase {
 
 StatusOr<ClassifierReport> ClassifyTermination(
     const RuleSet& rules, Vocabulary* vocabulary,
     const ClassifierOptions& options) {
+  GCHASE_TRACE_SPAN(TraceCategory::kDecider, "decider.classify", rules.size());
   ClassifierReport report;
   report.rule_class = rules.Classify();
 
   // The graph-based conditions are combinatorial on the rule set alone
   // (no chase), finish in microseconds, and run ungoverned.
   const Schema& schema = vocabulary->schema;
-  report.weakly_acyclic = CheckWeakAcyclicity(rules, schema).acyclic;
-  report.richly_acyclic = CheckRichAcyclicity(rules, schema).acyclic;
-  report.jointly_acyclic = CheckJointAcyclicity(rules, schema).acyclic;
-  report.sticky = CheckStickiness(rules, schema).sticky;
+  {
+    GCHASE_TRACE_SPAN(TraceCategory::kDecider, "decider.acyclicity",
+                      rules.size());
+    report.weakly_acyclic = CheckWeakAcyclicity(rules, schema).acyclic;
+    report.richly_acyclic = CheckRichAcyclicity(rules, schema).acyclic;
+    report.jointly_acyclic = CheckJointAcyclicity(rules, schema).acyclic;
+    report.sticky = CheckStickiness(rules, schema).sticky;
+  }
 
   // MFA chases the critical instance: governed, at most a quarter of the
   // classifier budget so the variant analyses always get a turn.
@@ -33,6 +39,8 @@ StatusOr<ClassifierReport> ClassifyTermination(
 
   auto analyze = [&](ChaseVariant variant, double budget_fraction,
                      VariantAnalysis* analysis) -> Status {
+    GCHASE_TRACE_SPAN(TraceCategory::kDecider, "decider.variant",
+                      static_cast<uint64_t>(variant));
     WallTimer timer;
     if (use_syntactic) {
       // Theorem 1: CT_o ∩ SL = RA ∩ SL and CT_so ∩ SL = WA ∩ SL.

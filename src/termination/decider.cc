@@ -4,6 +4,7 @@
 
 #include "base/timer.h"
 #include "model/printer.h"
+#include "obs/trace.h"
 
 namespace gchase {
 
@@ -32,8 +33,12 @@ StatusOr<DeciderResult> DecideTermination(const RuleSet& rules,
   CriticalInstanceOptions critical_options;
   critical_options.standard_database = options.standard_database;
   critical_options.excluded_constants = options.excluded_constants;
-  std::vector<Atom> database =
-      BuildCriticalInstance(rules, vocabulary, critical_options);
+  std::vector<Atom> database;
+  {
+    GCHASE_TRACE_SPAN(TraceCategory::kDecider, "decider.critical_instance",
+                      rules.size());
+    database = BuildCriticalInstance(rules, vocabulary, critical_options);
+  }
 
   ChaseOptions chase_options;
   chase_options.variant = variant;
@@ -52,6 +57,8 @@ StatusOr<DeciderResult> DecideTermination(const RuleSet& rules,
   PumpDetector detector(run, options.pump);
 
   DeciderResult result;
+  GCHASE_TRACE_SPAN(TraceCategory::kDecider, "decider.chase",
+                    static_cast<uint64_t>(variant));
   ChaseOutcome outcome = run.Execute([&](AtomId atom) {
     std::optional<PumpCertificate> certificate = detector.OnAtom(atom);
     if (certificate.has_value()) {
@@ -116,8 +123,11 @@ StatusOr<DeciderResult> DecideTerminationWithFallback(
   DeciderOptions exact = options;
   exact.deadline =
       Deadline::Earlier(options.deadline, options.deadline.Slice(0.75));
-  StatusOr<DeciderResult> first =
-      DecideTermination(rules, vocabulary, variant, exact);
+  StatusOr<DeciderResult> first = [&] {
+    GCHASE_TRACE_SPAN(TraceCategory::kDecider, "decider.exact",
+                      static_cast<uint64_t>(variant));
+    return DecideTermination(rules, vocabulary, variant, exact);
+  }();
   if (!first.ok()) return first;
   if (first->verdict != TerminationVerdict::kUnknown) return first;
   if (first->unknown.reason == StopReason::kCancelled) return first;
@@ -133,8 +143,11 @@ StatusOr<DeciderResult> DecideTerminationWithFallback(
   probe.max_hom_discoveries =
       std::min<uint64_t>(options.max_hom_discoveries, 1ull << 20);
   probe.max_join_work = std::min<uint64_t>(options.max_join_work, 1ull << 24);
-  StatusOr<DeciderResult> second =
-      DecideTermination(rules, vocabulary, variant, probe);
+  StatusOr<DeciderResult> second = [&] {
+    GCHASE_TRACE_SPAN(TraceCategory::kDecider, "decider.probe",
+                      static_cast<uint64_t>(variant));
+    return DecideTermination(rules, vocabulary, variant, probe);
+  }();
   if (!second.ok()) return second;
   second->phase = "probe";
   if (second->verdict == TerminationVerdict::kUnknown) {

@@ -1,5 +1,6 @@
 #include "termination/restricted_probe.h"
 
+#include "obs/trace.h"
 #include "termination/critical_instance.h"
 
 namespace gchase {
@@ -77,6 +78,7 @@ StatusOr<RestrictedProbeResult> ProbeRestrictedTermination(
   }
   std::vector<ChaseOutcome> outcomes(runs.size(), ChaseOutcome::kTerminated);
   auto execute = [&](uint64_t i) {
+    GCHASE_TRACE_SPAN(TraceCategory::kDecider, "decider.probe_round", i);
     outcomes[i] =
         RunOnce(rules, facts, options, runs[i].order, runs[i].seed);
   };

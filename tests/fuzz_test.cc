@@ -9,6 +9,7 @@
 #include "gtest/gtest.h"
 #include "model/parser.h"
 #include "model/printer.h"
+#include "obs/metrics.h"
 
 namespace gchase {
 namespace {
@@ -342,6 +343,38 @@ TEST(RunnerTest, CancelledCampaignStopsEarly) {
   FuzzReport report = RunFuzz(options);
   EXPECT_TRUE(report.stopped_early);
   EXPECT_EQ(report.trials_run, 0u);
+  // A campaign cancelled before any oracle ran must leave every counter
+  // at zero: cancelled evaluations are not evidence and never pollute
+  // the inconclusive tallies.
+  EXPECT_EQ(report.trials_started, 0u);
+  for (const OracleCounters& counters : report.per_oracle) {
+    EXPECT_EQ(counters.trials, 0u);
+    EXPECT_EQ(counters.inconclusive, 0u);
+  }
+  // The partial report still serializes and publishes cleanly — the CLI
+  // writes both on the SIGINT path.
+  const std::string json = FuzzReportToJson(options, report);
+  EXPECT_NE(json.find("\"trials_started\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"stopped_early\": true"), std::string::npos);
+  MetricsRegistry registry;
+  PublishFuzzMetrics(report, &registry);
+  EXPECT_EQ(registry.CounterValue("fuzz.trials_run"), 0u);
+  EXPECT_EQ(registry.GaugeValue("fuzz.stopped_early"), 1);
+}
+
+TEST(RunnerTest, PublishFuzzMetricsExportsPerOracleCounters) {
+  FuzzRunnerOptions options;
+  options.trials = 2;
+  options.oracles = {OracleId::kIoRoundTrip};
+  FuzzReport report = RunFuzz(options);
+  EXPECT_EQ(report.trials_started, report.trials_run);
+  MetricsRegistry registry;
+  PublishFuzzMetrics(report, &registry);
+  EXPECT_EQ(registry.CounterValue("fuzz.trials_run"), 2u);
+  EXPECT_EQ(registry.CounterValue("fuzz.oracle.io-round-trip.trials"), 2u);
+  EXPECT_NE(
+      registry.SnapshotJson().find("\"fuzz.oracle.io-round-trip.passes\""),
+      std::string::npos);
 }
 
 TEST(RunnerTest, JsonReportHasBenchShape) {

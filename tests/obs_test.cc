@@ -1,0 +1,475 @@
+// Tests for the observability subsystem (src/obs): the tracing core's
+// invariants (span nesting, category filtering, bounded buffers that
+// drop rather than corrupt), the Chrome-trace exporter's output shape,
+// the metrics registry, and the governor contract — an aborted run still
+// flushes everything it recorded. The concurrent test is also a TSan
+// target (see .github/workflows/ci.yml): eight workers record into the
+// tracer while the main thread collects.
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "base/thread_pool.h"
+#include "chase/chase.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "tests/test_util.h"
+
+namespace gchase {
+namespace {
+
+Tracer::Config ConfigFor(uint32_t categories,
+                         std::size_t capacity = std::size_t{1} << 14) {
+  Tracer::Config config;
+  config.categories = categories;
+  config.buffer_capacity = capacity;
+  return config;
+}
+
+/// All collected events flattened, in per-thread order.
+std::vector<TraceEvent> AllEvents() {
+  std::vector<TraceEvent> out;
+  for (const Tracer::ThreadEvents& thread : Tracer::Global().Collect()) {
+    out.insert(out.end(), thread.events.begin(), thread.events.end());
+  }
+  return out;
+}
+
+/// Walks one thread's events checking stack discipline: every 'E' closes
+/// the innermost open 'B' of the same name, timestamps never decrease,
+/// and no span is left open. Returns false (and fails the test) on any
+/// violation.
+void ExpectBalanced(const Tracer::ThreadEvents& thread) {
+  std::vector<const char*> stack;
+  uint64_t last_ts = 0;
+  for (const TraceEvent& event : thread.events) {
+    EXPECT_GE(event.ts_ns, last_ts) << "timestamps must be non-decreasing";
+    last_ts = event.ts_ns;
+    switch (event.phase) {
+      case TracePhase::kBegin:
+        stack.push_back(event.name);
+        break;
+      case TracePhase::kEnd:
+        ASSERT_FALSE(stack.empty()) << "E without matching B: " << event.name;
+        EXPECT_STREQ(stack.back(), event.name);
+        stack.pop_back();
+        break;
+      case TracePhase::kInstant:
+      case TracePhase::kComplete:
+        break;
+    }
+  }
+  EXPECT_TRUE(stack.empty()) << "unclosed spans remain";
+}
+
+// -------------------------------------------------------------------------
+// Category parsing.
+
+TEST(TraceCategoryTest, ParseSingleAndList) {
+  bool ok = false;
+  EXPECT_EQ(ParseTraceCategories("chase", &ok),
+            static_cast<uint32_t>(TraceCategory::kChase));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(ParseTraceCategories("chase,pool,decider", &ok),
+            (static_cast<uint32_t>(TraceCategory::kChase) |
+             static_cast<uint32_t>(TraceCategory::kPool) |
+             static_cast<uint32_t>(TraceCategory::kDecider)));
+  EXPECT_TRUE(ok);
+}
+
+TEST(TraceCategoryTest, EmptyListMeansEverything) {
+  bool ok = false;
+  EXPECT_EQ(ParseTraceCategories("", &ok), kAllTraceCategories);
+  EXPECT_TRUE(ok);
+}
+
+TEST(TraceCategoryTest, UnknownNameFails) {
+  bool ok = true;
+  EXPECT_EQ(ParseTraceCategories("chase,bogus", &ok), 0u);
+  EXPECT_FALSE(ok);
+}
+
+TEST(TraceCategoryTest, NamesRoundTrip) {
+  for (TraceCategory category :
+       {TraceCategory::kChase, TraceCategory::kPool, TraceCategory::kDecider,
+        TraceCategory::kStorage, TraceCategory::kFuzz}) {
+    bool ok = false;
+    EXPECT_EQ(ParseTraceCategories(TraceCategoryName(category), &ok),
+              static_cast<uint32_t>(category));
+    EXPECT_TRUE(ok);
+  }
+}
+
+// -------------------------------------------------------------------------
+// Tracing core.
+
+TEST(TracerTest, SpansNestAndOrder) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start(ConfigFor(kAllTraceCategories));
+  {
+    GCHASE_TRACE_SPAN(TraceCategory::kChase, "outer", 1);
+    {
+      GCHASE_TRACE_SPAN(TraceCategory::kChase, "inner", 2);
+      GCHASE_TRACE_INSTANT(TraceCategory::kChase, "tick", 3);
+    }
+  }
+  tracer.Stop();
+
+  std::vector<TraceEvent> events = AllEvents();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].phase, TracePhase::kBegin);
+  EXPECT_EQ(events[0].arg, 1u);
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].phase, TracePhase::kBegin);
+  EXPECT_STREQ(events[2].name, "tick");
+  EXPECT_EQ(events[2].phase, TracePhase::kInstant);
+  EXPECT_STREQ(events[3].name, "inner");
+  EXPECT_EQ(events[3].phase, TracePhase::kEnd);
+  EXPECT_STREQ(events[4].name, "outer");
+  EXPECT_EQ(events[4].phase, TracePhase::kEnd);
+  for (const Tracer::ThreadEvents& thread : tracer.Collect()) {
+    ExpectBalanced(thread);
+  }
+}
+
+TEST(TracerTest, CategoryFilteringDropsDisabledCategories) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start(ConfigFor(static_cast<uint32_t>(TraceCategory::kChase)));
+  EXPECT_TRUE(tracer.enabled(TraceCategory::kChase));
+  EXPECT_FALSE(tracer.enabled(TraceCategory::kPool));
+  {
+    GCHASE_TRACE_SPAN(TraceCategory::kChase, "kept");
+    GCHASE_TRACE_SPAN(TraceCategory::kPool, "filtered");
+    GCHASE_TRACE_INSTANT(TraceCategory::kStorage, "filtered_too", 0);
+  }
+  tracer.Stop();
+
+  std::vector<TraceEvent> events = AllEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "kept");
+  EXPECT_STREQ(events[1].name, "kept");
+  // Filtering is not dropping: nothing was lost, nothing is counted.
+  EXPECT_EQ(tracer.TotalDropped(), 0u);
+}
+
+TEST(TracerTest, SessionRestartDiscardsOldEvents) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start(ConfigFor(kAllTraceCategories));
+  GCHASE_TRACE_INSTANT(TraceCategory::kChase, "first_session", 0);
+  tracer.Start(ConfigFor(kAllTraceCategories));
+  GCHASE_TRACE_INSTANT(TraceCategory::kChase, "second_session", 0);
+  tracer.Stop();
+
+  std::vector<TraceEvent> events = AllEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "second_session");
+}
+
+TEST(TracerTest, OverflowDropsAndCountsWithoutCorruption) {
+  Tracer& tracer = Tracer::Global();
+  constexpr std::size_t kCapacity = 8;
+  tracer.Start(ConfigFor(kAllTraceCategories, kCapacity));
+  for (int i = 0; i < 100; ++i) {
+    GCHASE_TRACE_INSTANT(TraceCategory::kChase, "flood", i);
+  }
+  tracer.Stop();
+
+  std::vector<Tracer::ThreadEvents> threads = tracer.Collect();
+  ASSERT_EQ(threads.size(), 1u);
+  // Exactly the first kCapacity events made it; the rest were counted.
+  EXPECT_EQ(threads[0].events.size(), kCapacity);
+  EXPECT_EQ(threads[0].dropped, 100u - kCapacity);
+  EXPECT_EQ(tracer.TotalDropped(), 100u - kCapacity);
+  for (std::size_t i = 0; i < threads[0].events.size(); ++i) {
+    EXPECT_STREQ(threads[0].events[i].name, "flood");
+    EXPECT_EQ(threads[0].events[i].arg, i);
+  }
+}
+
+TEST(TracerTest, SaturatedSpansStillClose) {
+  Tracer& tracer = Tracer::Global();
+  constexpr std::size_t kCapacity = 4;
+  tracer.Start(ConfigFor(kAllTraceCategories, kCapacity));
+  // Open a span, saturate the buffer, then open more spans (dropped) and
+  // close everything. The reserved end slack guarantees the recorded
+  // span's end still lands, so the trace stays balanced.
+  {
+    GCHASE_TRACE_SPAN(TraceCategory::kChase, "recorded_span");
+    for (int i = 0; i < 50; ++i) {
+      GCHASE_TRACE_INSTANT(TraceCategory::kChase, "filler", i);
+    }
+    {
+      GCHASE_TRACE_SPAN(TraceCategory::kChase, "dropped_span");
+      GCHASE_TRACE_INSTANT(TraceCategory::kChase, "more", 0);
+    }
+  }
+  tracer.Stop();
+
+  std::vector<Tracer::ThreadEvents> threads = tracer.Collect();
+  ASSERT_EQ(threads.size(), 1u);
+  EXPECT_GT(threads[0].dropped, 0u);
+  ExpectBalanced(threads[0]);
+  // The outer span both began and ended despite saturation in between.
+  uint64_t begins = 0;
+  uint64_t ends = 0;
+  for (const TraceEvent& event : threads[0].events) {
+    if (std::string(event.name) != "recorded_span") continue;
+    if (event.phase == TracePhase::kBegin) ++begins;
+    if (event.phase == TracePhase::kEnd) ++ends;
+  }
+  EXPECT_EQ(begins, 1u);
+  EXPECT_EQ(ends, 1u);
+}
+
+TEST(TracerTest, CompleteEventsAreThresholdGated) {
+  Tracer& tracer = Tracer::Global();
+  Tracer::Config config = ConfigFor(kAllTraceCategories);
+  config.complete_threshold_ns = 1000;
+  tracer.Start(config);
+  tracer.RecordComplete(TraceCategory::kChase, "fast", 0, 999, 1);
+  tracer.RecordComplete(TraceCategory::kChase, "slow", 0, 1001, 2);
+  tracer.Stop();
+
+  std::vector<TraceEvent> events = AllEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "slow");
+  EXPECT_EQ(events[0].phase, TracePhase::kComplete);
+  EXPECT_EQ(events[0].dur_ns, 1001u);
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothingAndAllocatesNothing) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start(ConfigFor(kAllTraceCategories));
+  tracer.Stop();  // fresh empty session, then disabled
+
+  const uint64_t buffers_before = tracer.buffers_created();
+  for (int i = 0; i < 1000; ++i) {
+    GCHASE_TRACE_SPAN(TraceCategory::kChase, "noop", i);
+    GCHASE_TRACE_INSTANT(TraceCategory::kPool, "noop_instant", i);
+  }
+  // No category enabled: no events stored, no buffer ever allocated —
+  // the instrumentation cost was one relaxed load per site.
+  EXPECT_EQ(tracer.buffers_created(), buffers_before);
+  EXPECT_TRUE(AllEvents().empty());
+  EXPECT_EQ(tracer.TotalDropped(), 0u);
+}
+
+// Eight workers record spans and instants concurrently while the main
+// thread collects mid-flight; run under TSan in CI. Single-writer
+// buffers with release-publication make this race-free by construction.
+TEST(TracerTest, ConcurrentRecordingFromPoolWorkers) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start(ConfigFor(kAllTraceCategories));
+  std::atomic<uint64_t> work{0};
+  {
+    ThreadPool pool(8);
+    pool.ParallelFor(256, [&work](uint64_t i) {
+      GCHASE_TRACE_SPAN(TraceCategory::kChase, "unit", i);
+      GCHASE_TRACE_INSTANT(TraceCategory::kChase, "unit_tick", i);
+      work.fetch_add(i, std::memory_order_relaxed);
+      if (i == 128) {
+        // Concurrent collection: readers only see published prefixes.
+        (void)Tracer::Global().Collect();
+      }
+    });
+  }
+  tracer.Stop();
+  EXPECT_EQ(work.load(), uint64_t{256} * 255 / 2);
+
+  uint64_t units = 0;
+  for (const Tracer::ThreadEvents& thread : tracer.Collect()) {
+    ExpectBalanced(thread);
+    for (const TraceEvent& event : thread.events) {
+      if (std::string(event.name) == "unit" &&
+          event.phase == TracePhase::kBegin) {
+        ++units;
+      }
+    }
+  }
+  // Every unit recorded exactly once, whichever worker ran it (the pool
+  // instrumentation contributes pool.* events on top).
+  EXPECT_EQ(units, 256u);
+}
+
+// -------------------------------------------------------------------------
+// Exporter.
+
+TEST(TraceExportTest, ChromeJsonShapeAndBalance) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start(ConfigFor(kAllTraceCategories));
+  {
+    GCHASE_TRACE_SPAN(TraceCategory::kChase, "export_outer", 7);
+    GCHASE_TRACE_INSTANT(TraceCategory::kPool, "export_tick", 9);
+  }
+  tracer.RecordComplete(TraceCategory::kChase, "export_slow", 0, 1'000'000, 3);
+  tracer.Stop();
+
+  const std::string json = TraceToChromeJson(tracer.Collect());
+  // Structural sanity without a JSON parser: balanced braces/brackets
+  // (no exported string contains either — names are C identifiers) and
+  // the required top-level keys. CI's check_trace.py does the real parse.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"export_outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"chase\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"pool\""), std::string::npos);
+  // One B and one E for the span.
+  std::size_t begins = 0;
+  for (std::size_t pos = json.find("\"ph\": \"B\""); pos != std::string::npos;
+       pos = json.find("\"ph\": \"B\"", pos + 1)) {
+    ++begins;
+  }
+  std::size_t ends = 0;
+  for (std::size_t pos = json.find("\"ph\": \"E\""); pos != std::string::npos;
+       pos = json.find("\"ph\": \"E\"", pos + 1)) {
+    ++ends;
+  }
+  EXPECT_EQ(begins, ends);
+}
+
+TEST(TraceExportTest, FlameSummaryAggregatesSpans) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start(ConfigFor(kAllTraceCategories));
+  for (int i = 0; i < 3; ++i) {
+    GCHASE_TRACE_SPAN(TraceCategory::kChase, "summary_span", i);
+  }
+  tracer.Stop();
+
+  const std::string summary = TraceFlameSummary(tracer.Collect());
+  EXPECT_NE(summary.find("summary_span"), std::string::npos);
+  EXPECT_NE(summary.find("3"), std::string::npos);  // count column
+}
+
+TEST(TraceExportTest, SaturatedTraceReportsDrops) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start(ConfigFor(kAllTraceCategories, 2));
+  for (int i = 0; i < 10; ++i) {
+    GCHASE_TRACE_INSTANT(TraceCategory::kChase, "drop_me", i);
+  }
+  tracer.Stop();
+  const std::string json = TraceToChromeJson(tracer.Collect());
+  EXPECT_NE(json.find("\"dropped_events\": 8"), std::string::npos);
+}
+
+// -------------------------------------------------------------------------
+// Metrics registry.
+
+TEST(MetricsTest, CountersAndGauges) {
+  MetricsRegistry registry;
+  MetricCounter* counter = registry.Counter("test.counter");
+  ASSERT_NE(counter, nullptr);
+  counter->Increment();
+  counter->Add(41);
+  EXPECT_EQ(counter->value(), 42u);
+  // Find-or-create returns the same instance.
+  EXPECT_EQ(registry.Counter("test.counter"), counter);
+  EXPECT_EQ(registry.CounterValue("test.counter"), 42u);
+  EXPECT_EQ(registry.CounterValue("never.registered"), 0u);
+
+  MetricGauge* gauge = registry.Gauge("test.peak");
+  gauge->SetMax(10);
+  gauge->SetMax(5);  // lower value must not win
+  EXPECT_EQ(gauge->value(), 10);
+  gauge->Set(3);  // plain Set always wins
+  EXPECT_EQ(gauge->value(), 3);
+}
+
+TEST(MetricsTest, SnapshotJsonIsSortedAndIntegral) {
+  MetricsRegistry registry;
+  registry.Counter("b.second")->Add(2);
+  registry.Counter("a.first")->Add(1);
+  registry.Gauge("z.gauge")->Set(-7);
+  const std::string json = registry.SnapshotJson();
+  EXPECT_NE(json.find("\"a.first\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"b.second\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"z.gauge\": -7"), std::string::npos);
+  EXPECT_LT(json.find("a.first"), json.find("b.second"));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(MetricsTest, ResetZeroesValuesKeepsRegistrations) {
+  MetricsRegistry registry;
+  MetricCounter* counter = registry.Counter("test.reset");
+  counter->Add(5);
+  registry.Reset();
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_EQ(registry.Counter("test.reset"), counter);
+}
+
+TEST(MetricsTest, PublishChaseMetricsExportsParallelFields) {
+  ParsedProgram program = MustParse(
+      "p(X) -> q(X).\n"
+      "q(X) -> r(X).\n"
+      "p(a).\n");
+  ChaseOptions options;
+  ChaseRun run(program.rules, options, program.facts);
+  ASSERT_EQ(run.Execute(), ChaseOutcome::kTerminated);
+
+  MetricsRegistry registry;
+  PublishChaseMetrics(run.stats(), &registry);
+  EXPECT_EQ(registry.CounterValue("chase.runs"), 1u);
+  EXPECT_GT(registry.CounterValue("chase.rounds"), 0u);
+  EXPECT_GT(registry.CounterValue("chase.triggers_applied"), 0u);
+  EXPECT_GT(registry.GaugeValue("chase.peak_atoms"), 0);
+  const std::string json = registry.SnapshotJson();
+  // The previously-unserialized parallel-discovery fields surface here.
+  EXPECT_NE(json.find("\"chase.parallel_rounds\""), std::string::npos);
+  EXPECT_NE(json.find("\"chase.estimated_work\""), std::string::npos);
+  EXPECT_NE(json.find("\"chase.discovery_threads\""), std::string::npos);
+}
+
+// -------------------------------------------------------------------------
+// Governor contract: an injected abort still flushes trace and metrics.
+
+TEST(ObsGovernorTest, AbortedChaseStillFlushesTraceAndMetrics) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start(ConfigFor(kAllTraceCategories));
+
+  ParsedProgram program = MustParse("p(X) -> p(Y).\np(a).\n");
+  ChaseOptions options;
+  options.variant = ChaseVariant::kOblivious;
+  options.fault_injector = [](FaultSite site, uint64_t ordinal) {
+    return site == FaultSite::kTriggerApply && ordinal == 3
+               ? InjectedFault::kCancel
+               : InjectedFault::kNone;
+  };
+  ChaseRun run(program.rules, options, program.facts);
+  EXPECT_EQ(run.Execute(), ChaseOutcome::kCancelled);
+  tracer.Stop();
+
+  // Everything recorded before the abort is collectable and balanced —
+  // the cooperative stop unwound every open span on its way out.
+  bool saw_chase_round = false;
+  for (const Tracer::ThreadEvents& thread : tracer.Collect()) {
+    ExpectBalanced(thread);
+    for (const TraceEvent& event : thread.events) {
+      if (std::string(event.name) == "chase.round") saw_chase_round = true;
+    }
+  }
+  EXPECT_TRUE(saw_chase_round);
+
+  // The partial stats publish cleanly too.
+  MetricsRegistry registry;
+  PublishChaseMetrics(run.stats(), &registry);
+  EXPECT_EQ(registry.CounterValue("chase.triggers_applied"), 3u);
+  EXPECT_NE(registry.SnapshotJson().find("\"chase.rounds\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace gchase

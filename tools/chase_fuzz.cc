@@ -10,6 +10,8 @@
 //              [--total-deadline-ms=M] [--oracles=a,b,...]
 //              [--corpus-dir=DIR] [--json=FILE] [--profile=sl|l|g|mixed]
 //              [--no-shrink] [--verbose] [--list-oracles]
+//              [--trace=FILE] [--trace-categories=LIST]
+//              [--metrics-json=FILE]
 //     --trials=N            trials to run (default 100)
 //     --seed=S              campaign seed; same seed => bit-identical
 //                           campaign (default 1)
@@ -27,6 +29,14 @@
 //     --profile=P           rule-class mix: sl, l, g, or mixed (default)
 //     --no-shrink           report violations unminimized
 //     --verbose             per-trial progress on stderr
+//     --trace=FILE          Chrome-trace/Perfetto JSON of the campaign
+//                           (fuzz.trial / fuzz.oracle / fuzz.shrink spans
+//                           plus whatever chase/decider/pool categories
+//                           are enabled); flushed even on Ctrl-C
+//     --trace-categories=L  comma subset of chase,pool,decider,storage,
+//                           fuzz (default: all)
+//     --metrics-json=FILE   metrics registry snapshot (fuzz.* counters);
+//                           written even when the campaign stops early
 //
 // Exit codes: 0 all oracles passed, 1 usage/IO error, 2 violations
 // found, 3 campaign stopped early (total deadline / SIGINT) without
@@ -42,6 +52,9 @@
 #include <string>
 
 #include "fuzz/runner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 
 namespace {
 
@@ -64,6 +77,9 @@ int main(int argc, char** argv) {
   options.trials = 100;
   options.seed = 1;
   std::string json_path = "-";
+  std::string trace_path;
+  std::string metrics_path;
+  uint32_t trace_categories = kAllTraceCategories;
   uint64_t total_deadline_ms = 0;
   std::string profile = "mixed";
 
@@ -97,6 +113,20 @@ int main(int argc, char** argv) {
       options.corpus_dir = arg + 13;
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       json_path = arg + 7;
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      trace_path = arg + 8;
+    } else if (std::strncmp(arg, "--trace-categories=", 19) == 0) {
+      bool ok = true;
+      trace_categories = ParseTraceCategories(arg + 19, &ok);
+      if (!ok) {
+        std::fprintf(stderr,
+                     "unknown trace category in '%s' "
+                     "(known: chase,pool,decider,storage,fuzz)\n",
+                     arg + 19);
+        return 1;
+      }
+    } else if (std::strncmp(arg, "--metrics-json=", 15) == 0) {
+      metrics_path = arg + 15;
     } else if (std::strncmp(arg, "--profile=", 10) == 0) {
       profile = arg + 10;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
@@ -135,7 +165,35 @@ int main(int argc, char** argv) {
   options.cancel = g_cancel;
   std::signal(SIGINT, HandleSigint);
 
+  if (!trace_path.empty()) {
+    Tracer::Config trace_config;
+    trace_config.categories = trace_categories;
+    Tracer::Global().Start(trace_config);
+  }
+
   FuzzReport report = RunFuzz(options);
+
+  // Everything below runs on every exit path, including a SIGINT-cut
+  // campaign: RunFuzz stops cooperatively and returns the partial report,
+  // so the JSON, trace and metrics always cover what actually ran.
+  PublishFuzzMetrics(report);
+  if (!trace_path.empty()) {
+    Tracer::Global().Stop();
+    if (WriteGlobalTrace(trace_path)) {
+      std::fprintf(stderr, "%% trace written to %s\n%s", trace_path.c_str(),
+                   TraceFlameSummary(Tracer::Global().Collect()).c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_path.c_str());
+    }
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream metrics_out(metrics_path);
+    if (!metrics_out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    metrics_out << MetricsRegistry::Global().SnapshotJson() << "\n";
+  }
 
   const std::string json = FuzzReportToJson(options, report);
   if (json_path == "-") {
