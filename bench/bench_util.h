@@ -83,7 +83,9 @@ inline std::string ChaseStatsToJson(const ChaseStats& stats) {
     out += ", \"skipped_satisfied\": " + JsonNumber(rule.skipped_satisfied);
     out += "}";
   }
-  out += "], \"rounds\": [";
+  out += "], \"final_discovery_ms\": " +
+         JsonNumber(stats.final_discovery_seconds * 1e3);
+  out += ", \"rounds\": [";
   for (std::size_t i = 0; i < stats.per_round.size(); ++i) {
     if (i > 0) out += ", ";
     const RoundStats& round = stats.per_round[i];
@@ -94,6 +96,8 @@ inline std::string ChaseStatsToJson(const ChaseStats& stats) {
     out += ", \"apply_ms\": " + JsonNumber(round.apply_seconds * 1e3);
     out += ", \"round_ms\": " + JsonNumber(round.total_seconds * 1e3);
     out += ", \"estimated_work\": " + JsonNumber(round.estimated_work);
+    out += ", \"batched_triggers\": " + JsonNumber(round.batched_triggers);
+    out += ", \"batch_blocks\": " + JsonNumber(round.batch_blocks);
     out += ", \"parallel\": ";
     out += round.parallel_discovery ? "true" : "false";
     out += "}";

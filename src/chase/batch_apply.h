@@ -1,0 +1,79 @@
+#ifndef GCHASE_CHASE_BATCH_APPLY_H_
+#define GCHASE_CHASE_BATCH_APPLY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "model/atom.h"
+
+namespace gchase {
+
+class Instance;
+
+/// Columnar staging block for set-at-a-time rule application.
+///
+/// The apply phase substitutes each pending trigger's head atoms directly
+/// into this scratch buffer — terms land in one flat array, exactly like
+/// a TermArena, with no per-atom `Atom` heap allocation — and the whole
+/// block is then deduped into the store via `Instance::TryAddBatch`.
+///
+/// Rows are grouped into segments of equal (predicate, arity): an Append
+/// whose shape matches the previous row extends the current segment, so a
+/// run of same-rule triggers (the common case after round ordering) lands
+/// in one segment and flushes as one bulk call. Mixed-shape heads degrade
+/// gracefully into shorter segments. Segments flush in staging order, so
+/// atom ids come out exactly as if each head atom had been inserted
+/// one TryAdd at a time.
+///
+/// The block is reused across flushes and rounds; Clear() keeps capacity.
+class HeadBlock {
+ public:
+  /// Reserves a row of `arity` terms for one head atom of `pred` and
+  /// returns the slot to write its ground arguments into. The pointer is
+  /// invalidated by the next Append — write immediately.
+  Term* Append(PredicateId pred, uint32_t arity) {
+    if (segments_.empty() || segments_.back().predicate != pred ||
+        segments_.back().arity != arity) {
+      segments_.push_back(
+          Segment{pred, arity, static_cast<uint32_t>(terms_.size()), 0});
+    }
+    ++segments_.back().rows;
+    ++atoms_;
+    const std::size_t offset = terms_.size();
+    terms_.resize(offset + arity);
+    return terms_.data() + offset;
+  }
+
+  /// Dedups and appends every staged row into `instance`, in staging
+  /// order (one TryAddBatch per segment). Returns the number of segments
+  /// flushed. Does not Clear() — the caller decides when to reuse.
+  uint32_t FlushInto(Instance* instance) const;
+
+  uint32_t atoms() const { return atoms_; }
+  uint32_t segments() const { return static_cast<uint32_t>(segments_.size()); }
+  bool empty() const { return atoms_ == 0; }
+
+  void Clear() {
+    segments_.clear();
+    terms_.clear();
+    atoms_ = 0;
+  }
+
+ private:
+  /// A maximal run of staged rows sharing one (predicate, arity) shape.
+  struct Segment {
+    PredicateId predicate = 0;
+    uint32_t arity = 0;
+    uint32_t offset = 0;  ///< First term of the run in terms_.
+    uint32_t rows = 0;
+  };
+
+  std::vector<Segment> segments_;
+  std::vector<Term> terms_;
+  uint32_t atoms_ = 0;
+};
+
+}  // namespace gchase
+
+#endif  // GCHASE_CHASE_BATCH_APPLY_H_

@@ -72,6 +72,12 @@ ChaseRun::ChaseRun(const RuleSet& rules, ChaseOptions options,
     stats_.discovery_threads =
         std::min(stats_.discovery_threads, options_.executor->worker_count());
   }
+  // Pre-size for the whole database load (as the apply phase does per
+  // round): a large EDB would otherwise rehash the dedup table and
+  // position index repeatedly mid-seed.
+  uint64_t seed_terms = 0;
+  for (const Atom& atom : database) seed_terms += atom.arity();
+  instance_.ReserveAdditional(database.size(), seed_terms);
   for (const Atom& atom : database) {
     auto [id, inserted] = instance_.Insert(atom);
     if (inserted && options_.track_provenance) {
@@ -98,11 +104,59 @@ std::vector<uint32_t> ChaseRun::TriggerKey(uint32_t rule_index,
   return key;
 }
 
-bool ChaseRun::HeadSatisfied(const Tgd& rule, const Binding& binding) const {
-  Binding frontier_binding(rule.num_variables(), UnboundTerm());
-  for (VarId v : rule.frontier()) frontier_binding[v] = binding[v];
+ChaseRun::HeadCheck ChaseRun::CheckHeadSatisfied(const Tgd& rule,
+                                                 const Binding& binding,
+                                                 ChaseOutcome* outcome) {
+  // Cooperative checkpoint at the check boundary: a run that is out of
+  // budget stops *before* starting a potentially pathological search, and
+  // tests can abort deterministically inside the check phase.
+  if (GovernorStop(FaultSite::kHeadCheck, head_checks_++, outcome)) {
+    return HeadCheck::kStopped;
+  }
+  if (rule.existential_variables().empty()) {
+    // Ground fast path: a full rule's head instantiates completely under
+    // the body binding (head variables are all frontier), so satisfaction
+    // is one dedup probe per head atom — no join search. Each probe
+    // counts as one join-work visit.
+    for (const Atom& head : rule.head()) {
+      head_scratch_.clear();
+      for (Term t : head.args) {
+        head_scratch_.push_back(t.IsVariable() ? binding[t.index()] : t);
+      }
+      ++join_work_;
+      if (!instance_.ContainsTerms(head.predicate, head_scratch_.data(),
+                                   head.arity())) {
+        return HeadCheck::kUnsatisfied;
+      }
+    }
+    return HeadCheck::kSatisfied;
+  }
+  frontier_scratch_.assign(rule.num_variables(), UnboundTerm());
+  for (VarId v : rule.frontier()) frontier_scratch_[v] = binding[v];
   HomomorphismFinder finder(instance_);
-  return finder.Exists(rule.head(), rule.num_variables(), frontier_binding);
+  HomSearchOptions search;
+  search.max_candidate_visits = options_.max_join_work > join_work_
+                                    ? options_.max_join_work - join_work_
+                                    : 0;
+  search.visits = &join_work_;
+  bool budget_exhausted = false;
+  bool governor_tripped = false;
+  search.budget_exhausted = &budget_exhausted;
+  search.governor = &governor_;
+  search.governor_tripped = &governor_tripped;
+  if (finder.ExistsWithOptions(rule.head(), rule.num_variables(), search,
+                               frontier_scratch_)) {
+    return HeadCheck::kSatisfied;
+  }
+  if (governor_tripped) {
+    *outcome = OutcomeOf(governor_.Check());
+    return HeadCheck::kStopped;
+  }
+  if (budget_exhausted) {
+    *outcome = ChaseOutcome::kResourceLimit;
+    return HeadCheck::kStopped;
+  }
+  return HeadCheck::kUnsatisfied;
 }
 
 bool ChaseRun::ApplyTrigger(uint32_t rule_index, const Binding& binding,
@@ -528,14 +582,19 @@ ChaseOutcome ChaseRun::Execute(const AtomObserver& observer) {
       // applying it would skew restricted-chase order semantics — drop it
       // and surface the abort with the instance and stats as they stand.
       // (Like a final empty discovery pass, an aborted one has no
-      // per-round entry.)
+      // per-round entry; its wall time goes to final_discovery_seconds.)
+      stats_.final_discovery_seconds += discovery_seconds;
       UpdateStatsPeaks();
       return stop_outcome;
     }
     if (pending.empty()) {
       // A capped discovery may have dropped homomorphisms that will not
       // be re-found (their atoms are no longer delta): the run is
-      // incomplete, not terminated.
+      // incomplete, not terminated. The pass has no per-round entry, but
+      // its wall time and index peaks are real — account them here, or
+      // discovery totals undercount by one pass per run.
+      stats_.final_discovery_seconds += discovery_seconds;
+      UpdateStatsPeaks();
       return discovery_capped ? ChaseOutcome::kResourceLimit
                               : ChaseOutcome::kTerminated;
     }
@@ -588,54 +647,69 @@ ChaseOutcome ChaseRun::Execute(const AtomObserver& observer) {
 
     // Apply in the chosen order (always serial: application mutates the
     // instance, and restricted-chase semantics depend on the order).
+    // Set-at-a-time batch execution handles the common case; the
+    // per-trigger loop remains for observer and provenance runs, which
+    // need per-atom insertion hooks. Both paths are bit-identical —
+    // same atoms, ids, counters and abort points (pinned by the fuzz
+    // oracles) — so this is purely an execution-strategy choice.
     phase_timer.Restart();
     const uint64_t applied_before = applied_triggers_;
     GCHASE_TRACE_SPAN(TraceCategory::kChase, "chase.apply", rounds_ - 1);
-    // Per-rule application timing is threshold-gated: spans are recorded
-    // retroactively (phase 'X') only for triggers slower than the
-    // tracer's threshold, so a healthy run pays two clock reads per
-    // trigger when tracing is on and a single mask load when it is off.
-    Tracer& tracer = Tracer::Global();
-    const bool trace_triggers = tracer.enabled(TraceCategory::kChase);
-    for (const PendingTrigger& trigger : pending) {
-      // Per-trigger checkpoint: the apply phase stops between triggers,
-      // never mid-application, so provenance and dedup state stay
-      // consistent in the partial result.
-      if (GovernorStop(FaultSite::kTriggerApply, applied_triggers_,
-                       &outcome)) {
-        round.applied = applied_triggers_ - applied_before;
-        round.apply_seconds = phase_timer.ElapsedSeconds();
-        round.total_seconds = round_timer.ElapsedSeconds();
-        UpdateStatsPeaks();
-        return outcome;
-      }
-      const uint64_t trigger_start_ns = trace_triggers ? tracer.NowNs() : 0;
-      const Tgd& rule = rules_.rule(trigger.rule);
-      if (options_.variant == ChaseVariant::kRestricted &&
-          HeadSatisfied(rule, trigger.binding)) {
-        ++stats_.per_rule[trigger.rule].skipped_satisfied;
-        continue;  // Satisfied triggers are skipped, permanently (monotone).
-      }
-      const bool applied =
-          ApplyTrigger(trigger.rule, trigger.binding, observer, &outcome);
-      if (trace_triggers) {
-        const uint64_t now_ns = tracer.NowNs();
-        tracer.RecordComplete(TraceCategory::kChase, "chase.apply_rule",
-                              trigger_start_ns, now_ns - trigger_start_ns,
-                              trigger.rule);
-      }
-      if (!applied) {
-        round.applied = applied_triggers_ - applied_before;
-        round.apply_seconds = phase_timer.ElapsedSeconds();
-        round.total_seconds = round_timer.ElapsedSeconds();
-        UpdateStatsPeaks();
-        return outcome;
+    const bool use_batch = options_.batch_apply && observer == nullptr &&
+                           !options_.track_provenance;
+    bool apply_ok = true;
+    if (use_batch) {
+      apply_ok = ApplyPendingBatch(pending, &round, &outcome);
+    } else {
+      // Per-rule application timing is threshold-gated: spans are
+      // recorded retroactively (phase 'X') only for triggers slower than
+      // the tracer's threshold, so a healthy run pays two clock reads per
+      // trigger when tracing is on and a single mask load when it is off.
+      Tracer& tracer = Tracer::Global();
+      const bool trace_triggers = tracer.enabled(TraceCategory::kChase);
+      for (const PendingTrigger& trigger : pending) {
+        // Per-trigger checkpoint: the apply phase stops between triggers,
+        // never mid-application, so provenance and dedup state stay
+        // consistent in the partial result.
+        if (GovernorStop(FaultSite::kTriggerApply, applied_triggers_,
+                         &outcome)) {
+          apply_ok = false;
+          break;
+        }
+        const uint64_t trigger_start_ns = trace_triggers ? tracer.NowNs() : 0;
+        const Tgd& rule = rules_.rule(trigger.rule);
+        if (options_.variant == ChaseVariant::kRestricted) {
+          const HeadCheck check =
+              CheckHeadSatisfied(rule, trigger.binding, &outcome);
+          if (check == HeadCheck::kStopped) {
+            apply_ok = false;
+            break;
+          }
+          if (check == HeadCheck::kSatisfied) {
+            ++stats_.per_rule[trigger.rule].skipped_satisfied;
+            continue;  // Satisfied triggers are skipped, permanently
+                       // (monotone).
+          }
+        }
+        const bool applied =
+            ApplyTrigger(trigger.rule, trigger.binding, observer, &outcome);
+        if (trace_triggers) {
+          const uint64_t now_ns = tracer.NowNs();
+          tracer.RecordComplete(TraceCategory::kChase, "chase.apply_rule",
+                                trigger_start_ns, now_ns - trigger_start_ns,
+                                trigger.rule);
+        }
+        if (!applied) {
+          apply_ok = false;
+          break;
+        }
       }
     }
     round.applied = applied_triggers_ - applied_before;
     round.apply_seconds = phase_timer.ElapsedSeconds();
     round.total_seconds = round_timer.ElapsedSeconds();
     UpdateStatsPeaks();
+    if (!apply_ok) return outcome;
     if (discovery_capped) return ChaseOutcome::kResourceLimit;
     watermark = frontier_end;
   }
@@ -673,6 +747,7 @@ void PublishChaseMetrics(const ChaseStats& stats, MetricsRegistry* registry) {
   sink.Counter("chase.triggers_skipped_satisfied")->Add(skipped);
   uint64_t estimated_work = 0;
   uint64_t discovery_us = 0, apply_us = 0, round_us = 0;
+  uint64_t batched_triggers = 0, batch_blocks = 0;
   constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
   for (const RoundStats& round : stats.per_round) {
     estimated_work = round.estimated_work > kMax - estimated_work
@@ -681,11 +756,19 @@ void PublishChaseMetrics(const ChaseStats& stats, MetricsRegistry* registry) {
     discovery_us += static_cast<uint64_t>(round.discovery_seconds * 1e6);
     apply_us += static_cast<uint64_t>(round.apply_seconds * 1e6);
     round_us += static_cast<uint64_t>(round.total_seconds * 1e6);
+    batched_triggers += round.batched_triggers;
+    batch_blocks += round.batch_blocks;
   }
+  // The terminal pass has no per-round entry but its discovery time is
+  // real — fold it in, or chase.discovery_us undercounts every run by one
+  // pass.
+  discovery_us += static_cast<uint64_t>(stats.final_discovery_seconds * 1e6);
   sink.Counter("chase.estimated_work")->Add(estimated_work);
   sink.Counter("chase.discovery_us")->Add(discovery_us);
   sink.Counter("chase.apply_us")->Add(apply_us);
   sink.Counter("chase.round_us")->Add(round_us);
+  sink.Counter("chase.batched_triggers")->Add(batched_triggers);
+  sink.Counter("chase.batch_blocks")->Add(batch_blocks);
   sink.Gauge("chase.discovery_threads")
       ->SetMax(static_cast<int64_t>(stats.discovery_threads));
   sink.Gauge("chase.peak_atoms")
@@ -699,25 +782,76 @@ void PublishChaseMetrics(const ChaseStats& stats, MetricsRegistry* registry) {
 }
 
 bool IsModelOf(const Instance& instance, const RuleSet& rules) {
+  // An ungoverned governor never trips and the budget is infinite, so the
+  // verdict is always conclusive.
+  const RunGovernor ungoverned;
+  return IsModelOfGoverned(instance, rules, ungoverned).value_or(false);
+}
+
+std::optional<bool> IsModelOfGoverned(const Instance& instance,
+                                      const RuleSet& rules,
+                                      const RunGovernor& governor,
+                                      uint64_t max_join_work,
+                                      uint64_t* join_work) {
   HomomorphismFinder finder(instance);
+  uint64_t visits = 0;
+  bool violated = false;
+  bool inconclusive = false;
   for (const Tgd& rule : rules.rules()) {
-    bool violated = false;
-    finder.FindAll(rule.body(), rule.num_variables(),
-                   [&](const Binding& binding) {
-                     Binding frontier_binding(rule.num_variables(),
-                                              UnboundTerm());
-                     for (VarId v : rule.frontier()) {
-                       frontier_binding[v] = binding[v];
-                     }
-                     if (!finder.Exists(rule.head(), rule.num_variables(),
-                                        frontier_binding)) {
-                       violated = true;
-                       return false;
-                     }
-                     return true;
-                   });
-    if (violated) return false;
+    // Per-rule checkpoint: the in-search polls fire only every ~1k
+    // candidate visits, so a small instance could otherwise run a whole
+    // check to a verdict under an already-tripped governor.
+    if (governor.Check() != GovernorState::kOk) {
+      inconclusive = true;
+      break;
+    }
+    HomSearchOptions body_search;
+    body_search.max_candidate_visits =
+        max_join_work > visits ? max_join_work - visits : 0;
+    body_search.visits = &visits;
+    bool body_exhausted = false;
+    bool body_tripped = false;
+    body_search.budget_exhausted = &body_exhausted;
+    body_search.governor = &governor;
+    body_search.governor_tripped = &body_tripped;
+    finder.FindAllWithOptions(
+        rule.body(), rule.num_variables(), body_search, Binding(),
+        [&](const Binding& binding) {
+          Binding frontier_binding(rule.num_variables(), UnboundTerm());
+          for (VarId v : rule.frontier()) {
+            frontier_binding[v] = binding[v];
+          }
+          // The budget is shared across all searches of the check; the
+          // body search's in-flight visits are only folded into `visits`
+          // when it finishes, so the head slice is an upper bound — fine
+          // for a budget, which bounds work, not a bit-exact count.
+          HomSearchOptions head_search;
+          head_search.max_candidate_visits =
+              max_join_work > visits ? max_join_work - visits : 0;
+          head_search.visits = &visits;
+          bool head_exhausted = false;
+          bool head_tripped = false;
+          head_search.budget_exhausted = &head_exhausted;
+          head_search.governor = &governor;
+          head_search.governor_tripped = &head_tripped;
+          if (finder.ExistsWithOptions(rule.head(), rule.num_variables(),
+                                       head_search, frontier_binding)) {
+            return true;
+          }
+          if (head_tripped || head_exhausted) {
+            inconclusive = true;
+            return false;
+          }
+          violated = true;
+          return false;
+        });
+    if (body_tripped || body_exhausted) inconclusive = true;
+    if (violated || inconclusive) break;
   }
+  if (join_work != nullptr) *join_work += visits;
+  // A violation found before any trip is conclusive regardless.
+  if (violated) return false;
+  if (inconclusive) return std::nullopt;
   return true;
 }
 

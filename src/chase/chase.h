@@ -5,11 +5,13 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <unordered_set>
 #include <vector>
 
 #include "base/governor.h"
 #include "base/thread_pool.h"
+#include "chase/batch_apply.h"
 #include "model/tgd.h"
 #include "storage/homomorphism.h"
 #include "storage/instance.h"
@@ -49,6 +51,10 @@ enum class FaultSite {
   kDiscovery,     ///< Ordinal: the (rule, pivot) discovery-unit index
                   ///< within the round, in serial enumeration order.
   kTriggerApply,  ///< Ordinal: triggers applied so far in the run.
+  kHeadCheck,     ///< Ordinal: restricted-chase head-satisfaction checks
+                  ///< performed so far in the run. Sits at the entry of
+                  ///< every satisfaction check, so tests can abort a run
+                  ///< deterministically *inside* the check phase.
 };
 
 /// What a fault injector forces at a checkpoint.
@@ -115,6 +121,14 @@ struct ChaseOptions {
   /// Record per-atom and per-trigger provenance (costs memory; required by
   /// the termination deciders' pump detection).
   bool track_provenance = false;
+  /// Set-at-a-time trigger application (the default). Head atoms of a
+  /// round's pending triggers are materialized into a columnar scratch
+  /// block and bulk-deduped into the store — no per-atom heap allocation.
+  /// The per-trigger path remains for observer and provenance runs (which
+  /// need per-atom insertion hooks) and as the differential baseline;
+  /// both paths produce bit-identical instances, atom ids and counters
+  /// (pinned by the fuzz oracles). Turn off to force per-trigger apply.
+  bool batch_apply = true;
   /// Wall-clock budget for the run. Checked cooperatively (round starts,
   /// discovery units, join-search visits, trigger applications); expiry
   /// surfaces as ChaseOutcome::kDeadlineExceeded with the partial
@@ -213,6 +227,14 @@ struct RoundStats {
   double total_seconds = 0.0;
   uint64_t estimated_work = 0;     ///< Join-work estimate driving cutover.
   bool parallel_discovery = false; ///< Round ran the parallel engine.
+  /// Triggers applied through the set-at-a-time executor this round (0 on
+  /// per-trigger rounds; equals `applied` on batch rounds).
+  uint64_t batched_triggers = 0;
+  /// Bulk segments flushed into the store this round. One per maximal run
+  /// of same-shape head atoms: a whole (semi-)oblivious round of a
+  /// single-head rule is one block; restricted rounds flush before every
+  /// satisfaction check and so count one block per applied trigger.
+  uint64_t batch_blocks = 0;
 };
 
 /// Observability counters for one chase execution. Collection is always
@@ -227,6 +249,11 @@ struct ChaseStats {
   uint64_t peak_dedup_keys = 0;              ///< Applied trigger keys.
   uint32_t discovery_threads = 1;            ///< Effective worker count.
   uint64_t parallel_rounds = 0;              ///< Rounds using the pool.
+  /// Wall time of terminal discovery passes that produced no per-round
+  /// entry — the empty pass that proves termination, or an aborted one.
+  /// Kept separate from per_round so round timings still sum to round
+  /// activity; total discovery time is the per-round sum plus this.
+  double final_discovery_seconds = 0.0;
 };
 
 /// A single chase execution. Construct, Execute() once, then inspect.
@@ -280,13 +307,35 @@ class ChaseRun {
     Binding binding;
   };
 
-  /// True if the rule head, under the frontier part of `binding`, already
-  /// maps into the instance (restricted-chase satisfaction check).
-  bool HeadSatisfied(const Tgd& rule, const Binding& binding) const;
+  /// Outcome of one restricted-chase head-satisfaction check.
+  enum class HeadCheck {
+    kSatisfied,    ///< The head already maps into the instance.
+    kUnsatisfied,  ///< It does not; the trigger must fire.
+    kStopped,      ///< Governor/injector tripped or the join budget ran
+                   ///< out mid-check; *outcome carries the abort outcome.
+  };
+
+  /// Governed head-satisfaction check: true iff the rule head, under the
+  /// frontier part of `binding`, already maps into the instance. Shared
+  /// by the batch and per-trigger paths so join-work accounting and abort
+  /// points are identical. Checkpoints at FaultSite::kHeadCheck on entry
+  /// and threads the governor + join budget into the search; full rules
+  /// take a ground fast path (one dedup probe per head atom, counted as
+  /// one join-work visit each).
+  HeadCheck CheckHeadSatisfied(const Tgd& rule, const Binding& binding,
+                               ChaseOutcome* outcome);
 
   /// Applies one trigger; returns false if a resource cap was hit.
   bool ApplyTrigger(uint32_t rule_index, const Binding& binding,
                     const AtomObserver& observer, ChaseOutcome* outcome);
+
+  /// Set-at-a-time application of a round's pending triggers (defined in
+  /// batch_apply.cc; see HeadBlock). Semantically bit-identical to the
+  /// per-trigger loop: same checkpoints, same cap trip points, same atom
+  /// ids, same counters. Returns false when the run must stop, with
+  /// *outcome set; staged atoms are always flushed before returning.
+  bool ApplyPendingBatch(const std::vector<PendingTrigger>& pending,
+                         RoundStats* round, ChaseOutcome* outcome);
 
   /// True if the run must stop here: consults the fault injector (when
   /// set) and then the governor, writing the abort outcome to *outcome.
@@ -357,6 +406,14 @@ class ChaseRun {
   uint64_t rounds_ = 0;
   uint64_t hom_discoveries_ = 0;
   uint64_t join_work_ = 0;
+  /// Head-satisfaction checks performed (the kHeadCheck fault ordinal).
+  uint64_t head_checks_ = 0;
+  /// Reused scratch: the apply phase and head checks run allocation-free
+  /// once these have warmed to the run's working sizes.
+  Binding extended_scratch_;
+  Binding frontier_scratch_;
+  std::vector<Term> head_scratch_;
+  HeadBlock batch_block_;
   /// Next labeled-null id. 64-bit so the max_nulls comparison cannot wrap
   /// (a 32-bit counter would silently recycle ids past 2^32).
   uint64_t next_null_ = 0;
@@ -395,6 +452,17 @@ void PublishChaseMetrics(const ChaseStats& stats,
 /// Checks that `instance` satisfies every rule (every body homomorphism
 /// extends to a head homomorphism). A terminated chase must satisfy this.
 bool IsModelOf(const Instance& instance, const RuleSet& rules);
+
+/// Governed IsModelOf: every body enumeration and head check runs under
+/// `governor` checkpoints and a shared visit budget, so a pathological
+/// model check cannot outlive a deadline. Returns nullopt when the
+/// governor tripped or `max_join_work` ran out before a verdict (a
+/// violation found before the trip is still conclusive). Accumulates the
+/// visits performed into *join_work when non-null.
+std::optional<bool> IsModelOfGoverned(
+    const Instance& instance, const RuleSet& rules, const RunGovernor& governor,
+    uint64_t max_join_work = std::numeric_limits<uint64_t>::max(),
+    uint64_t* join_work = nullptr);
 
 }  // namespace gchase
 

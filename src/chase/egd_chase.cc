@@ -220,13 +220,24 @@ EgdChaseResult RunStandardChaseWithEgds(const RuleSet& rules,
       for (const Binding& binding : bindings) {
         if (governed_stop()) return result;
         // Restricted semantics: skip satisfied triggers (checked against
-        // the *current* instance).
+        // the *current* instance). The check runs governed like every
+        // other search in this loop — a pathological head join must not
+        // outlive the deadline — and a tripped check is inconclusive, so
+        // the trigger must not fire.
         Binding frontier(rule.num_variables(), UnboundTerm());
         for (VarId v : rule.frontier()) frontier[v] = binding[v];
         HomomorphismFinder finder(result.instance);
-        if (finder.Exists(rule.head(), rule.num_variables(), frontier)) {
-          continue;
+        bool head_tripped = false;
+        HomSearchOptions head_search;
+        head_search.governor = &governor;
+        head_search.governor_tripped = &head_tripped;
+        const bool satisfied = finder.ExistsWithOptions(
+            rule.head(), rule.num_variables(), head_search, frontier);
+        if (head_tripped) {
+          governed_stop();
+          return result;
         }
+        if (satisfied) continue;
         // Cap checks come before any mutation — a capped step inserts
         // nothing (never a partial head) — and each reports which cap
         // fired. The null check compares headroom, never the sum (the sum

@@ -151,6 +151,100 @@ std::optional<bool> MapsInto(const Instance& from, const Instance& to,
   return false;
 }
 
+/// Differential twin for the set-at-a-time executor: runs `chase_options`
+/// once with batch apply and once per-trigger, and demands the two runs
+/// be bit-identical — same outcome, same counters (modulo the batch-only
+/// RoundStats fields and wall times), same per-rule and per-round stats,
+/// same instance atom for atom, id for id. Returns a non-empty diff
+/// description on mismatch, "" when identical (or when a wall-clock abort
+/// made the pair incomparable — deterministic abort regimes are pinned by
+/// the fault-injection tests instead).
+std::string BatchTwinDiff(const FuzzCase& fuzz_case,
+                          ChaseOptions chase_options) {
+  chase_options.batch_apply = true;
+  ChaseResult batch =
+      RunChase(fuzz_case.rules, chase_options, fuzz_case.database);
+  chase_options.batch_apply = false;
+  ChaseResult single =
+      RunChase(fuzz_case.rules, chase_options, fuzz_case.database);
+  if (Aborted(batch.outcome) || Aborted(single.outcome)) return "";
+  if (batch.outcome != single.outcome) {
+    return std::string("outcome ") + ChaseOutcomeName(batch.outcome) +
+           " vs " + ChaseOutcomeName(single.outcome);
+  }
+  if (batch.applied_triggers != single.applied_triggers ||
+      batch.rounds != single.rounds ||
+      batch.nulls_created != single.nulls_created ||
+      batch.hom_discoveries != single.hom_discoveries ||
+      batch.join_work != single.join_work) {
+    return "run counters differ (applied " +
+           std::to_string(batch.applied_triggers) + " vs " +
+           std::to_string(single.applied_triggers) + ", rounds " +
+           std::to_string(batch.rounds) + " vs " +
+           std::to_string(single.rounds) + ", nulls " +
+           std::to_string(batch.nulls_created) + " vs " +
+           std::to_string(single.nulls_created) + ", homs " +
+           std::to_string(batch.hom_discoveries) + " vs " +
+           std::to_string(single.hom_discoveries) + ", join work " +
+           std::to_string(batch.join_work) + " vs " +
+           std::to_string(single.join_work) + ")";
+  }
+  for (std::size_t r = 0; r < batch.stats.per_rule.size(); ++r) {
+    const RuleStats& a = batch.stats.per_rule[r];
+    const RuleStats& b = single.stats.per_rule[r];
+    if (a.discovered != b.discovered || a.applied != b.applied ||
+        a.skipped_satisfied != b.skipped_satisfied) {
+      return "per-rule stats differ at rule " + std::to_string(r);
+    }
+  }
+  if (batch.stats.per_round.size() != single.stats.per_round.size()) {
+    return "per-round stats lengths differ";
+  }
+  for (std::size_t r = 0; r < batch.stats.per_round.size(); ++r) {
+    const RoundStats& a = batch.stats.per_round[r];
+    const RoundStats& b = single.stats.per_round[r];
+    if (a.delta_atoms != b.delta_atoms || a.candidates != b.candidates ||
+        a.applied != b.applied) {
+      return "per-round stats differ at round " + std::to_string(r);
+    }
+  }
+  std::string why;
+  if (!InstancesIdentical(batch.instance, single.instance, &why)) return why;
+  return "";
+}
+
+/// BatchTwinDiff across cap regimes: uncapped (well, the oracle's ambient
+/// caps) plus regimes tightened around the base run's own footprint so a
+/// cap provably binds mid-run — the step cap, the atom cap and the null
+/// cap each get a twin pair. Cap trips are where the batch path's flush
+/// bookkeeping is subtlest, so they get explicit coverage.
+std::string BatchTwinDiffAllRegimes(const FuzzCase& fuzz_case,
+                                    const ChaseOptions& chase_options,
+                                    const ChaseResult& base) {
+  std::string diff = BatchTwinDiff(fuzz_case, chase_options);
+  if (!diff.empty()) return "uncapped: " + diff;
+  if (base.applied_triggers > 1) {
+    ChaseOptions tight = chase_options;
+    tight.max_steps = base.applied_triggers / 2;
+    diff = BatchTwinDiff(fuzz_case, tight);
+    if (!diff.empty()) return "step-capped: " + diff;
+  }
+  if (base.instance.size() > static_cast<uint32_t>(fuzz_case.database.size())) {
+    ChaseOptions tight = chase_options;
+    tight.max_atoms =
+        (fuzz_case.database.size() + base.instance.size()) / 2;
+    diff = BatchTwinDiff(fuzz_case, tight);
+    if (!diff.empty()) return "atom-capped: " + diff;
+  }
+  if (base.nulls_created > 1) {
+    ChaseOptions tight = chase_options;
+    tight.max_nulls = base.nulls_created / 2;
+    diff = BatchTwinDiff(fuzz_case, tight);
+    if (!diff.empty()) return "null-capped: " + diff;
+  }
+  return "";
+}
+
 // ---------------------------------------------------------------------------
 // Oracle 1: CT_o ⊆ CT_so, at the concrete database and at the decider.
 // ---------------------------------------------------------------------------
@@ -367,6 +461,18 @@ OracleResult CheckParallelDeterminism(const FuzzCase& fuzz_case,
   if (Aborted(base.outcome)) {
     return Inconclusive("serial run aborted by governor");
   }
+  // The serial engine itself has two execution strategies now: batch
+  // (set-at-a-time) and per-trigger apply. Pin their bit-identity here,
+  // across cap regimes, before comparing thread counts — a parallel run
+  // compared against a drifting serial baseline proves nothing.
+  const std::string batch_diff =
+      BatchTwinDiffAllRegimes(fuzz_case, serial, base);
+  if (!batch_diff.empty()) {
+    return Violation(
+        "batch apply is not bit-identical to per-trigger apply (serial, "
+        "restricted): " +
+        batch_diff);
+  }
   for (uint32_t threads : options.thread_counts) {
     ChaseOptions parallel = serial;
     parallel.discovery_threads = threads;
@@ -485,6 +591,28 @@ OracleResult CheckOrderEquivalence(const FuzzCase& fuzz_case,
     // A capped run is no universal model; nothing to compare for it
     // (order-sensitive termination is expected — see the restricted
     // probe — so this is not a violation).
+  }
+
+  // Batch-vs-per-trigger bit-identity across the full (variant, order)
+  // grid. Restricted is the order-sensitive — and flush-sensitive — case;
+  // (semi-)oblivious rounds batch whole rounds and are covered for the
+  // segmented-flush and contiguous-null-range behavior.
+  for (ChaseVariant variant :
+       {ChaseVariant::kOblivious, ChaseVariant::kSemiOblivious,
+        ChaseVariant::kRestricted}) {
+    for (const OrderRun& run : orders) {
+      ChaseOptions chase_options = BoundedOptions(variant, options);
+      chase_options.order = run.order;
+      chase_options.order_seed =
+          SplitMix64(fuzz_case.seed ^ SplitMix64(fuzz_case.trial));
+      const std::string diff = BatchTwinDiff(fuzz_case, chase_options);
+      if (!diff.empty()) {
+        return Violation(std::string("batch apply is not bit-identical to "
+                                     "per-trigger apply (") +
+                         ChaseVariantName(variant) + ", order " + run.name +
+                         "): " + diff);
+      }
+    }
   }
 
   RunGovernor governor(options.deadline, options.cancel);

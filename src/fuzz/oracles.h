@@ -35,7 +35,10 @@ enum class OracleId : uint32_t {
   kSyntacticVsDecider = 2,
   /// Engine metamorphic: parallel trigger discovery is bit-identical to
   /// serial at every thread count (same outcome, same trigger sequence,
-  /// same instance, atom by atom).
+  /// same instance, atom by atom). Also pins the serial baseline itself:
+  /// batch (set-at-a-time) apply must be bit-identical to per-trigger
+  /// apply, uncapped and under step/atom/null cap regimes tightened
+  /// around the base run's own footprint.
   kParallelDeterminism = 3,
   /// Engine metamorphic: a chase result round-trips through storage/io
   /// (write → parse → atom-for-atom correspondence, nulls mapped to
@@ -43,7 +46,9 @@ enum class OracleId : uint32_t {
   kIoRoundTrip = 4,
   /// Engine metamorphic: restricted-chase results under different fair
   /// trigger orders are homomorphically equivalent whenever both orders
-  /// terminate (each result is a universal model of (Σ, D)).
+  /// terminate (each result is a universal model of (Σ, D)). Also pins
+  /// batch-vs-per-trigger bit-identity across the full variant × order
+  /// grid (counters, per-rule/per-round stats, instance ids).
   kOrderEquivalence = 5,
 };
 

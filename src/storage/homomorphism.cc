@@ -187,8 +187,15 @@ void HomomorphismFinder::FindAllWithOptions(
 std::optional<Binding> HomomorphismFinder::FindOne(
     const std::vector<Atom>& conjunction, uint32_t num_variables,
     const Binding& initial) const {
+  return FindOneWithOptions(conjunction, num_variables, HomSearchOptions{},
+                            initial);
+}
+
+std::optional<Binding> HomomorphismFinder::FindOneWithOptions(
+    const std::vector<Atom>& conjunction, uint32_t num_variables,
+    const HomSearchOptions& options, const Binding& initial) const {
   std::optional<Binding> result;
-  FindAllWithOptions(conjunction, num_variables, HomSearchOptions{}, initial,
+  FindAllWithOptions(conjunction, num_variables, options, initial,
                      [&result](const Binding& binding) {
                        result = binding;
                        return false;  // Stop after the first match.

@@ -98,10 +98,32 @@ class HomomorphismFinder {
                                  uint32_t num_variables,
                                  const Binding& initial = Binding()) const;
 
+  /// FindOne under full search options: visit budget, visit accounting
+  /// and governor checkpoints apply exactly as in FindAllWithOptions. A
+  /// nullopt result is conclusive only if neither `budget_exhausted` nor
+  /// `governor_tripped` was set.
+  std::optional<Binding> FindOneWithOptions(const std::vector<Atom>& conjunction,
+                                            uint32_t num_variables,
+                                            const HomSearchOptions& options,
+                                            const Binding& initial) const;
+
   /// True if some homomorphism exists (boolean CQ evaluation).
   bool Exists(const std::vector<Atom>& conjunction, uint32_t num_variables,
               const Binding& initial = Binding()) const {
     return FindOne(conjunction, num_variables, initial).has_value();
+  }
+
+  /// Exists under full search options — every engine-side satisfaction
+  /// check goes through this so deadlines, cancellation and join-work
+  /// accounting reach into the search (a bare Exists has no cooperative
+  /// checkpoint and can outlive its run's deadline). A false result is
+  /// conclusive only if neither out-flag was set.
+  bool ExistsWithOptions(const std::vector<Atom>& conjunction,
+                         uint32_t num_variables,
+                         const HomSearchOptions& options,
+                         const Binding& initial) const {
+    return FindOneWithOptions(conjunction, num_variables, options, initial)
+        .has_value();
   }
 
  private:

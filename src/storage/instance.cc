@@ -67,42 +67,80 @@ void Instance::GrowDedup(std::size_t want) {
 
 std::pair<AtomId, bool> Instance::TryAdd(const Atom& atom) {
   GCHASE_CHECK_MSG(atom.IsGround(), "instances hold ground atoms only");
-  const uint32_t arity = atom.arity();
-  const uint64_t hash = HashAtomTerms(atom.predicate, atom.args.data(), arity);
-  GrowDedup(records_.size() + 1);
-  const std::size_t slot =
-      DedupSlotFor(hash, atom.predicate, atom.args.data(), arity);
-  if (dedup_ids_[slot] != kEmptySlot) return {dedup_ids_[slot], false};
+  return TryAddTerms(atom.predicate, atom.args.data(), atom.arity());
+}
 
+std::pair<AtomId, bool> Instance::TryAddTerms(PredicateId pred,
+                                              const Term* args,
+                                              uint32_t arity) {
+  const uint64_t hash = HashAtomTerms(pred, args, arity);
+  GrowDedup(records_.size() + 1);
+  const std::size_t slot = DedupSlotFor(hash, pred, args, arity);
+  if (dedup_ids_[slot] != kEmptySlot) return {dedup_ids_[slot], false};
+  return {AppendRow(pred, args, arity, hash, slot), true};
+}
+
+AtomId Instance::AppendRow(PredicateId pred, const Term* args, uint32_t arity,
+                           uint64_t hash, std::size_t slot) {
   const AtomId id = static_cast<AtomId>(records_.size());
   GCHASE_CHECK(id != kEmptySlot);
-  const uint32_t offset = arena_.Append(atom.args.data(), arity);
-  records_.push_back(AtomRecord{atom.predicate, offset, arity});
+  const uint32_t offset = arena_.Append(args, arity);
+  records_.push_back(AtomRecord{pred, offset, arity});
   dedup_hashes_[slot] = hash;
   dedup_ids_[slot] = id;
 
-  if (atom.predicate >= by_predicate_.size()) {
-    by_predicate_.resize(atom.predicate + 1);
+  if (pred >= by_predicate_.size()) {
+    by_predicate_.resize(pred + 1);
   }
-  by_predicate_[atom.predicate].push_back(id);
+  by_predicate_[pred].push_back(id);
   for (uint32_t pos = 0; pos < arity; ++pos) {
     bool inserted = false;
     const uint32_t posting_slot = position_index_.FindOrInsert(
-        PositionKey(atom.predicate, pos, atom.args[pos]),
+        PositionKey(pred, pos, args[pos]),
         static_cast<uint32_t>(postings_.size()), &inserted);
     if (inserted) postings_.emplace_back();
     postings_[posting_slot].push_back(id);
     ++position_entries_;
   }
-  return {id, true};
+  return id;
+}
+
+uint32_t Instance::TryAddBatch(PredicateId pred, const Term* terms,
+                               uint32_t arity, uint32_t n) {
+  if (n == 0) return 0;
+  // One exact-sized growth pass for the whole block: the per-row loop
+  // below never rehashes or reallocates, so a round's worth of head
+  // atoms dedups at streaming speed. Duplicate rows merely leave the
+  // reserved slack unused.
+  GrowDedup(records_.size() + n);
+  arena_.Reserve(arena_.size() + static_cast<std::size_t>(arity) * n);
+  records_.reserve(records_.size() + n);
+  // Worst case every argument position of every row opens a fresh index
+  // key; reserving here keeps the per-row loop rehash-free end to end.
+  position_index_.Reserve(position_index_.size() +
+                          static_cast<std::size_t>(arity) * n);
+  postings_.reserve(postings_.size() + static_cast<std::size_t>(arity) * n);
+  uint32_t added = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const Term* args = terms + static_cast<std::size_t>(i) * arity;
+    const uint64_t hash = HashAtomTerms(pred, args, arity);
+    const std::size_t slot = DedupSlotFor(hash, pred, args, arity);
+    if (dedup_ids_[slot] != kEmptySlot) continue;
+    AppendRow(pred, args, arity, hash, slot);
+    ++added;
+  }
+  return added;
 }
 
 std::optional<AtomId> Instance::Find(const Atom& atom) const {
+  return FindTerms(atom.predicate, atom.args.data(), atom.arity());
+}
+
+std::optional<AtomId> Instance::FindTerms(PredicateId pred, const Term* args,
+                                          uint32_t arity) const {
   if (dedup_ids_.empty()) return std::nullopt;
-  const uint32_t arity = atom.arity();
-  const uint64_t hash = HashAtomTerms(atom.predicate, atom.args.data(), arity);
-  const std::size_t slot =
-      DedupSlotFor(hash, atom.predicate, atom.args.data(), arity);
+  const uint64_t hash = HashAtomTerms(pred, args, arity);
+  const std::size_t slot = DedupSlotFor(hash, pred, args, arity);
   if (dedup_ids_[slot] == kEmptySlot) return std::nullopt;
   return dedup_ids_[slot];
 }

@@ -48,6 +48,23 @@ class Instance {
   /// insert, so a Contains-then-Add sequence should be a single TryAdd.
   std::pair<AtomId, bool> TryAdd(const Atom& atom);
 
+  /// Allocation-free TryAdd over raw storage: `args` points at `arity`
+  /// ground terms (any contiguous buffer; it need not outlive the call,
+  /// but must not alias this instance's own arena — insertion may
+  /// reallocate it). Same dedup/id semantics as TryAdd(Atom).
+  std::pair<AtomId, bool> TryAddTerms(PredicateId pred, const Term* args,
+                                      uint32_t arity);
+
+  /// Bulk insert of `n` same-shape atoms: `terms` holds n*arity ground
+  /// terms, row-major (atom i's arguments at terms + i*arity). All
+  /// structures are pre-sized exactly once up front, then rows are
+  /// deduped and appended in order — duplicate rows (within the block or
+  /// against the store) are skipped, and surviving rows get contiguous
+  /// append-ordered ids, exactly as if inserted one TryAdd at a time.
+  /// Returns the number of rows actually added.
+  uint32_t TryAddBatch(PredicateId pred, const Term* terms, uint32_t arity,
+                       uint32_t n);
+
   /// Synonym for TryAdd (the historical name).
   std::pair<AtomId, bool> Insert(const Atom& atom) { return TryAdd(atom); }
 
@@ -55,6 +72,13 @@ class Instance {
 
   /// Returns the id of `atom` if present.
   std::optional<AtomId> Find(const Atom& atom) const;
+
+  /// Allocation-free Find/Contains over raw storage.
+  std::optional<AtomId> FindTerms(PredicateId pred, const Term* args,
+                                  uint32_t arity) const;
+  bool ContainsTerms(PredicateId pred, const Term* args, uint32_t arity) const {
+    return FindTerms(pred, args, arity).has_value();
+  }
 
   /// Borrowed view of the atom; invalidated by the next insertion.
   AtomView atom(AtomId id) const {
@@ -157,6 +181,11 @@ class Instance {
   /// non-empty table.
   std::size_t DedupSlotFor(uint64_t hash, PredicateId pred, const Term* args,
                            uint32_t arity) const;
+
+  /// Unconditionally appends a row known to be absent, with `slot` its
+  /// free dedup slot (from DedupSlotFor after a miss). Returns the new id.
+  AtomId AppendRow(PredicateId pred, const Term* args, uint32_t arity,
+                   uint64_t hash, std::size_t slot);
 
   /// Grows the dedup table so `want` entries fit under the load cap.
   void GrowDedup(std::size_t want);

@@ -182,5 +182,30 @@ TEST(EgdChaseTest, AgreesWithRestrictedEngineWithoutEgds) {
   }
 }
 
+TEST(EgdGovernedHeadCheckTest, AdversarialHeadCheckHonorsDeadline) {
+  // The restricted TGD pass inside the EGD engine checks trigger
+  // satisfaction with a head-homomorphism search; before that search was
+  // governed, a short deadline could not stop a pathological head join.
+  // Odd-cycle head over a bidirected bipartite graph: no match exists,
+  // so the ungoverned search would exhaust ~n^5 candidates.
+  std::string text =
+      "go(X) -> e(Y1,Y2), e(Y2,Y3), e(Y3,Y4), e(Y4,Y5), e(Y5,Y1).\n";
+  text += "go(a).\n";
+  for (uint32_t i = 0; i < 12; ++i) {
+    for (uint32_t j = 0; j < 12; ++j) {
+      text += "e(u" + std::to_string(i) + ", v" + std::to_string(j) + ").\n";
+      text += "e(v" + std::to_string(j) + ", u" + std::to_string(i) + ").\n";
+    }
+  }
+  ParsedProgram program = MustParse(text);
+  EgdChaseOptions options;
+  options.deadline = Deadline::AfterMillis(1);
+  EgdChaseResult result = RunStandardChaseWithEgds(
+      program.rules, program.egds, options, program.facts);
+  EXPECT_EQ(result.outcome, EgdChaseOutcome::kDeadlineExceeded);
+  // A tripped check is inconclusive: the trigger must not have fired.
+  EXPECT_EQ(result.tgd_applications, 0u);
+}
+
 }  // namespace
 }  // namespace gchase
