@@ -74,6 +74,11 @@ inline std::string ChaseStatsToJson(const ChaseStats& stats) {
   out += ", \"position_index_entries\": " +
          JsonNumber(stats.peak_position_index_entries);
   out += ", \"dedup_keys\": " + JsonNumber(stats.peak_dedup_keys);
+  out += "}, \"memory\": {";
+  out += "\"peak_bytes\": " + JsonNumber(stats.peak_memory_bytes);
+  out += ", \"in_use_bytes\": " + JsonNumber(stats.memory_in_use_bytes);
+  out += ", \"budget_bytes\": " + JsonNumber(stats.memory_budget_bytes);
+  out += ", \"denials\": " + JsonNumber(stats.memory_denials);
   out += "}, \"rules\": [";
   for (std::size_t r = 0; r < stats.per_rule.size(); ++r) {
     if (r > 0) out += ", ";

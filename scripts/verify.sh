@@ -68,11 +68,35 @@ run_tier() {
   fi
 }
 
+oom_smoke() {
+  # Memory-governance smoke: a diverging chase under an 8 MiB byte budget
+  # must stop with exit code 6 (kMemoryBudgetExceeded), keep its peak
+  # within 10% of the budget, and still emit the full stats JSON.
+  local code=0
+  ./build/tools/chase_cli examples/rules/diverging_chain.dlgp \
+    oblivious 100000000 --max-memory-mb=8 --stats > build/oom-stats.json ||
+    code=$?
+  if [[ "$code" != 6 ]]; then
+    echo "oom smoke: expected exit code 6, got $code" >&2
+    return 1
+  fi
+  python3 - <<'EOF'
+import json
+stats = json.load(open("build/oom-stats.json"))
+budget = stats["memory"]["budget_bytes"]
+peak = stats["memory"]["peak_bytes"]
+assert budget == 8 * 1024 * 1024, budget
+assert 0 < peak <= budget * 1.1, (peak, budget)
+assert stats["rounds"], "no per-round stats in the partial result"
+EOF
+}
+
 tier1() {
-  # Tier 1: everything, sanitizer-free.
+  # Tier 1: everything, sanitizer-free, plus the OOM degradation smoke.
   cmake --preset default &&
   cmake --build --preset default -j"$(nproc)" &&
-  ctest --preset default -j"$(nproc)"
+  ctest --preset default -j"$(nproc)" &&
+  oom_smoke
 }
 
 tier_tsan() {
@@ -82,9 +106,9 @@ tier_tsan() {
   cmake --preset tsan &&
   cmake --build build-tsan -j"$(nproc)" \
     --target chase_test chase_limits_test chase_parallel_test governor_test \
-             obs_test &&
+             obs_test memory_budget_test &&
   (cd build-tsan && ctest -j"$(nproc)" \
-    -R 'ParallelDiscovery|ChaseStats|NullCap|RandomOrderSeeding|ChaseTest|ChaseLimits|Governor|Deadline|Cancellation|FaultInjection|Tracer|ObsGovernor')
+    -R 'ParallelDiscovery|ChaseStats|NullCap|RandomOrderSeeding|ChaseTest|ChaseLimits|Governor|Deadline|Cancellation|FaultInjection|Tracer|ObsGovernor|ThreadPool|MemoryBudget|InstanceBudget|ChaseMemory')
 }
 
 tier_asan() {
@@ -95,9 +119,10 @@ tier_asan() {
   # per-test TIMEOUT).
   cmake --preset asan &&
   cmake --build build-asan -j"$(nproc)" \
-    --target governor_test egd_test chase_limits_test decider_test &&
+    --target governor_test egd_test chase_limits_test decider_test \
+             memory_budget_test &&
   (cd build-asan && ctest -j"$(nproc)" \
-    -R 'Governor|Deadline|Cancellation|FaultInjection|Egd|ChaseLimits|Decider')
+    -R 'Governor|Deadline|Cancellation|FaultInjection|Egd|ChaseLimits|Decider|MemoryBudget|InstanceBudget|ChaseMemory')
 }
 
 tier_perf() {

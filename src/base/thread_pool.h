@@ -6,9 +6,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/trace.h"
@@ -44,6 +46,13 @@ namespace gchase {
 ///
 /// Concurrent `ParallelFor` calls from different external threads
 /// serialize on an internal job lock.
+///
+/// Exceptions: a throw from `fn` on any worker is captured, the job
+/// drains (other workers skip their remaining units), and the first
+/// exception is rethrown on the thread that called `ParallelFor`. A
+/// helper thread therefore never dies to an escaped exception — without
+/// this, a std::bad_alloc in a discovery unit would std::terminate the
+/// process instead of degrading to a memory-budget stop.
 class ThreadPool {
  public:
   explicit ThreadPool(uint32_t workers)
@@ -77,6 +86,7 @@ class ThreadPool {
                    const std::function<void(uint64_t)>& fn) {
     if (num_units == 0) return;
     if (workers_ <= 1 || in_pool_task_) {
+      // Serial fast path: a throw propagates naturally to the caller.
       for (uint64_t u = 0; u < num_units; ++u) fn(u);
       return;
     }
@@ -105,11 +115,25 @@ class ThreadPool {
     // The caller ran dry; wait for workers still executing their last
     // chunk. The release sequence on remaining_ makes all their unit
     // writes visible here.
-    std::unique_lock<std::mutex> lock(done_mutex_);
-    done_cv_.wait(lock, [this]() {
-      return remaining_.load(std::memory_order_acquire) == 0;
-    });
+    {
+      std::unique_lock<std::mutex> lock(done_mutex_);
+      done_cv_.wait(lock, [this]() {
+        return remaining_.load(std::memory_order_acquire) == 0;
+      });
+    }
     job_fn_.store(nullptr, std::memory_order_release);
+    // Rethrow a worker-captured exception on the submitting thread, after
+    // the job fully drained (every chunk accounted, no straggler still
+    // touching fn or the caller's captures).
+    if (job_failed_.load(std::memory_order_acquire)) {
+      std::exception_ptr error;
+      {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        error = std::exchange(job_error_, nullptr);
+      }
+      job_failed_.store(false, std::memory_order_release);
+      if (error != nullptr) std::rethrow_exception(error);
+    }
   }
 
  private:
@@ -183,7 +207,22 @@ class ThreadPool {
       {
         GCHASE_TRACE_SPAN(TraceCategory::kPool, "pool.run",
                           chunk.end - chunk.begin);
-        for (uint64_t u = chunk.begin; u < chunk.end; ++u) (*fn)(u);
+        // A failed job still drains: remaining units are claimed and
+        // skipped (cheap flag check per chunk) so remaining_ reaches 0
+        // and the submitting thread can wake up and rethrow.
+        if (!job_failed_.load(std::memory_order_relaxed)) {
+          try {
+            for (uint64_t u = chunk.begin; u < chunk.end; ++u) {
+              (*fn)(u);
+            }
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex_);
+            if (job_error_ == nullptr) {
+              job_error_ = std::current_exception();
+            }
+            job_failed_.store(true, std::memory_order_release);
+          }
+        }
       }
       const uint64_t len = chunk.end - chunk.begin;
       if (remaining_.fetch_sub(len, std::memory_order_acq_rel) == len) {
@@ -228,6 +267,13 @@ class ThreadPool {
 
   std::mutex done_mutex_;
   std::condition_variable done_cv_;
+
+  /// First exception thrown by the current job's fn, rethrown by
+  /// ParallelFor on the submitting thread. job_failed_ doubles as the
+  /// cheap per-chunk "stop doing work" flag while the job drains.
+  std::atomic<bool> job_failed_{false};
+  std::mutex error_mutex_;
+  std::exception_ptr job_error_;
 
   inline static thread_local bool in_pool_task_ = false;
 };

@@ -91,6 +91,13 @@ bool ChaseRun::ApplyPendingBatch(const std::vector<PendingTrigger>& pending,
       *outcome = ChaseOutcome::kResourceLimit;
       return false;
     }
+    // Storage-growth checkpoint, ordinal-identical to ApplyTrigger's.
+    // Flushing first keeps the partial instance the exact prefix the
+    // per-trigger path would leave at this ordinal.
+    if (AllocationStop(0, outcome)) {
+      flush();
+      return false;
+    }
     ++applied_triggers_;
     ++stats_.per_rule[trigger.rule].applied;
     ++round->batched_triggers;

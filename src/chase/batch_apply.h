@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/memory_budget.h"
 #include "model/atom.h"
 
 namespace gchase {
@@ -29,6 +30,13 @@ class Instance;
 /// The block is reused across flushes and rounds; Clear() keeps capacity.
 class HeadBlock {
  public:
+  HeadBlock() = default;
+  HeadBlock(const HeadBlock&) = delete;
+  HeadBlock& operator=(const HeadBlock&) = delete;
+  ~HeadBlock() {
+    if (budget_ != nullptr) budget_->Release(charged_bytes_);
+  }
+
   /// Reserves a row of `arity` terms for one head atom of `pred` and
   /// returns the slot to write its ground arguments into. The pointer is
   /// invalidated by the next Append — write immediately.
@@ -42,6 +50,7 @@ class HeadBlock {
     ++atoms_;
     const std::size_t offset = terms_.size();
     terms_.resize(offset + arity);
+    TrackGrowth();
     return terms_.data() + offset;
   }
 
@@ -60,7 +69,38 @@ class HeadBlock {
     atoms_ = 0;
   }
 
+  /// Bytes of heap capacity currently retained by the staging buffers.
+  /// Clear() keeps capacity, so this is a high-water figure by design.
+  uint64_t capacity_bytes() const {
+    return segments_.capacity() * sizeof(Segment) +
+           terms_.capacity() * sizeof(Term);
+  }
+
+  /// Attaches (or detaches, with nullptr) a budget to charge the staging
+  /// buffers' retained capacity to. Charges the current capacity
+  /// immediately and every later growth as it happens; the outstanding
+  /// charge is released on re-attach or destruction. The budget must
+  /// outlive the block.
+  void SetMemoryBudget(MemoryBudget* budget) {
+    if (budget_ != nullptr) budget_->Release(charged_bytes_);
+    budget_ = budget;
+    charged_bytes_ = 0;
+    TrackGrowth();
+  }
+
  private:
+  /// Charges any capacity growth since the last call to the attached
+  /// budget. Capacity never shrinks (Clear() retains it), so the charge
+  /// only ratchets up.
+  void TrackGrowth() {
+    if (budget_ == nullptr) return;
+    const uint64_t now = capacity_bytes();
+    if (now > charged_bytes_) {
+      budget_->Charge(now - charged_bytes_);
+      charged_bytes_ = now;
+    }
+  }
+
   /// A maximal run of staged rows sharing one (predicate, arity) shape.
   struct Segment {
     PredicateId predicate = 0;
@@ -72,6 +112,8 @@ class HeadBlock {
   std::vector<Segment> segments_;
   std::vector<Term> terms_;
   uint32_t atoms_ = 0;
+  MemoryBudget* budget_ = nullptr;
+  uint64_t charged_bytes_ = 0;
 };
 
 }  // namespace gchase

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <limits>
+#include <new>
 #include <utility>
 
 #include "base/hash.h"
@@ -37,6 +38,8 @@ const char* ChaseOutcomeName(ChaseOutcome outcome) {
       return "deadline-exceeded";
     case ChaseOutcome::kCancelled:
       return "cancelled";
+    case ChaseOutcome::kMemoryBudgetExceeded:
+      return "memory-budget-exceeded";
   }
   return "?";
 }
@@ -47,11 +50,20 @@ ChaseOutcome OutcomeOf(GovernorState state) {
   switch (state) {
     case GovernorState::kCancelled:
       return ChaseOutcome::kCancelled;
+    case GovernorState::kMemoryBudgetExceeded:
+      return ChaseOutcome::kMemoryBudgetExceeded;
     case GovernorState::kDeadlineExceeded:
     case GovernorState::kOk:  // unreachable for a tripped governor
       break;
   }
   return ChaseOutcome::kDeadlineExceeded;
+}
+
+/// The budget a run charges: the caller-shared one when provided, else a
+/// private budget built from max_memory_bytes (unlimited when 0).
+std::shared_ptr<MemoryBudget> EffectiveBudget(const ChaseOptions& options) {
+  if (options.memory_budget != nullptr) return options.memory_budget;
+  return std::make_shared<MemoryBudget>(options.max_memory_bytes);
 }
 
 }  // namespace
@@ -65,7 +77,16 @@ ChaseRun::ChaseRun(const RuleSet& rules, ChaseOptions options,
                    const std::vector<Atom>& database)
     : rules_(rules),
       options_(std::move(options)),
-      governor_(options_.deadline, options_.cancel) {
+      memory_budget_(EffectiveBudget(options_)),
+      governor_(options_.deadline, options_.cancel, memory_budget_.get()) {
+  // Attach the budget before any storage grows so the seed load is
+  // charged too. The seed reserve itself is not checkpointed — a budget
+  // too small for the database trips at the first round start, with the
+  // seeded instance intact.
+  instance_.SetMemoryBudget(memory_budget_.get());
+  batch_block_.SetMemoryBudget(memory_budget_.get());
+  stats_.memory_budget_bytes =
+      memory_budget_->limited() ? memory_budget_->hard_limit_bytes() : 0;
   stats_.per_rule.assign(rules_.size(), RuleStats{});
   stats_.discovery_threads = std::max<uint32_t>(1, options_.discovery_threads);
   if (options_.executor != nullptr) {
@@ -178,6 +199,13 @@ bool ChaseRun::ApplyTrigger(uint32_t rule_index, const Binding& binding,
     *outcome = ChaseOutcome::kResourceLimit;
     return false;
   }
+  // Storage-growth checkpoint before this trigger materializes its head.
+  // Projected bytes are 0 — the round's bulk reserve already pre-sized
+  // for every pending head — but the level check still trips once
+  // steady-state growth (posting lists, arena doublings past the
+  // estimate) crosses the budget. Ordinal-identical to the batch path's
+  // checkpoint.
+  if (AllocationStop(0, outcome)) return false;
   ++applied_triggers_;
   ++stats_.per_rule[rule_index].applied;
 
@@ -271,12 +299,29 @@ bool ChaseRun::GovernorStop(FaultSite site, uint64_t ordinal,
       case InjectedFault::kResourceLimit:
         *outcome = ChaseOutcome::kResourceLimit;
         return true;
+      case InjectedFault::kMemoryBudget:
+        *outcome = ChaseOutcome::kMemoryBudgetExceeded;
+        return true;
     }
   }
   const GovernorState state = governor_.Check();
   if (state == GovernorState::kOk) return false;
   *outcome = OutcomeOf(state);
   return true;
+}
+
+bool ChaseRun::AllocationStop(uint64_t projected_bytes, ChaseOutcome* outcome) {
+  if (GovernorStop(FaultSite::kAllocation, alloc_checks_++, outcome)) {
+    return true;
+  }
+  if (projected_bytes != 0 && memory_budget_->WouldExceed(projected_bytes)) {
+    // Deny before committing: the instance keeps its pre-growth shape, so
+    // the partial result is exactly the uncapped run's prefix.
+    memory_budget_->NoteDenied();
+    *outcome = ChaseOutcome::kMemoryBudgetExceeded;
+    return true;
+  }
+  return false;
 }
 
 uint64_t ChaseRun::EstimateDiscoveryWork(AtomId watermark) const {
@@ -540,12 +585,29 @@ void ChaseRun::UpdateStatsPeaks() {
       stats_.peak_position_index_entries, instance_.PositionIndexEntries());
   stats_.peak_dedup_keys =
       std::max<uint64_t>(stats_.peak_dedup_keys, applied_keys_.size());
+  stats_.peak_memory_bytes =
+      std::max(stats_.peak_memory_bytes, memory_budget_->peak_bytes());
+  stats_.memory_in_use_bytes = memory_budget_->in_use_bytes();
+  stats_.memory_denials = memory_budget_->denials();
 }
 
 ChaseOutcome ChaseRun::Execute(const AtomObserver& observer) {
   GCHASE_CHECK_MSG(!executed_, "ChaseRun::Execute called twice");
   executed_ = true;
+  // Last-resort containment: the budget's pre-size denials make an
+  // allocator failure unreachable in the governed paths, but an
+  // unbudgeted run (or a budget set above physical memory) can still hit
+  // the allocator wall. Degrade to the same clean outcome — the
+  // structures' basic exception guarantee keeps the instance valid.
+  try {
+    return ExecuteLoop(observer);
+  } catch (const std::bad_alloc&) {
+    UpdateStatsPeaks();
+    return ChaseOutcome::kMemoryBudgetExceeded;
+  }
+}
 
+ChaseOutcome ChaseRun::ExecuteLoop(const AtomObserver& observer) {
   AtomId watermark = 0;
   ChaseOutcome outcome = ChaseOutcome::kTerminated;
   UpdateStatsPeaks();
@@ -643,6 +705,17 @@ ChaseOutcome ChaseRun::Execute(const AtomObserver& observer) {
         reserve_terms += head_atom.arity();
       }
     }
+    // Storage-growth checkpoint with the reserve's projected byte cost:
+    // a budget the reserve would cross stops the round here, before any
+    // of the memory is committed, so the instance still holds exactly the
+    // atoms the uncapped run had at this point.
+    if (AllocationStop(
+            instance_.EstimateReserveBytes(reserve_atoms, reserve_terms),
+            &outcome)) {
+      round.total_seconds = round_timer.ElapsedSeconds();
+      UpdateStatsPeaks();
+      return outcome;
+    }
     instance_.ReserveAdditional(reserve_atoms, reserve_terms);
 
     // Apply in the chosen order (always serial: application mutates the
@@ -717,16 +790,25 @@ ChaseOutcome ChaseRun::Execute(const AtomObserver& observer) {
 
 ChaseResult RunChase(const RuleSet& rules, const ChaseOptions& options,
                      const std::vector<Atom>& database) {
-  ChaseRun run(rules, options, database);
   ChaseResult result;
-  result.outcome = run.Execute();
-  result.applied_triggers = run.applied_triggers();
-  result.rounds = run.rounds();
-  result.nulls_created = run.nulls_created();
-  result.hom_discoveries = run.hom_discoveries();
-  result.join_work = run.join_work();
-  result.stats = run.stats();
-  result.instance = run.instance();
+  // Containment boundary for the phases Execute()'s own guard cannot
+  // cover: seeding the instance in the constructor and copying the final
+  // instance into the result. Counters and stats are copied before the
+  // instance, so a failed copy still reports the run truthfully.
+  try {
+    ChaseRun run(rules, options, database);
+    result.outcome = run.Execute();
+    result.applied_triggers = run.applied_triggers();
+    result.rounds = run.rounds();
+    result.nulls_created = run.nulls_created();
+    result.hom_discoveries = run.hom_discoveries();
+    result.join_work = run.join_work();
+    result.stats = run.stats();
+    result.instance = run.instance();
+  } catch (const std::bad_alloc&) {
+    result.outcome = ChaseOutcome::kMemoryBudgetExceeded;
+    result.instance = Instance();
+  }
   return result;
 }
 
@@ -779,6 +861,13 @@ void PublishChaseMetrics(const ChaseStats& stats, MetricsRegistry* registry) {
       ->SetMax(static_cast<int64_t>(stats.peak_position_index_entries));
   sink.Gauge("chase.peak_dedup_keys")
       ->SetMax(static_cast<int64_t>(stats.peak_dedup_keys));
+  sink.Gauge("chase.peak_memory_bytes")
+      ->SetMax(static_cast<int64_t>(stats.peak_memory_bytes));
+  sink.Gauge("chase.memory_in_use_bytes")
+      ->Set(static_cast<int64_t>(stats.memory_in_use_bytes));
+  sink.Gauge("chase.memory_budget_bytes")
+      ->SetMax(static_cast<int64_t>(stats.memory_budget_bytes));
+  sink.Counter("chase.memory_denials")->Add(stats.memory_denials);
 }
 
 bool IsModelOf(const Instance& instance, const RuleSet& rules) {

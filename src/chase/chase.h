@@ -55,6 +55,15 @@ enum class FaultSite {
                   ///< performed so far in the run. Sits at the entry of
                   ///< every satisfaction check, so tests can abort a run
                   ///< deterministically *inside* the check phase.
+  kAllocation,    ///< Ordinal: storage-growth decision points passed so
+                  ///< far in the run (the pre-round bulk reserve and each
+                  ///< trigger's head materialization). This is where the
+                  ///< memory budget's pre-size denial sits, so injecting
+                  ///< kMemoryBudget here exercises every byte-budget stop
+                  ///< path without an actual multi-megabyte instance. The
+                  ///< ordinal sequence is identical between the batch and
+                  ///< per-trigger apply paths (pinned by the fuzz
+                  ///< oracles).
 };
 
 /// What a fault injector forces at a checkpoint.
@@ -63,6 +72,7 @@ enum class InjectedFault {
   kCancel,         ///< As if the cancellation token had been tripped.
   kDeadline,       ///< As if the wall-clock deadline had expired.
   kResourceLimit,  ///< As if an allocation/count cap had been hit.
+  kMemoryBudget,   ///< As if the byte budget's hard limit had been hit.
 };
 
 /// Test-only hook: called at every governor checkpoint with the site and
@@ -129,6 +139,22 @@ struct ChaseOptions {
   /// both paths produce bit-identical instances, atom ids and counters
   /// (pinned by the fuzz oracles). Turn off to force per-trigger apply.
   bool batch_apply = true;
+  /// Byte budget for the run's retained storage (term arena, atom
+  /// records, dedup table, position index, posting lists, batch staging).
+  /// 0 means unlimited. Enforced two ways: bulk growth points project
+  /// their exact byte cost and refuse to commit it when it would cross
+  /// the limit, and every governor checkpoint trips once live usage is
+  /// over it — either way the run stops cleanly with
+  /// ChaseOutcome::kMemoryBudgetExceeded, the partial instance and stats
+  /// intact, never a throw mid-grow. Per-atom steady-state growth between
+  /// checkpoints bounds the overshoot to one geometric growth step.
+  uint64_t max_memory_bytes = 0;
+  /// Externally owned budget to charge instead of a private one built
+  /// from max_memory_bytes (which is then ignored). Lets sequential
+  /// phases (the decider cascade) or concurrent runs share one
+  /// admission-controlled pool; the run charges its retained bytes on
+  /// growth and releases them when its storage dies.
+  std::shared_ptr<MemoryBudget> memory_budget;
   /// Wall-clock budget for the run. Checked cooperatively (round starts,
   /// discovery units, join-search visits, trigger applications); expiry
   /// surfaces as ChaseOutcome::kDeadlineExceeded with the partial
@@ -153,10 +179,11 @@ enum class ChaseOutcome {
   kAborted,           ///< The observer callback requested a stop.
   kDeadlineExceeded,  ///< ChaseOptions::deadline expired mid-run.
   kCancelled,         ///< ChaseOptions::cancel was tripped mid-run.
+  kMemoryBudgetExceeded,  ///< The byte budget's hard limit was crossed.
 };
 
-/// Returns "terminated", "resource-limit", "aborted", "deadline-exceeded"
-/// or "cancelled".
+/// Returns "terminated", "resource-limit", "aborted", "deadline-exceeded",
+/// "cancelled" or "memory-budget-exceeded".
 const char* ChaseOutcomeName(ChaseOutcome outcome);
 
 /// Collapses an outcome to the shared early-stop vocabulary (kNone for
@@ -169,6 +196,8 @@ inline StopReason StopReasonOf(ChaseOutcome outcome) {
       return StopReason::kDeadline;
     case ChaseOutcome::kCancelled:
       return StopReason::kCancelled;
+    case ChaseOutcome::kMemoryBudgetExceeded:
+      return StopReason::kMemory;
     case ChaseOutcome::kTerminated:
     case ChaseOutcome::kAborted:
       break;
@@ -254,6 +283,18 @@ struct ChaseStats {
   /// Kept separate from per_round so round timings still sum to round
   /// activity; total discovery time is the per-round sum plus this.
   double final_discovery_seconds = 0.0;
+  /// High-water mark of bytes charged to the run's memory budget. When
+  /// the budget is shared across runs this is the *shared* peak — it can
+  /// include other runs' charges.
+  uint64_t peak_memory_bytes = 0;
+  /// Bytes still charged at the end of the run (the instance's retained
+  /// capacity; 0 only for an empty run).
+  uint64_t memory_in_use_bytes = 0;
+  /// The enforced hard limit (0 when unlimited).
+  uint64_t memory_budget_bytes = 0;
+  /// Pre-size requests the budget denied (each denial stops the run, so
+  /// this exceeds 1 only for a shared budget).
+  uint64_t memory_denials = 0;
 };
 
 /// A single chase execution. Construct, Execute() once, then inspect.
@@ -274,9 +315,16 @@ class ChaseRun {
   using AtomObserver = std::function<bool(AtomId)>;
 
   /// Runs the chase to completion, cap, or abort. Call exactly once.
+  /// std::bad_alloc never escapes: if the allocator fails despite the
+  /// budget (or with no budget set), the run degrades to
+  /// kMemoryBudgetExceeded with whatever stats survived.
   ChaseOutcome Execute(const AtomObserver& observer = nullptr);
 
   const Instance& instance() const { return instance_; }
+  /// The budget this run charges: options_.memory_budget if provided,
+  /// else a private one built from options_.max_memory_bytes (unlimited
+  /// when that is 0). Never null.
+  const MemoryBudget& memory_budget() const { return *memory_budget_; }
   const RuleSet& rules() const { return rules_; }
   const std::vector<AtomProvenance>& provenance() const { return provenance_; }
   const std::vector<TriggerRecord>& triggers() const { return triggers_; }
@@ -344,6 +392,18 @@ class ChaseRun {
   bool GovernorStop(FaultSite site, uint64_t ordinal,
                     ChaseOutcome* outcome) const;
 
+  /// Governor checkpoint at a storage-growth decision point: like
+  /// GovernorStop(FaultSite::kAllocation, alloc_checks_++), but
+  /// additionally denies the growth when charging `projected_bytes` more
+  /// would cross the budget's hard limit (kMemoryBudgetExceeded before
+  /// the memory is committed). Bumps the shared ordinal counter, so the
+  /// batch and per-trigger paths see identical ordinals.
+  bool AllocationStop(uint64_t projected_bytes, ChaseOutcome* outcome);
+
+  /// The body of Execute(); the public wrapper adds the bad_alloc
+  /// containment boundary.
+  ChaseOutcome ExecuteLoop(const AtomObserver& observer);
+
   /// One round of semi-naive trigger discovery: every homomorphism whose
   /// image touches an atom with id >= `watermark`, deduplicated through
   /// applied_keys_, in deterministic (rule, pivot, discovery) order.
@@ -379,6 +439,11 @@ class ChaseRun {
 
   const RuleSet& rules_;
   ChaseOptions options_;
+  /// The effective byte budget (see memory_budget()). Declared before
+  /// governor_ and instance_ so it outlives both: the governor holds a
+  /// raw observer pointer, and the instance / batch block release their
+  /// charges into it on destruction.
+  std::shared_ptr<MemoryBudget> memory_budget_;
   /// Deadline + cancellation bundle, shared read-only with discovery
   /// workers and join searches.
   RunGovernor governor_;
@@ -408,6 +473,10 @@ class ChaseRun {
   uint64_t join_work_ = 0;
   /// Head-satisfaction checks performed (the kHeadCheck fault ordinal).
   uint64_t head_checks_ = 0;
+  /// Storage-growth decision points passed (the kAllocation fault
+  /// ordinal). Serial: bumped only on the apply thread and at round
+  /// starts.
+  uint64_t alloc_checks_ = 0;
   /// Reused scratch: the apply phase and head checks run allocation-free
   /// once these have warmed to the run's working sizes.
   Binding extended_scratch_;

@@ -119,6 +119,11 @@ EgdChaseResult RunStandardChaseWithEgds(const RuleSet& rules,
       case GovernorState::kCancelled:
         result.outcome = EgdChaseOutcome::kCancelled;
         return true;
+      case GovernorState::kMemoryBudgetExceeded:
+        // Unreachable today — this governor carries no memory budget —
+        // but a budgeted EGD chase would be a resource stop here.
+        result.outcome = EgdChaseOutcome::kResourceLimit;
+        return true;
     }
     return false;
   };

@@ -1,5 +1,7 @@
 #include "fuzz/oracles.h"
 
+#include <atomic>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -19,6 +21,7 @@ namespace {
 constexpr const char* kOracleNames[kNumOracles] = {
     "variant-containment",  "decider-vs-probe", "syntactic-vs-decider",
     "parallel-determinism", "io-round-trip",    "order-equivalence",
+    "memory-cap-twin",
 };
 
 /// True when the run was cut short by the trial's wall-clock budget or
@@ -98,6 +101,33 @@ bool InstancesIdentical(const Instance& a, const Instance& b,
     }
     if (!equal) {
       *why = "atom " + std::to_string(id) + " differs";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Is `prefix` a bit-exact, id-aligned prefix of `base`? The memory
+/// governor denies growth at pre-size checkpoints — it never rolls back
+/// committed atoms — so every atom a capped run retains must coincide
+/// with the uncapped run's atom of the same id.
+bool InstanceIsPrefix(const Instance& prefix, const Instance& base,
+                      std::string* why) {
+  if (prefix.size() > base.size()) {
+    *why = "capped instance has more atoms (" + std::to_string(prefix.size()) +
+           ") than the uncapped base (" + std::to_string(base.size()) + ")";
+    return false;
+  }
+  for (AtomId id = 0; id < prefix.size(); ++id) {
+    AtomView left = prefix.atom(id);
+    AtomView right = base.atom(id);
+    bool equal = left.predicate == right.predicate &&
+                 left.arity() == right.arity();
+    for (uint32_t i = 0; equal && i < left.arity(); ++i) {
+      equal = left.args[i] == right.args[i];
+    }
+    if (!equal) {
+      *why = "atom " + std::to_string(id) + " differs from the base run";
       return false;
     }
   }
@@ -638,6 +668,157 @@ OracleResult CheckOrderEquivalence(const FuzzCase& fuzz_case,
   return Pass();
 }
 
+// ---------------------------------------------------------------------------
+// Oracle 7: memory governance never corrupts a run — injected-fault grid
+// plus a real byte budget, each against an uncapped base.
+// ---------------------------------------------------------------------------
+OracleResult CheckMemoryCapTwin(const FuzzCase& fuzz_case,
+                                const OracleOptions& options) {
+  struct Engine {
+    const char* name;
+    bool batch_apply;
+    uint32_t threads;
+  };
+  // kAllocation ordinals are defined to be identical across the batch and
+  // per-trigger executors and across thread counts, so the same target
+  // ordinal must stop all three engines at the same committed prefix.
+  const Engine engines[3] = {
+      {"serial-batch", true, 1},
+      {"serial-per-trigger", false, 1},
+      {"parallel-batch", true, 2},
+  };
+
+  bool inconclusive = false;
+  std::string inconclusive_why;
+  for (ChaseVariant variant :
+       {ChaseVariant::kOblivious, ChaseVariant::kSemiOblivious,
+        ChaseVariant::kRestricted}) {
+    const char* variant_name = ChaseVariantName(variant);
+    const ChaseOptions base_options = BoundedOptions(variant, options);
+    ChaseResult base =
+        RunChase(fuzz_case.rules, base_options, fuzz_case.database);
+    if (Aborted(base.outcome)) {
+      inconclusive = true;
+      inconclusive_why =
+          std::string("base run aborted by governor (") + variant_name + ")";
+      continue;
+    }
+
+    // (a) Injected memory-budget faults across the kAllocation ordinal
+    // space. One checkpoint per round plus one per applied trigger bounds
+    // the ordinals the base run visited; sampling the ends and the middle
+    // — plus one ordinal past the bound — covers the first-trip, mid-run
+    // and never-fires regimes without running the full grid.
+    const uint64_t bound = base.rounds + base.applied_triggers;
+    const uint64_t probes[4] = {0, 1, bound / 2, bound + 1};
+    std::vector<uint64_t> targets;
+    for (uint64_t probe : probes) {
+      bool seen = false;
+      for (uint64_t t : targets) seen = seen || t == probe;
+      if (!seen) targets.push_back(probe);
+    }
+    for (const Engine& engine : engines) {
+      for (uint64_t target : targets) {
+        auto fired = std::make_shared<std::atomic<bool>>(false);
+        ChaseOptions capped = base_options;
+        capped.batch_apply = engine.batch_apply;
+        capped.discovery_threads = engine.threads;
+        if (engine.threads > 1) capped.parallel_cutover_work = 0;
+        capped.fault_injector = [fired, target](FaultSite site,
+                                                uint64_t ordinal) {
+          if (site == FaultSite::kAllocation && ordinal == target) {
+            fired->store(true, std::memory_order_relaxed);
+            return InjectedFault::kMemoryBudget;
+          }
+          return InjectedFault::kNone;
+        };
+        ChaseResult run =
+            RunChase(fuzz_case.rules, capped, fuzz_case.database);
+        const std::string where = std::string(variant_name) + ", " +
+                                  engine.name + ", ordinal " +
+                                  std::to_string(target);
+        if (Aborted(run.outcome)) {
+          inconclusive = true;
+          inconclusive_why = "capped run aborted by governor (" + where + ")";
+          continue;
+        }
+        std::string why;
+        if (fired->load(std::memory_order_relaxed)) {
+          if (run.outcome != ChaseOutcome::kMemoryBudgetExceeded) {
+            return Violation("injected memory-budget fault (" + where +
+                             ") yielded outcome " +
+                             ChaseOutcomeName(run.outcome) +
+                             " instead of memory-budget-exceeded");
+          }
+          if (!InstanceIsPrefix(run.instance, base.instance, &why)) {
+            return Violation(
+                "memory-stopped instance is not a bit-exact prefix of the "
+                "base run (" + where + "): " + why);
+          }
+        } else {
+          if (run.outcome != base.outcome ||
+              run.applied_triggers != base.applied_triggers) {
+            return Violation(
+                "an injector that never fired perturbed the run (" + where +
+                "): outcome " + ChaseOutcomeName(run.outcome) + " vs " +
+                ChaseOutcomeName(base.outcome) + ", applied " +
+                std::to_string(run.applied_triggers) + " vs " +
+                std::to_string(base.applied_triggers));
+          }
+          if (!InstancesIdentical(run.instance, base.instance, &why)) {
+            return Violation(
+                "an injector that never fired changed the instance (" +
+                where + "): " + why);
+          }
+        }
+      }
+    }
+
+    // (b) A real byte budget at half the base run's peak: the run either
+    // never hits it (bit-identical result) or stops on the budget with a
+    // bit-exact prefix — never a throw, never a corrupt instance.
+    if (base.stats.peak_memory_bytes == 0) {
+      inconclusive = true;
+      inconclusive_why =
+          std::string("base run reported no peak memory (") + variant_name +
+          ")";
+      continue;
+    }
+    ChaseOptions budgeted = base_options;
+    budgeted.max_memory_bytes = base.stats.peak_memory_bytes / 2 + 1;
+    ChaseResult run =
+        RunChase(fuzz_case.rules, budgeted, fuzz_case.database);
+    if (Aborted(run.outcome)) {
+      inconclusive = true;
+      inconclusive_why = std::string("budgeted run aborted by governor (") +
+                         variant_name + ")";
+      continue;
+    }
+    std::string why;
+    if (run.outcome == ChaseOutcome::kMemoryBudgetExceeded) {
+      if (!InstanceIsPrefix(run.instance, base.instance, &why)) {
+        return Violation(std::string("byte-budgeted run (") + variant_name +
+                         ") stopped on the budget but its instance is not a "
+                         "prefix of the base: " + why);
+      }
+    } else if (run.outcome == base.outcome) {
+      if (!InstancesIdentical(run.instance, base.instance, &why)) {
+        return Violation(std::string("byte-budgeted run (") + variant_name +
+                         ") finished under budget but differs from the "
+                         "base: " + why);
+      }
+    } else {
+      return Violation(std::string("byte-budgeted run (") + variant_name +
+                       ") ended " + ChaseOutcomeName(run.outcome) +
+                       " against a base " + ChaseOutcomeName(base.outcome) +
+                       " — a byte budget may only stop a run with "
+                       "memory-budget-exceeded");
+    }
+  }
+  if (inconclusive) return Inconclusive(inconclusive_why);
+  return Pass();
+}
+
 }  // namespace
 
 const char* OracleName(OracleId oracle) {
@@ -689,6 +870,8 @@ OracleResult RunOracle(OracleId oracle, const FuzzCase& fuzz_case,
       return CheckIoRoundTrip(fuzz_case, options);
     case OracleId::kOrderEquivalence:
       return CheckOrderEquivalence(fuzz_case, options);
+    case OracleId::kMemoryCapTwin:
+      return CheckMemoryCapTwin(fuzz_case, options);
   }
   return Inconclusive("unknown oracle");
 }

@@ -50,9 +50,18 @@ enum class OracleId : uint32_t {
   /// batch-vs-per-trigger bit-identity across the full variant × order
   /// grid (counters, per-rule/per-round stats, instance ids).
   kOrderEquivalence = 5,
+  /// Engine metamorphic: memory governance never corrupts a run. Per
+  /// variant, against an uncapped base run: (a) an injected memory-budget
+  /// fault at every kAllocation ordinal — serial and parallel — stops the
+  /// run with kMemoryBudgetExceeded and an instance that is a bit-exact
+  /// prefix of the base (ordinals past the run's last checkpoint must
+  /// leave it identical to the base instead); (b) a run under a real byte
+  /// budget of half the base run's peak either still terminates
+  /// identically or stops on the budget with a bit-exact prefix.
+  kMemoryCapTwin = 6,
 };
 
-inline constexpr uint32_t kNumOracles = 6;
+inline constexpr uint32_t kNumOracles = 7;
 
 /// Stable kebab-case oracle name (used in repro metadata, JSON reports
 /// and CLI flags).

@@ -69,6 +69,10 @@ class TermArena {
 
   const std::vector<Term>& terms() const { return terms_; }
   std::size_t size() const { return terms_.size(); }
+  std::size_t capacity() const { return terms_.capacity(); }
+  /// Bytes of heap capacity currently retained — the arena's contribution
+  /// to Instance::MemoryFootprint().
+  std::size_t capacity_bytes() const { return terms_.capacity() * sizeof(Term); }
   void Reserve(std::size_t total_terms) { terms_.reserve(total_terms); }
 
  private:
@@ -190,6 +194,25 @@ class FlatIndex64 {
 
   /// Pre-sizes the table for `expected_keys` total entries.
   void Reserve(std::size_t expected_keys) { GrowIfNeeded(expected_keys); }
+
+  /// Current slot count (power of two, or 0 before the first insert).
+  std::size_t capacity_slots() const { return values_.size(); }
+
+  /// Bytes of heap capacity currently retained (keys + values arrays).
+  std::size_t capacity_bytes() const {
+    return keys_.capacity() * sizeof(uint64_t) +
+           values_.capacity() * sizeof(uint32_t);
+  }
+
+  /// Slot count the table would have after Reserve(want) — GrowIfNeeded's
+  /// exact policy (max load 1/2, power-of-two doubling from 16), exposed
+  /// so byte budgets can project a reserve's cost before committing it.
+  std::size_t CapacityFor(std::size_t want) const {
+    if (!values_.empty() && want * 2 <= values_.size()) return values_.size();
+    std::size_t capacity = values_.empty() ? 16 : values_.size();
+    while (want * 2 > capacity) capacity *= 2;
+    return capacity;
+  }
 
  private:
   static uint64_t Mix(uint64_t key) {

@@ -51,6 +51,7 @@ void Instance::GrowDedup(std::size_t want) {
   // Span only inside the actual-grow branch: the early-outs above are
   // the TryAdd fast path and must stay untraced.
   GCHASE_TRACE_SPAN(TraceCategory::kStorage, "storage.grow_dedup", capacity);
+  const uint64_t bytes_before = VectorBytes(dedup_hashes_) + VectorBytes(dedup_ids_);
   std::vector<uint64_t> old_hashes = std::move(dedup_hashes_);
   std::vector<AtomId> old_ids = std::move(dedup_ids_);
   dedup_hashes_.assign(capacity, 0);
@@ -63,6 +64,7 @@ void Instance::GrowDedup(std::size_t want) {
     dedup_hashes_[j] = old_hashes[i];
     dedup_ids_[j] = old_ids[i];
   }
+  AccountGrowth(bytes_before, VectorBytes(dedup_hashes_) + VectorBytes(dedup_ids_));
 }
 
 std::pair<AtomId, bool> Instance::TryAdd(const Atom& atom) {
@@ -84,22 +86,47 @@ AtomId Instance::AppendRow(PredicateId pred, const Term* args, uint32_t arity,
                            uint64_t hash, std::size_t slot) {
   const AtomId id = static_cast<AtomId>(records_.size());
   GCHASE_CHECK(id != kEmptySlot);
+  // Every mutation below is bracketed by capacity-bytes reads so the
+  // footprint (and any attached budget) tracks geometric growth exactly.
+  // On the steady-state path — capacity pre-reserved by ReserveAdditional
+  // or TryAddBatch — each bracket is two loads and a compare, nothing
+  // more.
+  uint64_t before = arena_.capacity_bytes();
   const uint32_t offset = arena_.Append(args, arity);
+  AccountGrowth(before, arena_.capacity_bytes());
+  before = VectorBytes(records_);
   records_.push_back(AtomRecord{pred, offset, arity});
+  AccountGrowth(before, VectorBytes(records_));
   dedup_hashes_[slot] = hash;
   dedup_ids_[slot] = id;
 
   if (pred >= by_predicate_.size()) {
+    before = VectorBytes(by_predicate_);
     by_predicate_.resize(pred + 1);
+    AccountGrowth(before, VectorBytes(by_predicate_));
   }
-  by_predicate_[pred].push_back(id);
+  {
+    std::vector<AtomId>& list = by_predicate_[pred];
+    before = VectorBytes(list);
+    list.push_back(id);
+    AccountGrowth(before, VectorBytes(list));
+  }
   for (uint32_t pos = 0; pos < arity; ++pos) {
     bool inserted = false;
+    before = position_index_.capacity_bytes();
     const uint32_t posting_slot = position_index_.FindOrInsert(
         PositionKey(pred, pos, args[pos]),
         static_cast<uint32_t>(postings_.size()), &inserted);
-    if (inserted) postings_.emplace_back();
-    postings_[posting_slot].push_back(id);
+    AccountGrowth(before, position_index_.capacity_bytes());
+    if (inserted) {
+      before = VectorBytes(postings_);
+      postings_.emplace_back();
+      AccountGrowth(before, VectorBytes(postings_));
+    }
+    std::vector<AtomId>& posting = postings_[posting_slot];
+    before = VectorBytes(posting);
+    posting.push_back(id);
+    AccountGrowth(before, VectorBytes(posting));
     ++position_entries_;
   }
   return id;
@@ -113,13 +140,21 @@ uint32_t Instance::TryAddBatch(PredicateId pred, const Term* terms,
   // atoms dedups at streaming speed. Duplicate rows merely leave the
   // reserved slack unused.
   GrowDedup(records_.size() + n);
+  uint64_t before = arena_.capacity_bytes();
   arena_.Reserve(arena_.size() + static_cast<std::size_t>(arity) * n);
+  AccountGrowth(before, arena_.capacity_bytes());
+  before = VectorBytes(records_);
   records_.reserve(records_.size() + n);
+  AccountGrowth(before, VectorBytes(records_));
   // Worst case every argument position of every row opens a fresh index
   // key; reserving here keeps the per-row loop rehash-free end to end.
+  before = position_index_.capacity_bytes();
   position_index_.Reserve(position_index_.size() +
                           static_cast<std::size_t>(arity) * n);
+  AccountGrowth(before, position_index_.capacity_bytes());
+  before = VectorBytes(postings_);
   postings_.reserve(postings_.size() + static_cast<std::size_t>(arity) * n);
+  AccountGrowth(before, VectorBytes(postings_));
   uint32_t added = 0;
   for (uint32_t i = 0; i < n; ++i) {
     const Term* args = terms + static_cast<std::size_t>(i) * arity;
@@ -189,12 +224,56 @@ void Instance::ReserveAdditional(uint64_t extra_atoms, uint64_t extra_terms) {
   // The pre-round bulk rebuild of every index: arena, dedup table,
   // position index. This is where round-boundary rebuild time goes.
   GCHASE_TRACE_SPAN(TraceCategory::kStorage, "storage.reserve", extra_atoms);
+  uint64_t before = arena_.capacity_bytes();
   arena_.Reserve(arena_.size() + extra_terms);
+  AccountGrowth(before, arena_.capacity_bytes());
+  before = VectorBytes(records_);
   records_.reserve(records_.size() + extra_atoms);
+  AccountGrowth(before, VectorBytes(records_));
   GrowDedup(records_.size() + extra_atoms);
   // Worst case every new argument position opens a fresh index key.
+  before = position_index_.capacity_bytes();
   position_index_.Reserve(position_index_.size() + extra_terms);
+  AccountGrowth(before, position_index_.capacity_bytes());
+  before = VectorBytes(postings_);
   postings_.reserve(postings_.size() + extra_terms);
+  AccountGrowth(before, VectorBytes(postings_));
+}
+
+uint64_t Instance::EstimateReserveBytes(uint64_t extra_atoms,
+                                        uint64_t extra_terms) const {
+  // Mirrors ReserveAdditional site by site: each term is the byte delta
+  // the corresponding reserve would commit right now. `vector::reserve`
+  // to at most the current capacity is a no-op; the two hash tables grow
+  // by their exact doubling policy (12 bytes/slot each: u64 key/hash +
+  // u32 value/id).
+  uint64_t extra = 0;
+  const uint64_t want_terms = arena_.size() + extra_terms;
+  if (want_terms > arena_.capacity()) {
+    extra += (want_terms - arena_.capacity()) * sizeof(Term);
+  }
+  const uint64_t want_records = records_.size() + extra_atoms;
+  if (want_records > records_.capacity()) {
+    extra += (want_records - records_.capacity()) * sizeof(AtomRecord);
+  }
+  const std::size_t dedup_capacity =
+      GrownDedupCapacity(records_.size() + extra_atoms);
+  if (dedup_capacity > dedup_ids_.size()) {
+    extra += (dedup_capacity - dedup_ids_.size()) *
+             (sizeof(uint64_t) + sizeof(AtomId));
+  }
+  const std::size_t index_capacity =
+      position_index_.CapacityFor(position_index_.size() + extra_terms);
+  if (index_capacity > position_index_.capacity_slots()) {
+    extra += (index_capacity - position_index_.capacity_slots()) *
+             (sizeof(uint64_t) + sizeof(uint32_t));
+  }
+  const uint64_t want_postings = postings_.size() + extra_terms;
+  if (want_postings > postings_.capacity()) {
+    extra += (want_postings - postings_.capacity()) *
+             sizeof(std::vector<AtomId>);
+  }
+  return extra;
 }
 
 }  // namespace gchase

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "base/check.h"
+#include "base/memory_budget.h"
 #include "model/atom.h"
 #include "storage/arena.h"
 
@@ -162,6 +164,35 @@ class Instance {
   /// growth.
   void ReserveAdditional(uint64_t extra_atoms, uint64_t extra_terms);
 
+  /// Bytes an equivalent ReserveAdditional(extra_atoms, extra_terms)
+  /// would allocate right now, projected from the exact growth policies
+  /// of every structure (vector reserve; dedup table and position index
+  /// at max load 1/2, 12 bytes/slot, power-of-two doubling). Memory
+  /// governance hoists its budget check to this projection so a denial
+  /// happens *before* the reserve commits the bytes. Excludes the inner
+  /// per-predicate / posting-list vectors, whose geometric growth the
+  /// governed per-trigger checkpoints bound instead.
+  uint64_t EstimateReserveBytes(uint64_t extra_atoms,
+                                uint64_t extra_terms) const;
+
+  /// Bytes of heap capacity this instance currently retains across its
+  /// growth sites (arena, records, dedup table, per-predicate lists,
+  /// position index, posting lists). Maintained incrementally — O(1) to
+  /// read. Copies inherit the source's figure, which upper-bounds their
+  /// own allocation (a copied vector trims capacity to size).
+  uint64_t MemoryFootprint() const { return footprint_bytes_; }
+
+  /// Attaches (or, with nullptr, detaches) a byte budget. On attach the
+  /// current footprint is charged; every later growth charges its delta,
+  /// and destruction (or detach) releases the whole charge. The budget
+  /// must outlive the instance. Copies of a budgeted instance are
+  /// unbudgeted — a result snapshot must not double-charge the run's
+  /// budget; moves transfer the charge.
+  void SetMemoryBudget(MemoryBudget* budget) {
+    budget_.Reset(budget);
+    budget_.Charge(footprint_bytes_);
+  }
+
  private:
   static constexpr AtomId kEmptySlot = 0xffffffffu;
 
@@ -190,6 +221,74 @@ class Instance {
   /// Grows the dedup table so `want` entries fit under the load cap.
   void GrowDedup(std::size_t want);
 
+  /// Slot count GrowDedup(want) would leave the table at (its exact
+  /// policy: max load 1/2, power-of-two doubling from 16).
+  std::size_t GrownDedupCapacity(std::size_t want) const {
+    if (!dedup_ids_.empty() && want * 2 <= dedup_ids_.size()) {
+      return dedup_ids_.size();
+    }
+    std::size_t capacity = dedup_ids_.empty() ? 16 : dedup_ids_.size();
+    while (want * 2 > capacity) capacity *= 2;
+    return capacity;
+  }
+
+  template <typename T>
+  static uint64_t VectorBytes(const std::vector<T>& v) {
+    return static_cast<uint64_t>(v.capacity()) * sizeof(T);
+  }
+
+  /// Folds one growth site's capacity delta (bytes before/after a
+  /// mutation) into the footprint and the attached budget. Capacities are
+  /// append-only here, so `after >= before` always.
+  void AccountGrowth(uint64_t before_bytes, uint64_t after_bytes) {
+    if (after_bytes == before_bytes) return;
+    const uint64_t delta = after_bytes - before_bytes;
+    footprint_bytes_ += delta;
+    budget_.Charge(delta);
+  }
+
+  /// RAII handle on the budget charge: releases on destruction, drops on
+  /// copy (copies are unbudgeted), transfers on move — which is what
+  /// keeps Instance's implicit copy/move correct without hand-written
+  /// member lists.
+  class BudgetAttachment {
+   public:
+    BudgetAttachment() = default;
+    ~BudgetAttachment() { Reset(nullptr); }
+    BudgetAttachment(const BudgetAttachment&) {}
+    BudgetAttachment& operator=(const BudgetAttachment&) {
+      Reset(nullptr);
+      return *this;
+    }
+    BudgetAttachment(BudgetAttachment&& other) noexcept
+        : budget_(std::exchange(other.budget_, nullptr)),
+          charged_(std::exchange(other.charged_, 0)) {}
+    BudgetAttachment& operator=(BudgetAttachment&& other) noexcept {
+      if (this != &other) {
+        Reset(nullptr);
+        budget_ = std::exchange(other.budget_, nullptr);
+        charged_ = std::exchange(other.charged_, 0);
+      }
+      return *this;
+    }
+
+    void Reset(MemoryBudget* budget) {
+      if (budget_ != nullptr && charged_ != 0) budget_->Release(charged_);
+      budget_ = budget;
+      charged_ = 0;
+    }
+    void Charge(uint64_t bytes) {
+      if (budget_ == nullptr || bytes == 0) return;
+      budget_->Charge(bytes);
+      charged_ += bytes;
+    }
+    MemoryBudget* get() const { return budget_; }
+
+   private:
+    MemoryBudget* budget_ = nullptr;
+    uint64_t charged_ = 0;
+  };
+
   TermArena arena_;
   std::vector<AtomRecord> records_;
   /// Open-addressing dedup: parallel hash/id arrays (id kEmptySlot =
@@ -201,6 +300,9 @@ class Instance {
   FlatIndex64 position_index_;
   std::vector<std::vector<AtomId>> postings_;
   uint64_t position_entries_ = 0;
+  /// Retained heap capacity across all growth sites; see MemoryFootprint.
+  uint64_t footprint_bytes_ = 0;
+  BudgetAttachment budget_;
 };
 
 }  // namespace gchase

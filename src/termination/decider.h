@@ -54,6 +54,18 @@ struct DeciderOptions {
   /// (see ChaseOptions::discovery_threads). The decider's verdict is
   /// thread-count-invariant: discovery is merged deterministically.
   uint32_t discovery_threads = 1;
+  /// Byte budget for the exploratory chase's retained storage (see
+  /// ChaseOptions::max_memory_bytes; 0 = unlimited). A memory trip
+  /// downgrades the verdict to kUnknown (reason kMemory) — an
+  /// out-of-budget probe of the critical instance is NOT evidence of
+  /// divergence, exactly as a deadline expiry is not.
+  uint64_t max_memory_bytes = 0;
+  /// Externally owned budget shared across calls (see
+  /// ChaseOptions::memory_budget). DecideTerminationWithFallback forwards
+  /// it to both phases: the exact chase's storage dies before the probe
+  /// starts, so the sequential phases share the headroom rather than
+  /// doubling the footprint.
+  std::shared_ptr<MemoryBudget> memory_budget;
   /// Pump-detection tuning.
   PumpDetectorOptions pump;
   /// Use the paper's standard-database critical instance ({*,0,1}).

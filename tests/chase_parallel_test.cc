@@ -8,7 +8,9 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <new>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -362,6 +364,55 @@ TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
   });
   EXPECT_EQ(total.load(), 8u * 16u);
   EXPECT_FALSE(ThreadPool::InPoolTask());
+}
+
+TEST(ThreadPoolTest, WorkerExceptionRethrownOnSubmittingThread) {
+  // A throw from fn on any worker must surface on the thread that called
+  // ParallelFor — never std::terminate a helper — and must not poison
+  // the pool for the next job.
+  ThreadPool pool(4);
+  std::atomic<uint64_t> executed{0};
+  bool caught = false;
+  try {
+    pool.ParallelFor(1000, [&](uint64_t u) {
+      if (u == 137) throw std::runtime_error("unit 137 failed");
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+  } catch (const std::runtime_error& error) {
+    caught = true;
+    EXPECT_STREQ(error.what(), "unit 137 failed");
+  }
+  EXPECT_TRUE(caught);
+  EXPECT_LT(executed.load(), 1000u);  // the failed job drained, not ran out
+  std::atomic<uint64_t> clean{0};
+  pool.ParallelFor(64, [&](uint64_t) {
+    clean.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(clean.load(), 64u);
+}
+
+TEST(ThreadPoolTest, ConcurrentThrowsKeepFirstExceptionAndAlwaysDrain) {
+  // Many workers throw within one job: exactly one exception comes back,
+  // the job's remaining units are claimed and skipped (no hang), and
+  // consecutive failing jobs stay independent.
+  ThreadPool pool(4);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_THROW(pool.ParallelFor(256,
+                                  [](uint64_t u) {
+                                    throw std::invalid_argument(
+                                        std::to_string(u));
+                                  }),
+                 std::invalid_argument);
+  }
+}
+
+TEST(ThreadPoolTest, SerialFastPathPropagatesExceptionsNaturally) {
+  // A 1-worker pool (and nested calls) run inline; the throw takes the
+  // ordinary unwinding path with no capture machinery involved.
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.ParallelFor(4, [](uint64_t) -> void { throw std::bad_alloc(); }),
+      std::bad_alloc);
 }
 
 // --- determinism under fault injection -----------------------------------

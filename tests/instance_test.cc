@@ -157,6 +157,41 @@ TEST(InstanceTest, ReserveAdditionalPreservesContentAndIds) {
   EXPECT_EQ(instance.size(), before.size() + 1000);
 }
 
+TEST(InstanceTest, ReserveAdditionalUnderestimateFallsBackToGeometricGrowth) {
+  // A hint far below the eventual load is legal: the tables must fall
+  // back to their geometric growth policies mid-add with no effect on
+  // ids, dedup or the indexes. Twin an under-reserved instance against a
+  // plain one and demand bit-identical behaviour.
+  Instance reserved;
+  reserved.ReserveAdditional(4, 8);
+  Instance plain;
+  for (uint32_t i = 0; i < 3000; ++i) {
+    Atom atom = MakeAtom(i % 5, {i, i + 1});
+    auto [reserved_id, reserved_new] = reserved.TryAdd(atom);
+    auto [plain_id, plain_new] = plain.TryAdd(atom);
+    ASSERT_EQ(reserved_id, plain_id);
+    ASSERT_EQ(reserved_new, plain_new);
+  }
+  // A bulk batch bigger than the stale hint rides the same fallback.
+  std::vector<Term> rows;
+  for (uint32_t i = 0; i < 500; ++i) {
+    rows.push_back(Term::Constant(100000 + i));
+    rows.push_back(Term::Constant(i));
+  }
+  const uint32_t added_reserved =
+      reserved.TryAddBatch(6, rows.data(), 2, 500);
+  const uint32_t added_plain = plain.TryAddBatch(6, rows.data(), 2, 500);
+  EXPECT_EQ(added_reserved, 500u);
+  EXPECT_EQ(added_reserved, added_plain);
+  ASSERT_EQ(reserved.size(), plain.size());
+  for (uint32_t i = 0; i < 3000; ++i) {
+    ASSERT_EQ(reserved.Find(MakeAtom(i % 5, {i, i + 1})),
+              std::optional<AtomId>(i));
+  }
+  EXPECT_EQ(reserved.PositionIndexEntries(), plain.PositionIndexEntries());
+  EXPECT_EQ(reserved.AtomsWithTermAt(6, 0, Term::Constant(100007)).size(), 1u);
+}
+
 TEST(InstanceTest, StressDedupAndPositionIndexAcrossGrowth) {
   // Push the open-addressing tables through several growth cycles and
   // verify every atom stays findable with a correct posting list.

@@ -2,11 +2,12 @@
 // result — a minimal command-line front end over the library.
 //
 // Usage:
-//   ./build/examples/chase_cli <file.dlgp> [variant] [max_atoms]
-//                              [--dot] [--stats] [--threads=N]
-//                              [--deadline-ms=N] [--decide]
-//                              [--trace=FILE] [--trace-categories=LIST]
-//                              [--metrics-json=FILE]
+//   ./build/tools/chase_cli <file.dlgp> [variant] [max_atoms]
+//                           [--dot] [--stats] [--threads=N]
+//                           [--deadline-ms=N] [--max-memory-mb=N]
+//                           [--decide] [--trace=FILE]
+//                           [--trace-categories=LIST]
+//                           [--metrics-json=FILE]
 //     variant:    restricted (default) | semi-oblivious | oblivious
 //     max_atoms:  resource cap (default 10000)
 //     --dot:      emit the guarded chase forest in Graphviz DOT instead
@@ -18,6 +19,11 @@
 //     --deadline-ms=N  wall-clock budget; an expired run stops at its
 //                 next cooperative checkpoint with the partial instance
 //                 and stats intact
+//     --max-memory-mb=N  byte budget for the run's retained storage; a
+//                 run that would cross it stops cleanly (exit code 6)
+//                 with the partial instance and stats intact, and the
+//                 partial result is bit-identical to a prefix of the
+//                 uncapped run
 //     --decide:   instead of chasing the input database, run the full
 //                 termination analysis on the rule set: the exact/probe
 //                 decider cascade for both the oblivious and the
@@ -39,7 +45,8 @@
 // printed, exactly as on deadline expiry.
 //
 // Exit codes: 0 terminated, 1 I/O or parse error, 2 bad usage,
-// 3 resource cap, 4 deadline exceeded, 5 cancelled.
+// 3 resource cap, 4 deadline exceeded, 5 cancelled, 6 memory budget
+// exceeded.
 //
 // The input file holds rules and facts in the library's syntax; see
 // examples/rules/*.dlgp.
@@ -85,6 +92,8 @@ int ExitCodeFor(gchase::ChaseOutcome outcome) {
       return 4;
     case gchase::ChaseOutcome::kCancelled:
       return 5;
+    case gchase::ChaseOutcome::kMemoryBudgetExceeded:
+      return 6;
   }
   return 1;
 }
@@ -126,12 +135,13 @@ struct ObsFlusher {
 // the process exit code (0 = every phase ran; verdicts are data, not
 // errors).
 int RunDecideMode(gchase::ParsedProgram& parsed, int64_t deadline_ms,
-                  uint32_t threads) {
+                  uint32_t threads, uint64_t max_memory_bytes) {
   using namespace gchase;
   DeciderOptions options;
   options.discovery_threads = threads;
   if (deadline_ms >= 0) options.deadline = Deadline::AfterMillis(deadline_ms);
   options.cancel = g_cancel;
+  options.max_memory_bytes = max_memory_bytes;
 
   for (ChaseVariant variant :
        {ChaseVariant::kOblivious, ChaseVariant::kSemiOblivious}) {
@@ -160,6 +170,7 @@ int RunDecideMode(gchase::ParsedProgram& parsed, int64_t deadline_ms,
   probe.num_random_orders = 4;
   if (deadline_ms >= 0) probe.deadline = Deadline::AfterMillis(deadline_ms);
   probe.cancel = g_cancel;
+  probe.max_memory_bytes = max_memory_bytes;
   StatusOr<RestrictedProbeResult> probed =
       ProbeRestrictedTermination(parsed.rules, &parsed.vocabulary, {}, probe);
   if (!probed.ok()) {
@@ -185,8 +196,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <file.dlgp> [restricted|semi-oblivious|"
                  "oblivious] [max_atoms] [--dot] [--stats] [--threads=N] "
-                 "[--deadline-ms=N] [--decide] [--trace=FILE] "
-                 "[--trace-categories=LIST] [--metrics-json=FILE]\n",
+                 "[--deadline-ms=N] [--max-memory-mb=N] [--decide] "
+                 "[--trace=FILE] [--trace-categories=LIST] "
+                 "[--metrics-json=FILE]\n",
                  argv[0]);
     return 2;
   }
@@ -208,6 +220,7 @@ int main(int argc, char** argv) {
   bool want_decide = false;
   uint32_t threads = 1;
   int64_t deadline_ms = -1;
+  uint64_t max_memory_bytes = 0;
   uint32_t trace_categories = kAllTraceCategories;
   ObsFlusher flusher;
   std::vector<char*> args;
@@ -261,6 +274,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--deadline-ms needs a non-negative value\n");
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--max-memory-mb=", 16) == 0) {
+      const uint64_t mb = std::strtoull(argv[i] + 16, nullptr, 10);
+      if (mb == 0) {
+        std::fprintf(stderr, "--max-memory-mb needs a positive value\n");
+        return 2;
+      }
+      max_memory_bytes = mb * (uint64_t{1} << 20);
     } else {
       args.push_back(argv[i]);
     }
@@ -275,7 +295,9 @@ int main(int argc, char** argv) {
   }
 
   std::signal(SIGINT, HandleSigint);
-  if (want_decide) return RunDecideMode(*parsed, deadline_ms, threads);
+  if (want_decide) {
+    return RunDecideMode(*parsed, deadline_ms, threads, max_memory_bytes);
+  }
 
   ChaseOptions options;
   options.max_atoms = 10000;
@@ -283,6 +305,7 @@ int main(int argc, char** argv) {
   options.discovery_threads = threads;
   if (deadline_ms >= 0) options.deadline = Deadline::AfterMillis(deadline_ms);
   options.cancel = g_cancel;
+  options.max_memory_bytes = max_memory_bytes;
   if (argc > 2) {
     if (std::strcmp(argv[2], "oblivious") == 0) {
       options.variant = ChaseVariant::kOblivious;
@@ -304,7 +327,8 @@ int main(int argc, char** argv) {
   PublishChaseMetrics(run.stats());
 
   const bool aborted = outcome == ChaseOutcome::kDeadlineExceeded ||
-                       outcome == ChaseOutcome::kCancelled;
+                       outcome == ChaseOutcome::kCancelled ||
+                       outcome == ChaseOutcome::kMemoryBudgetExceeded;
   if (aborted) {
     // The instance and stats below are a valid prefix of the run, just
     // not a fixpoint; say so loudly and include the partial stats.
