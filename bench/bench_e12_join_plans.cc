@@ -1,0 +1,345 @@
+// Experiment E12 — compiled set-at-a-time join plans for trigger
+// discovery: the PR that compiles each rule body once into an ordered
+// join plan and executes discovery as a columnar pipeline over
+// range-clipped posting lists (chase/join_plan.{h,cc} +
+// chase/plan_executor.{h,cc}).
+//
+// For every (workload, variant) cell the SAME engine runs twice:
+//
+//   - backtracking baseline: ChaseOptions::join_plans = false — the
+//     pre-E12 path (recursive per-node planning, one std::function
+//     callback and one Binding copy per homomorphism);
+//   - plans: ChaseOptions::join_plans = true — the compiled plan seeds
+//     from the most selective posting list, binary-searches the
+//     semi-naive range split once per list instead of filtering per
+//     candidate, and streams bindings through flat columnar segments.
+//
+// The discovery-phase speedup (sum of per-round discovery_seconds plus
+// the terminal pass) is the headline number; bit-identity of the two
+// runs — instance atom-by-atom, trigger counts, and exact join_work
+// (the plan executor charges precisely the candidate visits the
+// backtracking search performs) — is verified on every row and reported
+// as `identical`. A `NO` row is a correctness bug, not a perf
+// regression.
+//
+// Writes machine-readable results to BENCH_e12.json in the working
+// directory. `--smoke` restricts to the two smallest workloads and
+// fewer reps (the perf-smoke tier of the nightly gate).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/timer.h"
+#include "bench/bench_util.h"
+#include "chase/chase.h"
+#include "generator/workloads.h"
+#include "model/parser.h"
+
+namespace gchase {
+namespace {
+
+ParsedProgram MakeUniversityInstance(uint32_t num_students) {
+  StatusOr<NamedWorkload> workload = FindWorkload("dl_lite_university");
+  GCHASE_CHECK(workload.ok());
+  std::string text = workload->program;
+  for (uint32_t i = 0; i < num_students; ++i) {
+    text += "student(s" + std::to_string(i) + ").\n";
+    if (i % 2 == 0) {
+      text += "enrolledIn(s" + std::to_string(i) + ", c" +
+              std::to_string(i / 2) + ").\n";
+    }
+  }
+  StatusOr<ParsedProgram> parsed = ParseProgram(text);
+  GCHASE_CHECK(parsed.ok());
+  return *std::move(parsed);
+}
+
+/// Linear transitive closure of a chain: `t` grows by one path length per
+/// round, so the delta is a thin slice of an ever-growing `t`. This is
+/// the canonical semi-naive showcase — the backtracking search rescans
+/// every full `t(y, ·)` posting list per round and filters candidate by
+/// candidate, while the plan executor scans only the range-clipped delta
+/// span; the enumerated homomorphisms (and their merge cost) are tiny by
+/// comparison, so the clip savings show up as discovery wall time.
+ParsedProgram MakeClosureInstance(uint32_t chain_length) {
+  std::string text = "e(X,Y) -> t(X,Y).\n";
+  text += "e(X,Y), t(Y,Z) -> t(X,Z).\n";
+  for (uint32_t i = 0; i < chain_length; ++i) {
+    text += "e(n" + std::to_string(i) + ", n" + std::to_string(i + 1) +
+            ").\n";
+  }
+  StatusOr<ParsedProgram> parsed = ParseProgram(text);
+  GCHASE_CHECK(parsed.ok());
+  return *std::move(parsed);
+}
+
+/// Closure by squaring: every pair is derived via all its midpoints, so
+/// discovery is dominated by the ~n³/6 homomorphism merges (trigger
+/// dedup) that both engines share — a deliberate merge-bound row that
+/// pins the plan path's overhead near the 1.0x floor rather than
+/// claiming a speedup.
+ParsedProgram MakeSquareInstance(uint32_t chain_length) {
+  std::string text = "e(X,Y), e(Y,Z) -> e(X,Z).\n";
+  for (uint32_t i = 0; i < chain_length; ++i) {
+    text += "e(n" + std::to_string(i) + ", n" + std::to_string(i + 1) +
+            ").\n";
+  }
+  StatusOr<ParsedProgram> parsed = ParseProgram(text);
+  GCHASE_CHECK(parsed.ok());
+  return *std::move(parsed);
+}
+
+struct E12Run {
+  ChaseOutcome outcome = ChaseOutcome::kTerminated;
+  double discovery_seconds = 0.0;  ///< Per-round sum + terminal pass.
+  double total_seconds = 0.0;
+  uint32_t atoms = 0;
+  uint64_t triggers = 0;
+  uint64_t nulls = 0;
+  uint64_t rounds = 0;
+  uint64_t hom_discoveries = 0;
+  uint64_t join_work = 0;
+  uint64_t plan_units = 0;
+  uint64_t fallback_units = 0;
+  uint64_t binding_rows = 0;
+  std::vector<Atom> instance_atoms;
+  std::vector<RuleStats> per_rule;
+  std::vector<RoundStats> per_round;
+};
+
+E12Run RunOnce(const ParsedProgram& program, ChaseVariant variant,
+               bool plans) {
+  ChaseOptions options;
+  options.variant = variant;
+  options.max_atoms = 2000000;
+  options.join_plans = plans;
+  ChaseRun run(program.rules, options, program.facts);
+  ChaseOutcome outcome = run.Execute();
+  GCHASE_CHECK(outcome == ChaseOutcome::kTerminated);
+  E12Run result;
+  result.outcome = outcome;
+  for (const RoundStats& round : run.stats().per_round) {
+    result.discovery_seconds += round.discovery_seconds;
+    result.total_seconds += round.total_seconds;
+    result.plan_units += round.plan_units;
+    result.fallback_units += round.fallback_units;
+    result.binding_rows += round.binding_rows;
+  }
+  result.discovery_seconds += run.stats().final_discovery_seconds;
+  result.atoms = run.instance().size();
+  result.triggers = run.applied_triggers();
+  result.nulls = run.nulls_created();
+  result.rounds = run.rounds();
+  result.hom_discoveries = run.hom_discoveries();
+  result.join_work = run.join_work();
+  result.instance_atoms = run.instance().MaterializeAtoms();
+  result.per_rule = run.stats().per_rule;
+  result.per_round = run.stats().per_round;
+  return result;
+}
+
+/// Bit-identity: everything the engine's determinism contract pins,
+/// join_work included — plan-only counters and timings excluded by
+/// construction.
+bool SameResults(const E12Run& a, const E12Run& b) {
+  if (a.outcome != b.outcome || a.atoms != b.atoms ||
+      a.triggers != b.triggers || a.nulls != b.nulls ||
+      a.rounds != b.rounds || a.hom_discoveries != b.hom_discoveries ||
+      a.join_work != b.join_work) {
+    return false;
+  }
+  if (a.instance_atoms.size() != b.instance_atoms.size()) return false;
+  for (std::size_t i = 0; i < a.instance_atoms.size(); ++i) {
+    if (!(a.instance_atoms[i] == b.instance_atoms[i])) return false;
+  }
+  if (a.per_rule.size() != b.per_rule.size()) return false;
+  for (std::size_t r = 0; r < a.per_rule.size(); ++r) {
+    if (a.per_rule[r].discovered != b.per_rule[r].discovered ||
+        a.per_rule[r].applied != b.per_rule[r].applied ||
+        a.per_rule[r].skipped_satisfied != b.per_rule[r].skipped_satisfied) {
+      return false;
+    }
+  }
+  if (a.per_round.size() != b.per_round.size()) return false;
+  for (std::size_t i = 0; i < a.per_round.size(); ++i) {
+    if (a.per_round[i].delta_atoms != b.per_round[i].delta_atoms ||
+        a.per_round[i].candidates != b.per_round[i].candidates ||
+        a.per_round[i].applied != b.per_round[i].applied) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Best-of-k over full chase runs: returns the run whose discovery phase
+/// was fastest (counters are identical across reps by determinism).
+E12Run BestOf(const ParsedProgram& program, ChaseVariant variant, bool plans,
+              uint32_t reps) {
+  E12Run best;
+  for (uint32_t r = 0; r < reps; ++r) {
+    E12Run run = RunOnce(program, variant, plans);
+    if (r == 0 || run.discovery_seconds < best.discovery_seconds) {
+      best = std::move(run);
+    }
+  }
+  return best;
+}
+
+void RunTable(bool smoke) {
+  bench_util::Banner(
+      "E12: compiled join plans vs backtracking trigger discovery",
+      "set-at-a-time plan execution over range-clipped posting lists "
+      "beats per-trigger backtracking on discovery-phase wall time, with "
+      "bit-identical results (join_work included) on every row");
+  std::printf("baseline = same engine with join_plans=false%s\n\n",
+              smoke ? " [smoke grid]" : "");
+
+  struct Workload {
+    std::string name;
+    ParsedProgram program;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"closure/150", MakeClosureInstance(150)});
+  workloads.push_back({"university/200", MakeUniversityInstance(200)});
+  if (!smoke) {
+    workloads.push_back({"closure/240", MakeClosureInstance(240)});
+    workloads.push_back({"university/800", MakeUniversityInstance(800)});
+    workloads.push_back({"square/60", MakeSquareInstance(60)});
+  }
+  const uint32_t reps = smoke ? 3 : 5;
+
+  std::string json =
+      "{\n  \"experiment\": \"E12 compiled discovery join plans\",\n";
+  json += "  \"smoke\": ";
+  json += smoke ? "true" : "false";
+  json += ",\n  \"runs\": [\n";
+
+  std::printf("%-16s %-9s %-9s %-10s %-13s %-10s %-9s %-9s\n", "workload",
+              "variant", "atoms", "join_work", "backtrack_ms", "plan_ms",
+              "speedup", "identical");
+  bool first_entry = true;
+  bool all_identical = true;
+  for (const Workload& workload : workloads) {
+    for (ChaseVariant variant :
+         {ChaseVariant::kRestricted, ChaseVariant::kSemiOblivious,
+          ChaseVariant::kOblivious}) {
+      E12Run backtrack = BestOf(workload.program, variant, false, reps);
+      E12Run plan = BestOf(workload.program, variant, true, reps);
+      const bool identical = SameResults(backtrack, plan);
+      all_identical = all_identical && identical;
+      const double speedup = plan.discovery_seconds > 0.0
+                                 ? backtrack.discovery_seconds /
+                                       plan.discovery_seconds
+                                 : 1.0;
+      std::printf("%-16s %-9.9s %-9u %-10llu %-13.3f %-10.3f %-9.2f %-9s\n",
+                  workload.name.c_str(), ChaseVariantName(variant),
+                  plan.atoms,
+                  static_cast<unsigned long long>(plan.join_work),
+                  backtrack.discovery_seconds * 1e3,
+                  plan.discovery_seconds * 1e3, speedup,
+                  identical ? "yes" : "NO");
+      if (!first_entry) json += ",\n";
+      first_entry = false;
+      json += "    {\"workload\": \"" + workload.name + "\"";
+      json += ", \"variant\": \"" +
+              std::string(ChaseVariantName(variant)) + "\"";
+      json += ", \"threads\": 1";
+      json += ", \"atoms\": " + std::to_string(plan.atoms);
+      json += ", \"triggers\": " + std::to_string(plan.triggers);
+      json += ", \"rounds\": " + std::to_string(plan.rounds);
+      json += ", \"join_work\": " + std::to_string(plan.join_work);
+      json += ", \"plan_units\": " + std::to_string(plan.plan_units);
+      json += ", \"fallback_units\": " +
+              std::to_string(plan.fallback_units);
+      json += ", \"binding_rows\": " + std::to_string(plan.binding_rows);
+      json += ", \"backtrack_discovery_ms\": " +
+              bench_util::JsonNumber(backtrack.discovery_seconds * 1e3);
+      json += ", \"discovery_ms\": " +
+              bench_util::JsonNumber(plan.discovery_seconds * 1e3);
+      json += ", \"backtrack_total_ms\": " +
+              bench_util::JsonNumber(backtrack.total_seconds * 1e3);
+      json += ", \"total_ms\": " +
+              bench_util::JsonNumber(plan.total_seconds * 1e3);
+      json += ", \"discovery_speedup\": " + bench_util::JsonNumber(speedup);
+      json += ", \"identical\": ";
+      json += identical ? "true" : "false";
+      json += "}";
+    }
+  }
+  json += "\n  ],\n  \"all_identical\": ";
+  json += all_identical ? "true" : "false";
+  json += "\n}\n";
+
+  std::FILE* out = std::fopen("BENCH_e12.json", "w");
+  if (out != nullptr) {
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("\nwrote BENCH_e12.json\n");
+  } else {
+    std::fprintf(stderr, "cannot write BENCH_e12.json\n");
+  }
+  std::printf(
+      "\nPrediction: identical=yes on every row; discovery speedup >= 1.5\n"
+      "on the closure family (linear transitive closure, where range\n"
+      "clipping skips the out-of-range candidates the backtracking search\n"
+      "visits one by one every round). The square and university rows are\n"
+      "merge-bound — trigger dedup dominates and is shared by both\n"
+      "engines — so they pin the plan path's overhead near 1.0x instead\n"
+      "of claiming a speedup. A NO row fails the fuzz oracles too — plan\n"
+      "bit-identity is enforced, not sampled.\n\n");
+  GCHASE_CHECK(all_identical);
+}
+
+// --- google-benchmark loops (discovery path in isolation) ----------------
+
+void BM_BacktrackingDiscovery(benchmark::State& state) {
+  ParsedProgram program = MakeClosureInstance(60);
+  for (auto _ : state) {
+    ChaseOptions options;
+    options.variant = ChaseVariant::kSemiOblivious;
+    options.max_atoms = 2000000;
+    options.join_plans = false;
+    ChaseResult result =
+        RunChase(program.rules, options, program.facts);
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK(BM_BacktrackingDiscovery);
+
+void BM_PlannedDiscovery(benchmark::State& state) {
+  ParsedProgram program = MakeClosureInstance(60);
+  for (auto _ : state) {
+    ChaseOptions options;
+    options.variant = ChaseVariant::kSemiOblivious;
+    options.max_atoms = 2000000;
+    options.join_plans = true;
+    ChaseResult result =
+        RunChase(program.rules, options, program.facts);
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK(BM_PlannedDiscovery);
+
+}  // namespace
+}  // namespace gchase
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(args.size());
+  gchase::RunTable(smoke);
+  benchmark::Initialize(&argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -88,6 +88,12 @@ ChaseRun::ChaseRun(const RuleSet& rules, ChaseOptions options,
   stats_.memory_budget_bytes =
       memory_budget_->limited() ? memory_budget_->hard_limit_bytes() : 0;
   stats_.per_rule.assign(rules_.size(), RuleStats{});
+  // Compile the join plans once per run. Compilation is unconditional —
+  // it is O(body size) per rule and lets stats report plannability even
+  // when execution is toggled off — but the discovery dispatch only uses
+  // the plans when options_.join_plans is set.
+  plans_ = JoinPlanSet::Compile(rules_);
+  stats_.plannable_rules = plans_.plannable_rules();
   stats_.discovery_threads = std::max<uint32_t>(1, options_.discovery_threads);
   if (options_.executor != nullptr) {
     stats_.discovery_threads =
@@ -121,6 +127,22 @@ std::vector<uint32_t> ChaseRun::TriggerKey(uint32_t rule_index,
   for (VarId v : vars) {
     GCHASE_CHECK(IsBound(binding[v]));
     key.push_back(binding[v].raw());
+  }
+  return key;
+}
+
+std::vector<uint32_t> ChaseRun::TriggerKeyRow(uint32_t rule_index,
+                                              const Term* row) const {
+  const Tgd& rule = rules_.rule(rule_index);
+  const std::vector<VarId>& vars =
+      options_.variant == ChaseVariant::kOblivious ? rule.universal_variables()
+                                                   : rule.frontier();
+  std::vector<uint32_t> key;
+  key.reserve(vars.size() + 1);
+  key.push_back(rule_index);
+  for (VarId v : vars) {
+    GCHASE_CHECK(IsBound(row[v]));
+    key.push_back(row[v].raw());
   }
   return key;
 }
@@ -363,6 +385,14 @@ std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverTriggers(
   }
   last_estimated_work_ = EstimateDiscoveryWork(watermark);
   last_parallel_ = false;
+  last_plan_units_ = 0;
+  last_fallback_units_ = 0;
+  last_binding_rows_ = 0;
+  // The compiled-plan engine takes over whenever it can help: it runs
+  // plannable rules set-at-a-time and everything else through the same
+  // backtracking search the legacy engines use, so with zero plannable
+  // rules it would only add per-unit buffer shuffling.
+  const bool use_plans = options_.join_plans && plans_.plannable_rules() > 0;
   // Adaptive cutover: tiny rounds run serial even with a pool configured —
   // waking parked workers costs more than a handful of index probes. Both
   // engines produce identical results, so this is purely a scheduling
@@ -370,9 +400,16 @@ std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverTriggers(
   if (num_threads <= 1 ||
       (options_.parallel_cutover_work != 0 &&
        last_estimated_work_ < options_.parallel_cutover_work)) {
+    if (use_plans) {
+      return DiscoverPlanned(watermark, capped, stopped, stop_outcome, 1);
+    }
     return DiscoverSerial(watermark, capped, stopped, stop_outcome);
   }
   last_parallel_ = true;
+  if (use_plans) {
+    return DiscoverPlanned(watermark, capped, stopped, stop_outcome,
+                           num_threads);
+  }
   return DiscoverParallel(watermark, capped, stopped, stop_outcome,
                           num_threads);
 }
@@ -577,6 +614,205 @@ std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverParallel(
   return pending;
 }
 
+std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverPlanned(
+    AtomId watermark, bool* capped, bool* stopped, ChaseOutcome* stop_outcome,
+    uint32_t num_threads) {
+  // Same unit decomposition and merge discipline as DiscoverParallel;
+  // what changes is the per-unit engine. Plannable rules execute their
+  // compiled plan set-at-a-time into a columnar segment; non-plannable
+  // rules run the backtracking search into a Binding buffer. Either way a
+  // unit's results arrive in the exact order the serial engine discovers
+  // them, so the unit-order merge reproduces the serial trigger sequence.
+  struct PlanUnit {
+    uint32_t rule = 0;
+    uint32_t pivot = 0;
+    bool planned = false;        ///< Runs the compiled plan (vs. fallback).
+    BindingSegment rows;         ///< Plan-path results.
+    std::vector<Binding> found;  ///< Backtracking-path results.
+    uint64_t visits = 0;
+    bool budget_exhausted = false;
+    bool governor_tripped = false;
+  };
+  std::size_t unit_count = 0;
+  for (uint32_t r = 0; r < rules_.size(); ++r) {
+    unit_count += rules_.rule(r).body().size();
+  }
+  // Sized up front (BindingSegment pins units in place — no regrowth).
+  std::vector<PlanUnit> units(unit_count);
+  {
+    std::size_t u = 0;
+    for (uint32_t r = 0; r < rules_.size(); ++r) {
+      const std::size_t body_size = rules_.rule(r).body().size();
+      for (std::size_t pivot = 0; pivot < body_size; ++pivot, ++u) {
+        units[u].rule = r;
+        units[u].pivot = static_cast<uint32_t>(pivot);
+        units[u].planned = plans_.plan(r).plannable;
+        units[u].rows.SetMemoryBudget(memory_budget_.get());
+      }
+    }
+  }
+
+  // This round's depth-zero conjunct choice per plannable rule — the one
+  // instance-dependent decision of a (<= 2)-conjunct backtracking search.
+  // The instance is frozen for the whole phase, so resolving it once here
+  // pins every unit's enumeration order to the serial engine's.
+  round_first_.assign(rules_.size(), kNoRule);
+  for (uint32_t r = 0; r < rules_.size(); ++r) {
+    const RuleJoinPlan& plan = plans_.plan(r);
+    if (!plan.plannable) continue;
+    const uint32_t first = ChooseFirstConjunct(instance_, plan);
+    round_first_[r] = first;
+    std::vector<uint32_t>& order = stats_.per_rule[r].plan_order;
+    order.clear();
+    for (const PlanStep& step : plan.orders[first]) {
+      order.push_back(step.conjunct);
+    }
+  }
+
+  // Budget snapshots, abort protocol and the cap-adjacent serial rerun
+  // are identical to DiscoverParallel (see the comments there); the plan
+  // executor charges the same per-node visit counts the backtracking
+  // search accrues, so the post-hoc cap checks compare like with like.
+  const uint64_t join_budget = options_.max_join_work > join_work_
+                                   ? options_.max_join_work - join_work_
+                                   : 0;
+  const uint64_t hom_budget =
+      options_.max_hom_discoveries > hom_discoveries_
+          ? options_.max_hom_discoveries - hom_discoveries_
+          : 0;
+  const uint64_t step_budget = options_.max_steps > applied_triggers_
+                                   ? options_.max_steps - applied_triggers_
+                                   : 0;
+  const uint64_t local_found_cap = std::min(hom_budget, step_budget);
+
+  std::atomic<int> abort_outcome{-1};
+  const PlanExecutor executor(instance_);
+  const auto run_unit = [&](uint64_t u) {
+    if (abort_outcome.load(std::memory_order_relaxed) >= 0) return;
+    PlanUnit& unit = units[u];
+    ChaseOutcome unit_outcome;
+    if (GovernorStop(FaultSite::kDiscovery, u, &unit_outcome)) {
+      abort_outcome.store(static_cast<int>(unit_outcome),
+                          std::memory_order_relaxed);
+      return;
+    }
+    if (unit.planned) {
+      BindingSegment scratch;
+      scratch.SetMemoryBudget(memory_budget_.get());
+      const PlanExecutor::UnitStatus status = executor.ExecuteUnit(
+          plans_.plan(unit.rule), unit.pivot, round_first_[unit.rule],
+          watermark, join_budget, local_found_cap, &governor_, &scratch,
+          &unit.rows);
+      unit.visits = status.charge;
+      unit.budget_exhausted = status.budget_exhausted;
+      unit.governor_tripped = status.governor_tripped;
+    } else {
+      const Tgd& rule = rules_.rule(unit.rule);
+      const std::size_t body_size = rule.body().size();
+      HomomorphismFinder finder(instance_);
+      HomSearchOptions search;
+      search.watermark = watermark;
+      search.ranges.assign(body_size, MatchRange::kAll);
+      for (std::size_t i = 0; i < unit.pivot; ++i) {
+        search.ranges[i] = MatchRange::kOldOnly;
+      }
+      search.ranges[unit.pivot] = MatchRange::kDeltaOnly;
+      search.max_candidate_visits = join_budget;
+      search.visits = &unit.visits;
+      search.budget_exhausted = &unit.budget_exhausted;
+      search.governor = &governor_;
+      search.governor_tripped = &unit.governor_tripped;
+      finder.FindAllWithOptions(
+          rule.body(), rule.num_variables(), search, Binding(),
+          [&unit, local_found_cap](const Binding& binding) {
+            unit.found.push_back(binding);
+            if (unit.found.size() >= local_found_cap) {
+              unit.budget_exhausted = true;
+              return false;
+            }
+            return true;
+          });
+    }
+    if (unit.governor_tripped) {
+      abort_outcome.store(static_cast<int>(OutcomeOf(governor_.Check())),
+                          std::memory_order_relaxed);
+    }
+  };
+  if (num_threads > 1) {
+    Pool(num_threads)->ParallelFor(units.size(), run_unit);
+  } else {
+    for (uint64_t u = 0; u < units.size(); ++u) {
+      if (abort_outcome.load(std::memory_order_relaxed) >= 0) break;
+      run_unit(u);
+    }
+  }
+
+  uint64_t total_visits = 0;
+  uint64_t total_found = 0;
+  bool any_exhausted = false;
+  for (const PlanUnit& unit : units) {
+    total_visits += unit.visits;
+    total_found += unit.planned ? unit.rows.rows() : unit.found.size();
+    any_exhausted |= unit.budget_exhausted;
+  }
+  if (abort_outcome.load(std::memory_order_relaxed) >= 0) {
+    join_work_ += total_visits;
+    if (any_exhausted) *capped = true;
+    *stopped = true;
+    *stop_outcome = static_cast<ChaseOutcome>(
+        abort_outcome.load(std::memory_order_relaxed));
+    return {};
+  }
+
+  // Cap-adjacent rounds re-run on the backtracking path wholesale, for
+  // the same reason DiscoverParallel does: where exactly a cumulative cap
+  // stops the serial loop is unreconstructible from per-unit results that
+  // each ran against the full budget snapshot. Visit parity makes this
+  // check exact — the plan engine charged precisely the visits the serial
+  // engine would have — so plan-on runs cap on the same rounds, at the
+  // same points, as plan-off runs.
+  if (any_exhausted || total_visits >= join_budget ||
+      total_found >= local_found_cap) {
+    last_parallel_ = false;
+    last_plan_units_ = 0;
+    last_binding_rows_ = 0;
+    last_fallback_units_ = units.size();
+    return DiscoverSerial(watermark, capped, stopped, stop_outcome);
+  }
+
+  join_work_ += total_visits;
+  std::vector<PendingTrigger> pending;
+  for (const PlanUnit& unit : units) {
+    if (unit.planned) {
+      ++last_plan_units_;
+      ++stats_.per_rule[unit.rule].plan_rotations;
+      last_binding_rows_ += unit.rows.rows();
+      const uint32_t width = unit.rows.width();
+      for (uint64_t i = 0; i < unit.rows.rows(); ++i) {
+        const Term* row = unit.rows.row(i);
+        ++hom_discoveries_;
+        std::vector<uint32_t> key = TriggerKeyRow(unit.rule, row);
+        if (applied_keys_.insert(std::move(key)).second) {
+          ++stats_.per_rule[unit.rule].discovered;
+          pending.push_back(
+              PendingTrigger{unit.rule, Binding(row, row + width)});
+        }
+      }
+    } else {
+      ++last_fallback_units_;
+      for (const Binding& binding : unit.found) {
+        ++hom_discoveries_;
+        std::vector<uint32_t> key = TriggerKey(unit.rule, binding);
+        if (applied_keys_.insert(std::move(key)).second) {
+          ++stats_.per_rule[unit.rule].discovered;
+          pending.push_back(PendingTrigger{unit.rule, binding});
+        }
+      }
+    }
+  }
+  return pending;
+}
+
 void ChaseRun::UpdateStatsPeaks() {
   stats_.peak_atoms = std::max<uint64_t>(stats_.peak_atoms, instance_.size());
   stats_.peak_position_index_keys = std::max(
@@ -668,6 +904,9 @@ ChaseOutcome ChaseRun::ExecuteLoop(const AtomObserver& observer) {
     round.discovery_seconds = discovery_seconds;
     round.estimated_work = last_estimated_work_;
     round.parallel_discovery = last_parallel_;
+    round.plan_units = last_plan_units_;
+    round.fallback_units = last_fallback_units_;
+    round.binding_rows = last_binding_rows_;
     if (last_parallel_) ++stats_.parallel_rounds;
 
     // Reorder within the round per the configured strategy. Every
@@ -830,6 +1069,7 @@ void PublishChaseMetrics(const ChaseStats& stats, MetricsRegistry* registry) {
   uint64_t estimated_work = 0;
   uint64_t discovery_us = 0, apply_us = 0, round_us = 0;
   uint64_t batched_triggers = 0, batch_blocks = 0;
+  uint64_t plan_units = 0, fallback_units = 0, binding_rows = 0;
   constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
   for (const RoundStats& round : stats.per_round) {
     estimated_work = round.estimated_work > kMax - estimated_work
@@ -840,6 +1080,9 @@ void PublishChaseMetrics(const ChaseStats& stats, MetricsRegistry* registry) {
     round_us += static_cast<uint64_t>(round.total_seconds * 1e6);
     batched_triggers += round.batched_triggers;
     batch_blocks += round.batch_blocks;
+    plan_units += round.plan_units;
+    fallback_units += round.fallback_units;
+    binding_rows += round.binding_rows;
   }
   // The terminal pass has no per-round entry but its discovery time is
   // real — fold it in, or chase.discovery_us undercounts every run by one
@@ -851,6 +1094,11 @@ void PublishChaseMetrics(const ChaseStats& stats, MetricsRegistry* registry) {
   sink.Counter("chase.round_us")->Add(round_us);
   sink.Counter("chase.batched_triggers")->Add(batched_triggers);
   sink.Counter("chase.batch_blocks")->Add(batch_blocks);
+  sink.Counter("chase.plan_units")->Add(plan_units);
+  sink.Counter("chase.plan_fallback_units")->Add(fallback_units);
+  sink.Counter("chase.plan_binding_rows")->Add(binding_rows);
+  sink.Gauge("chase.plannable_rules")
+      ->SetMax(static_cast<int64_t>(stats.plannable_rules));
   sink.Gauge("chase.discovery_threads")
       ->SetMax(static_cast<int64_t>(stats.discovery_threads));
   sink.Gauge("chase.peak_atoms")

@@ -12,6 +12,8 @@
 #include "base/governor.h"
 #include "base/thread_pool.h"
 #include "chase/batch_apply.h"
+#include "chase/join_plan.h"
+#include "chase/plan_executor.h"
 #include "model/tgd.h"
 #include "storage/homomorphism.h"
 #include "storage/instance.h"
@@ -139,6 +141,17 @@ struct ChaseOptions {
   /// both paths produce bit-identical instances, atom ids and counters
   /// (pinned by the fuzz oracles). Turn off to force per-trigger apply.
   bool batch_apply = true;
+  /// Compiled set-at-a-time join plans for trigger discovery (the
+  /// default). Each rule body is compiled once at chase start into an
+  /// ordered join plan; discovery then executes plannable rules (bodies
+  /// of at most two conjuncts) as a columnar pipeline over range-clipped
+  /// posting lists instead of per-trigger backtracking. Non-plannable
+  /// bodies and cap-adjacent rounds stay on the backtracking path, and
+  /// both engines produce bit-identical instances, trigger sequences,
+  /// counters and join-work accounting (pinned by the fuzz oracles and
+  /// join_plan_test). Turn off to route every rule through the legacy
+  /// backtracking search.
+  bool join_plans = true;
   /// Byte budget for the run's retained storage (term arena, atom
   /// records, dedup table, position index, posting lists, batch staging).
   /// 0 means unlimited. Enforced two ways: bulk growth points project
@@ -239,6 +252,16 @@ struct RuleStats {
   uint64_t discovered = 0;         ///< Candidates surviving key dedup.
   uint64_t applied = 0;            ///< Triggers actually fired.
   uint64_t skipped_satisfied = 0;  ///< Restricted-chase satisfied skips.
+  /// Discovery units this rule executed through the compiled plan (one
+  /// per (rule, pivot) rotation per kept plan round; 0 for non-plannable
+  /// rules or with join_plans off).
+  uint64_t plan_rotations = 0;
+  /// The conjunct order the plan chose most recently (body indices in
+  /// match order; empty if the rule never executed a plan). The order is
+  /// re-chosen per round from the same selectivity estimates the
+  /// backtracking engine uses, so this also documents what the legacy
+  /// search would have matched first.
+  std::vector<uint32_t> plan_order;
 };
 
 /// Per-round counters and phase timings. A round is one discovery pass
@@ -264,6 +287,16 @@ struct RoundStats {
   /// single-head rule is one block; restricted rounds flush before every
   /// satisfaction check and so count one block per applied trigger.
   uint64_t batch_blocks = 0;
+  /// Discovery units executed by the compiled-plan pipeline this round.
+  uint64_t plan_units = 0;
+  /// Discovery units that ran the backtracking search instead: units of
+  /// non-plannable rules, or — when a discovery cap bound mid-round —
+  /// every unit of the round (cap-adjacent rounds re-run on the legacy
+  /// path wholesale so capped runs stay bit-identical).
+  uint64_t fallback_units = 0;
+  /// Binding rows the plan units materialized (pre-dedup homomorphisms
+  /// that flowed through columnar segments instead of callbacks).
+  uint64_t binding_rows = 0;
 };
 
 /// Observability counters for one chase execution. Collection is always
@@ -278,6 +311,9 @@ struct ChaseStats {
   uint64_t peak_dedup_keys = 0;              ///< Applied trigger keys.
   uint32_t discovery_threads = 1;            ///< Effective worker count.
   uint64_t parallel_rounds = 0;              ///< Rounds using the pool.
+  /// Rules whose body compiled to a usable join plan (bodies of at most
+  /// two conjuncts; see JoinPlanSet). Reported even with join_plans off.
+  uint32_t plannable_rules = 0;
   /// Wall time of terminal discovery passes that produced no per-round
   /// entry — the empty pass that proves termination, or an aborted one.
   /// Kept separate from per_round so round timings still sum to round
@@ -422,6 +458,22 @@ class ChaseRun {
                                                bool* stopped,
                                                ChaseOutcome* stop_outcome,
                                                uint32_t num_threads);
+  /// Compiled-plan engine: plannable rules run the set-at-a-time
+  /// PlanExecutor per (rule, pivot) unit, non-plannable rules run the
+  /// backtracking search into per-unit buffers; `num_threads` == 1 runs
+  /// the units inline, > 1 fans them out over the pool. Candidates merge
+  /// deterministically in unit order. Rounds where any discovery cap
+  /// binds are re-run wholesale through DiscoverSerial so cap-adjacent
+  /// behavior stays bit-identical with plans off.
+  std::vector<PendingTrigger> DiscoverPlanned(AtomId watermark, bool* capped,
+                                              bool* stopped,
+                                              ChaseOutcome* stop_outcome,
+                                              uint32_t num_threads);
+
+  /// TriggerKey over a columnar binding row (width = the rule's variable
+  /// count) instead of a Binding vector.
+  std::vector<uint32_t> TriggerKeyRow(uint32_t rule_index,
+                                      const Term* row) const;
 
   /// Estimated join work for this round's discovery pass: for each
   /// (rule, pivot) unit, delta cardinality of the pivot predicate times
@@ -461,10 +513,21 @@ class ChaseRun {
   /// every parallel round reuses the same parked workers.
   std::shared_ptr<ThreadPool> owned_pool_;
 
+  /// Compiled once at construction from rules_; execution is gated by
+  /// options_.join_plans, compilation is not (it is cheap and lets stats
+  /// report plannability either way).
+  JoinPlanSet plans_;
+  /// Per-rule first-conjunct choice for the current round (kNoRule for
+  /// rules without a plan); recomputed by DiscoverPlanned each round.
+  std::vector<uint32_t> round_first_;
+
   /// Scratch written by DiscoverTriggers, folded into the round's stats
   /// entry by Execute (the entry does not exist yet at discovery time).
   uint64_t last_estimated_work_ = 0;
   bool last_parallel_ = false;
+  uint64_t last_plan_units_ = 0;
+  uint64_t last_fallback_units_ = 0;
+  uint64_t last_binding_rows_ = 0;
 
   ChaseStats stats_;
   uint64_t applied_triggers_ = 0;

@@ -1,0 +1,137 @@
+#include "chase/join_plan.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace gchase {
+
+namespace {
+
+/// Builds the unification program and probe sites for `conjunct`, given
+/// the set of binding-row slots already bound by earlier steps of the
+/// order. Positions are processed ascending, matching the backtracking
+/// engine's unification loop: a variable's first free occurrence binds,
+/// later occurrences check. Probe sites mirror the per-node planner's
+/// candidates: constants plus variables bound by *earlier* conjuncts —
+/// a repeat within this conjunct is unbound at planning time and so is
+/// never a probe site there either.
+PlanStep MakeStep(uint32_t conjunct, const Atom& pattern,
+                  const std::vector<bool>& bound_before) {
+  PlanStep step;
+  step.conjunct = conjunct;
+  step.predicate = pattern.predicate;
+  step.arity = pattern.arity();
+  std::vector<bool> bound = bound_before;
+  for (uint32_t pos = 0; pos < pattern.arity(); ++pos) {
+    const Term t = pattern.args[pos];
+    PlanOp op;
+    op.position = pos;
+    if (!t.IsVariable()) {
+      op.kind = PlanOp::Kind::kCheckConst;
+      op.constant = t;
+      step.probes.push_back(ProbeSite{pos, true, t, 0});
+    } else {
+      const uint32_t slot = t.index();
+      op.slot = slot;
+      if (slot < bound_before.size() && bound_before[slot]) {
+        op.kind = PlanOp::Kind::kCheckVar;
+        step.probes.push_back(ProbeSite{pos, false, Term(), slot});
+      } else if (slot < bound.size() && bound[slot]) {
+        op.kind = PlanOp::Kind::kCheckVar;  // repeat within this conjunct
+      } else {
+        op.kind = PlanOp::Kind::kBindVar;
+        if (slot < bound.size()) bound[slot] = true;
+      }
+    }
+    step.ops.push_back(op);
+  }
+  return step;
+}
+
+RuleJoinPlan CompileRule(const Tgd& rule) {
+  RuleJoinPlan plan;
+  const std::vector<Atom>& body = rule.body();
+  plan.body_size = static_cast<uint32_t>(body.size());
+  plan.num_slots = rule.num_variables();
+
+  // Plannability: the backtracking engine re-chooses the next conjunct at
+  // every search node. With at most two conjuncts the only choice point
+  // is depth zero (replicated per round by ChooseFirstConjunct); a third
+  // conjunct makes the choice branch-dependent, which a static order
+  // cannot reproduce without re-running the per-node estimates — so such
+  // bodies stay on the backtracking path.
+  if (body.size() > 2) {
+    plan.plannable = false;
+    plan.fallback_reason = "body-too-wide";
+    return plan;
+  }
+  plan.plannable = true;
+
+  for (uint32_t c = 0; c < body.size(); ++c) {
+    SeedEstimate seed;
+    seed.predicate = body[c].predicate;
+    for (uint32_t pos = 0; pos < body[c].arity(); ++pos) {
+      const Term t = body[c].args[pos];
+      if (!t.IsVariable()) {
+        seed.const_probes.push_back(ProbeSite{pos, true, t, 0});
+      }
+    }
+    plan.seeds.push_back(std::move(seed));
+  }
+
+  plan.orders.resize(body.size());
+  for (uint32_t first = 0; first < body.size(); ++first) {
+    std::vector<bool> bound(plan.num_slots, false);
+    plan.orders[first].push_back(MakeStep(first, body[first], bound));
+    if (body.size() == 2) {
+      const uint32_t other = 1 - first;
+      for (const Term t : body[first].args) {
+        if (t.IsVariable() && t.index() < bound.size()) {
+          bound[t.index()] = true;
+        }
+      }
+      plan.orders[first].push_back(MakeStep(other, body[other], bound));
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+JoinPlanSet JoinPlanSet::Compile(const RuleSet& rules) {
+  JoinPlanSet set;
+  set.plans_.reserve(rules.size());
+  for (uint32_t r = 0; r < rules.size(); ++r) {
+    set.plans_.push_back(CompileRule(rules.rule(r)));
+    if (set.plans_.back().plannable) ++set.plannable_;
+  }
+  return set;
+}
+
+uint32_t ChooseFirstConjunct(const Instance& instance,
+                             const RuleJoinPlan& plan) {
+  GCHASE_CHECK(plan.plannable && !plan.seeds.empty());
+  uint32_t best = 0;
+  std::size_t best_estimate = 0;
+  for (uint32_t c = 0; c < plan.seeds.size(); ++c) {
+    const SeedEstimate& seed = plan.seeds[c];
+    std::size_t estimate = instance.AtomsWithPredicate(seed.predicate).size();
+    for (const ProbeSite& probe : seed.const_probes) {
+      const std::size_t count =
+          instance
+              .AtomsWithTermAt(seed.predicate, probe.position, probe.constant)
+              .size();
+      if (count < estimate) estimate = count;
+    }
+    // Strictly-smaller wins, ties to the lower index — the same
+    // comparison the search's depth-zero argmin performs.
+    if (c == 0 || estimate < best_estimate) {
+      best = c;
+      best_estimate = estimate;
+    }
+  }
+  return best;
+}
+
+}  // namespace gchase

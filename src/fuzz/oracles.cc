@@ -181,22 +181,14 @@ std::optional<bool> MapsInto(const Instance& from, const Instance& to,
   return false;
 }
 
-/// Differential twin for the set-at-a-time executor: runs `chase_options`
-/// once with batch apply and once per-trigger, and demands the two runs
-/// be bit-identical — same outcome, same counters (modulo the batch-only
-/// RoundStats fields and wall times), same per-rule and per-round stats,
-/// same instance atom for atom, id for id. Returns a non-empty diff
-/// description on mismatch, "" when identical (or when a wall-clock abort
-/// made the pair incomparable — deterministic abort regimes are pinned by
-/// the fault-injection tests instead).
-std::string BatchTwinDiff(const FuzzCase& fuzz_case,
-                          ChaseOptions chase_options) {
-  chase_options.batch_apply = true;
-  ChaseResult batch =
-      RunChase(fuzz_case.rules, chase_options, fuzz_case.database);
-  chase_options.batch_apply = false;
-  ChaseResult single =
-      RunChase(fuzz_case.rules, chase_options, fuzz_case.database);
+/// Bit-identity comparison for two runs of the same (Σ, D, options)
+/// under different engine strategies: same outcome, same counters (modulo
+/// strategy-only RoundStats fields and wall times), same per-rule and
+/// per-round stats, same instance atom for atom, id for id. Returns a
+/// non-empty diff description on mismatch, "" when identical (or when a
+/// wall-clock abort made the pair incomparable — deterministic abort
+/// regimes are pinned by the fault-injection tests instead).
+std::string TwinDiff(const ChaseResult& batch, const ChaseResult& single) {
   if (Aborted(batch.outcome) || Aborted(single.outcome)) return "";
   if (batch.outcome != single.outcome) {
     return std::string("outcome ") + ChaseOutcomeName(batch.outcome) +
@@ -240,6 +232,65 @@ std::string BatchTwinDiff(const FuzzCase& fuzz_case,
   }
   std::string why;
   if (!InstancesIdentical(batch.instance, single.instance, &why)) return why;
+  return "";
+}
+
+/// Differential twin for the set-at-a-time executor: runs `chase_options`
+/// once with batch apply and once per-trigger, and demands bit-identity.
+std::string BatchTwinDiff(const FuzzCase& fuzz_case,
+                          ChaseOptions chase_options) {
+  chase_options.batch_apply = true;
+  ChaseResult batch =
+      RunChase(fuzz_case.rules, chase_options, fuzz_case.database);
+  chase_options.batch_apply = false;
+  ChaseResult single =
+      RunChase(fuzz_case.rules, chase_options, fuzz_case.database);
+  return TwinDiff(batch, single);
+}
+
+/// Differential twin for the compiled-plan discovery engine: runs
+/// `chase_options` once with join plans and once with the backtracking
+/// search, and demands bit-identity. The plan executor's contract is
+/// exact join-work parity (it charges unclipped list lengths), so the
+/// comparison includes join_work even under cap-adjacent rounds — those
+/// fall back to a wholesale legacy rerun by design.
+std::string PlanTwinDiff(const FuzzCase& fuzz_case,
+                         ChaseOptions chase_options) {
+  chase_options.join_plans = true;
+  ChaseResult planned =
+      RunChase(fuzz_case.rules, chase_options, fuzz_case.database);
+  chase_options.join_plans = false;
+  ChaseResult legacy =
+      RunChase(fuzz_case.rules, chase_options, fuzz_case.database);
+  return TwinDiff(planned, legacy);
+}
+
+/// PlanTwinDiff across cap regimes tightened around the base run's own
+/// footprint: the join-work cap (where cap-adjacent plan rounds must fall
+/// back to the serial search), the hom-discovery cap and the step cap.
+std::string PlanTwinDiffAllRegimes(const FuzzCase& fuzz_case,
+                                   const ChaseOptions& chase_options,
+                                   const ChaseResult& base) {
+  std::string diff = PlanTwinDiff(fuzz_case, chase_options);
+  if (!diff.empty()) return "uncapped: " + diff;
+  if (base.join_work > 1) {
+    ChaseOptions tight = chase_options;
+    tight.max_join_work = base.join_work / 2;
+    diff = PlanTwinDiff(fuzz_case, tight);
+    if (!diff.empty()) return "join-work-capped: " + diff;
+  }
+  if (base.hom_discoveries > 1) {
+    ChaseOptions tight = chase_options;
+    tight.max_hom_discoveries = base.hom_discoveries / 2;
+    diff = PlanTwinDiff(fuzz_case, tight);
+    if (!diff.empty()) return "hom-capped: " + diff;
+  }
+  if (base.applied_triggers > 1) {
+    ChaseOptions tight = chase_options;
+    tight.max_steps = base.applied_triggers / 2;
+    diff = PlanTwinDiff(fuzz_case, tight);
+    if (!diff.empty()) return "step-capped: " + diff;
+  }
   return "";
 }
 
@@ -503,6 +554,17 @@ OracleResult CheckParallelDeterminism(const FuzzCase& fuzz_case,
         "restricted): " +
         batch_diff);
   }
+  // Same for the discovery strategies: the compiled-plan executor must be
+  // bit-identical to the backtracking search — including join_work, so
+  // cap-adjacent regimes (where planned rounds fall back to a wholesale
+  // serial rerun) are exercised explicitly.
+  const std::string plan_diff = PlanTwinDiffAllRegimes(fuzz_case, serial, base);
+  if (!plan_diff.empty()) {
+    return Violation(
+        "compiled join plans are not bit-identical to backtracking "
+        "discovery (serial, restricted): " +
+        plan_diff);
+  }
   for (uint32_t threads : options.thread_counts) {
     ChaseOptions parallel = serial;
     parallel.discovery_threads = threads;
@@ -522,6 +584,15 @@ OracleResult CheckParallelDeterminism(const FuzzCase& fuzz_case,
     if (!why.empty()) {
       return Violation("parallel discovery at " + std::to_string(threads) +
                        " threads is not bit-identical to serial: " + why);
+    }
+    // Plan-on vs plan-off under the parallel engine as well — the merge
+    // order and fallback policy must not depend on the thread count.
+    const std::string parallel_plan_diff = PlanTwinDiff(fuzz_case, parallel);
+    if (!parallel_plan_diff.empty()) {
+      return Violation("compiled join plans are not bit-identical to "
+                       "backtracking discovery at " +
+                       std::to_string(threads) +
+                       " threads: " + parallel_plan_diff);
     }
   }
   return Pass();
@@ -641,6 +712,14 @@ OracleResult CheckOrderEquivalence(const FuzzCase& fuzz_case,
                                      "per-trigger apply (") +
                          ChaseVariantName(variant) + ", order " + run.name +
                          "): " + diff);
+      }
+      const std::string plan_diff = PlanTwinDiff(fuzz_case, chase_options);
+      if (!plan_diff.empty()) {
+        return Violation(std::string("compiled join plans are not "
+                                     "bit-identical to backtracking "
+                                     "discovery (") +
+                         ChaseVariantName(variant) + ", order " + run.name +
+                         "): " + plan_diff);
       }
     }
   }

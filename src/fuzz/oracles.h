@@ -38,7 +38,11 @@ enum class OracleId : uint32_t {
   /// same instance, atom by atom). Also pins the serial baseline itself:
   /// batch (set-at-a-time) apply must be bit-identical to per-trigger
   /// apply, uncapped and under step/atom/null cap regimes tightened
-  /// around the base run's own footprint.
+  /// around the base run's own footprint; and compiled-plan discovery
+  /// must be bit-identical to the backtracking search — join_work
+  /// included — uncapped, under join-work/hom/step cap regimes (where
+  /// cap-adjacent plan rounds fall back to a legacy rerun), and under
+  /// the parallel engine at every thread count.
   kParallelDeterminism = 3,
   /// Engine metamorphic: a chase result round-trips through storage/io
   /// (write → parse → atom-for-atom correspondence, nulls mapped to
@@ -47,8 +51,9 @@ enum class OracleId : uint32_t {
   /// Engine metamorphic: restricted-chase results under different fair
   /// trigger orders are homomorphically equivalent whenever both orders
   /// terminate (each result is a universal model of (Σ, D)). Also pins
-  /// batch-vs-per-trigger bit-identity across the full variant × order
-  /// grid (counters, per-rule/per-round stats, instance ids).
+  /// batch-vs-per-trigger and plan-on-vs-plan-off bit-identity across the
+  /// full variant × order grid (counters, per-rule/per-round stats,
+  /// instance ids).
   kOrderEquivalence = 5,
   /// Engine metamorphic: memory governance never corrupts a run. Per
   /// variant, against an uncapped base run: (a) an injected memory-budget

@@ -23,15 +23,9 @@ inline constexpr uint32_t kUnboundIndex = (1u << 30) - 1;
 inline Term UnboundTerm() { return Term::Null(kUnboundIndex); }
 inline bool IsBound(Term t) { return t != UnboundTerm(); }
 
-/// Which atoms of the instance a conjunct may match; used for semi-naive
-/// trigger discovery (every new homomorphism must touch the delta).
-enum class MatchRange {
-  kAll,       ///< Any atom.
-  kOldOnly,   ///< Atoms with id < watermark.
-  kDeltaOnly, ///< Atoms with id >= watermark.
-};
-
 /// Options for one FindHomomorphisms call.
+/// (MatchRange itself lives in storage/instance.h, next to the posting
+/// probe API that clips to it.)
 ///
 /// Concurrency: a search only reads the instance, so any number of
 /// searches may run in parallel against one Instance that no thread is

@@ -1,6 +1,7 @@
 #ifndef GCHASE_STORAGE_INSTANCE_H_
 #define GCHASE_STORAGE_INSTANCE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <utility>
@@ -17,6 +18,52 @@ namespace gchase {
 /// stable, which lets callers use an id watermark as a "delta" boundary
 /// for semi-naive evaluation.
 using AtomId = uint32_t;
+
+/// Which atoms of the instance a conjunct may match; used for semi-naive
+/// trigger discovery (every new homomorphism must touch the delta). Lives
+/// with the storage layer because the posting-list probe API clips to a
+/// range directly — append-ordered ids make both bounds a binary search.
+enum class MatchRange {
+  kAll,       ///< Any atom.
+  kOldOnly,   ///< Atoms with id < watermark.
+  kDeltaOnly, ///< Atoms with id >= watermark.
+};
+
+/// A borrowed, range-clipped view of one posting list. `full_size` is the
+/// unclipped list length — the join-work charge of scanning the list in
+/// the backtracking engine, which visits every candidate and filters by
+/// range per candidate. Keeping the two separate lets the set-at-a-time
+/// plan executor skip out-of-range candidates without touching them while
+/// still accounting visits in the legacy engine's units.
+struct PostingView {
+  const AtomId* begin = nullptr;
+  const AtomId* end = nullptr;
+  uint32_t full_size = 0;
+
+  uint32_t size() const { return static_cast<uint32_t>(end - begin); }
+};
+
+/// Clip an append-ordered posting list to `range` relative to `watermark`.
+/// Because ids are sorted, one binary search finds the boundary; kAll needs
+/// no search at all. full_size stays the unclipped length — the legacy
+/// engine's visit count for scanning this list. Exposed inline so hot
+/// executor loops can probe raw lists (hash lookup only) and clip just the
+/// list they actually scan.
+inline PostingView ClipPostings(const std::vector<AtomId>& ids,
+                                MatchRange range, AtomId watermark) {
+  PostingView view;
+  view.begin = ids.data();
+  view.end = ids.data() + ids.size();
+  view.full_size = static_cast<uint32_t>(ids.size());
+  if (range == MatchRange::kAll) return view;
+  const AtomId* split = std::lower_bound(view.begin, view.end, watermark);
+  if (range == MatchRange::kOldOnly) {
+    view.end = split;
+  } else {
+    view.begin = split;
+  }
+  return view;
+}
 
 /// A set of ground atoms (facts over constants and labeled nulls) stored
 /// columnar:
@@ -144,6 +191,16 @@ class Instance {
   const std::vector<AtomId>& AtomsWithTermAt(PredicateId pred,
                                              uint32_t position,
                                              Term term) const;
+
+  /// Range-clipped view of AtomsWithPredicate(pred): the ids in `range`
+  /// relative to `watermark`, found by binary search on the append-ordered
+  /// list, plus the unclipped length for visit accounting.
+  PostingView PredicatePostings(PredicateId pred, MatchRange range,
+                                AtomId watermark) const;
+
+  /// Range-clipped view of AtomsWithTermAt(pred, position, term).
+  PostingView PositionPostings(PredicateId pred, uint32_t position, Term term,
+                               MatchRange range, AtomId watermark) const;
 
   /// Number of distinct labeled nulls occurring in the instance.
   uint32_t CountNulls() const;

@@ -1,0 +1,506 @@
+// Tests for the compiled discovery join plans (chase/join_plan.{h,cc} +
+// chase/plan_executor.{h,cc}): plan compilation and plannability rules,
+// the depth-zero order choice, BindingSegment budget mechanics, and —
+// the core contract — bit-identity of plan-on against plan-off runs
+// across the variant x order grid, discovery-cap sweeps (including exact
+// join-work accounting parity), fault-injection abort points, and
+// parallel thread counts.
+
+#include "chase/join_plan.h"
+
+#include <string>
+
+#include "base/memory_budget.h"
+#include "chase/chase.h"
+#include "chase/plan_executor.h"
+#include "gtest/gtest.h"
+#include "storage/instance.h"
+#include "tests/test_util.h"
+
+namespace gchase {
+namespace {
+
+// -------------------------------------------------------------------------
+// Plan compilation.
+
+TEST(JoinPlanTest, CompilesOneAndTwoConjunctBodies) {
+  ParsedProgram program = MustParse(
+      "p(X) -> q(X).\n"
+      "e(X,Y), e(Y,Z) -> e(X,Z).\n"
+      "a(X,Y), b(Y,Z), c(Z,W) -> d(X,W).\n");
+  JoinPlanSet plans = JoinPlanSet::Compile(program.rules);
+  ASSERT_EQ(plans.size(), 3u);
+  EXPECT_EQ(plans.plannable_rules(), 2u);
+
+  const RuleJoinPlan& unary = plans.plan(0);
+  ASSERT_TRUE(unary.plannable);
+  EXPECT_EQ(unary.body_size, 1u);
+  ASSERT_EQ(unary.orders.size(), 1u);
+  ASSERT_EQ(unary.orders[0].size(), 1u);
+  EXPECT_EQ(unary.orders[0][0].conjunct, 0u);
+
+  const RuleJoinPlan& closure = plans.plan(1);
+  ASSERT_TRUE(closure.plannable);
+  EXPECT_EQ(closure.body_size, 2u);
+  ASSERT_EQ(closure.orders.size(), 2u);
+  // Order starting at conjunct 0: step 1 matches conjunct 1 with its
+  // first position (the shared variable Y) as the one probe site.
+  const std::vector<PlanStep>& order0 = closure.orders[0];
+  ASSERT_EQ(order0.size(), 2u);
+  EXPECT_EQ(order0[0].conjunct, 0u);
+  EXPECT_EQ(order0[1].conjunct, 1u);
+  ASSERT_EQ(order0[1].probes.size(), 1u);
+  EXPECT_EQ(order0[1].probes[0].position, 0u);
+  EXPECT_FALSE(order0[1].probes[0].is_constant);
+  // In that step, position 0 checks the bound Y and position 1 binds Z.
+  ASSERT_EQ(order0[1].ops.size(), 2u);
+  EXPECT_EQ(order0[1].ops[0].kind, PlanOp::Kind::kCheckVar);
+  EXPECT_EQ(order0[1].ops[1].kind, PlanOp::Kind::kBindVar);
+
+  const RuleJoinPlan& wide = plans.plan(2);
+  EXPECT_FALSE(wide.plannable);
+  EXPECT_STREQ(wide.fallback_reason, "body-too-wide");
+}
+
+TEST(JoinPlanTest, ConstantsBecomeChecksAndProbeSites) {
+  ParsedProgram program = MustParse("p(c,X) -> q(X).\n");
+  JoinPlanSet plans = JoinPlanSet::Compile(program.rules);
+  const RuleJoinPlan& plan = plans.plan(0);
+  ASSERT_TRUE(plan.plannable);
+  const PlanStep& step = plan.orders[0][0];
+  ASSERT_EQ(step.ops.size(), 2u);
+  EXPECT_EQ(step.ops[0].kind, PlanOp::Kind::kCheckConst);
+  EXPECT_EQ(step.ops[1].kind, PlanOp::Kind::kBindVar);
+  // The constant is a seed probe site (usable under the empty binding).
+  ASSERT_EQ(plan.seeds.size(), 1u);
+  ASSERT_EQ(plan.seeds[0].const_probes.size(), 1u);
+  EXPECT_EQ(plan.seeds[0].const_probes[0].position, 0u);
+}
+
+TEST(JoinPlanTest, RepeatedVariableChecksWithoutProbing) {
+  // The second occurrence of X within one conjunct checks but is not a
+  // probe site (unbound at planning time), matching the backtracking
+  // engine's per-node planner.
+  ParsedProgram program = MustParse("e(X,X) -> q(X).\n");
+  JoinPlanSet plans = JoinPlanSet::Compile(program.rules);
+  const PlanStep& step = plans.plan(0).orders[0][0];
+  ASSERT_EQ(step.ops.size(), 2u);
+  EXPECT_EQ(step.ops[0].kind, PlanOp::Kind::kBindVar);
+  EXPECT_EQ(step.ops[1].kind, PlanOp::Kind::kCheckVar);
+  EXPECT_TRUE(step.probes.empty());
+}
+
+TEST(JoinPlanTest, ChooseFirstConjunctPrefersSmallerRelation) {
+  ParsedProgram program = MustParse(
+      "big(X,Y), small(Y,Z) -> out(X,Z).\n"
+      "big(a,b). big(b,c). big(c,d). small(d,e).\n");
+  Instance instance;
+  for (const Atom& atom : program.facts) instance.Insert(atom);
+  JoinPlanSet plans = JoinPlanSet::Compile(program.rules);
+  EXPECT_EQ(ChooseFirstConjunct(instance, plans.plan(0)), 1u);
+}
+
+TEST(JoinPlanTest, ChooseFirstConjunctTiesToLowerIndex) {
+  ParsedProgram program = MustParse(
+      "p(X,Y), q(Y,Z) -> out(X,Z).\n"
+      "p(a,b). q(b,c).\n");
+  Instance instance;
+  for (const Atom& atom : program.facts) instance.Insert(atom);
+  JoinPlanSet plans = JoinPlanSet::Compile(program.rules);
+  // Both relations have one atom: the tie goes to conjunct 0, exactly as
+  // the backtracking engine's strict-< argmin keeps the first plan.
+  EXPECT_EQ(ChooseFirstConjunct(instance, plans.plan(0)), 0u);
+}
+
+// -------------------------------------------------------------------------
+// BindingSegment budget mechanics (the HeadBlock ratchet contract).
+
+TEST(BindingSegmentTest, ChargesCapacityGrowthAndReleasesOnDetach) {
+  MemoryBudget budget(0);  // unlimited, but tracks charges
+  {
+    BindingSegment segment;
+    segment.SetMemoryBudget(&budget);
+    segment.SetWidth(2);
+    const Term row[] = {Term::Constant(1), Term::Constant(2)};
+    for (int i = 0; i < 100; ++i) segment.AppendRow(row);
+    EXPECT_EQ(segment.rows(), 100u);
+    EXPECT_EQ(budget.in_use_bytes(), segment.capacity_bytes());
+    // Clear keeps capacity, so the charge stays (high-water ratchet).
+    segment.Clear();
+    EXPECT_EQ(budget.in_use_bytes(), segment.capacity_bytes());
+  }
+  // Destruction releases the full charge.
+  EXPECT_EQ(budget.in_use_bytes(), 0u);
+}
+
+TEST(BindingSegmentTest, RowsRoundTrip) {
+  BindingSegment segment;
+  segment.SetWidth(3);
+  const Term a[] = {Term::Constant(1), UnboundTerm(), Term::Constant(3)};
+  const Term b[] = {Term::Constant(4), Term::Constant(5), UnboundTerm()};
+  segment.AppendRow(a);
+  segment.AppendRow(b);
+  ASSERT_EQ(segment.rows(), 2u);
+  EXPECT_EQ(segment.row(0)[0], Term::Constant(1));
+  EXPECT_EQ(segment.row(0)[1], UnboundTerm());
+  EXPECT_EQ(segment.row(1)[1], Term::Constant(5));
+}
+
+// -------------------------------------------------------------------------
+// Bit-identity: plan-on vs plan-off across variants, orders, caps.
+
+struct TwinRun {
+  ChaseOutcome outcome;
+  std::vector<Atom> atoms;
+  uint64_t applied = 0;
+  uint64_t rounds = 0;
+  uint64_t nulls = 0;
+  uint64_t hom_discoveries = 0;
+  uint64_t join_work = 0;
+  ChaseStats stats;
+};
+
+TwinRun RunTwin(const ParsedProgram& program, ChaseOptions options,
+                bool plans) {
+  options.join_plans = plans;
+  ChaseRun run(program.rules, options, program.facts);
+  TwinRun result;
+  result.outcome = run.Execute();
+  result.atoms = run.instance().MaterializeAtoms();
+  result.applied = run.applied_triggers();
+  result.rounds = run.rounds();
+  result.nulls = run.nulls_created();
+  result.hom_discoveries = run.hom_discoveries();
+  result.join_work = run.join_work();
+  result.stats = run.stats();
+  return result;
+}
+
+/// Asserts full bit-identity of a plan-on run against its plan-off twin.
+/// Unlike apply-path twinning, join_work is asserted *equal*: the plan
+/// executor charges exactly the candidate visits the backtracking search
+/// performs, so work accounting is part of the contract here.
+void ExpectTwinsIdentical(const ParsedProgram& program,
+                          const ChaseOptions& options,
+                          const std::string& context) {
+  TwinRun planned = RunTwin(program, options, true);
+  TwinRun legacy = RunTwin(program, options, false);
+  EXPECT_EQ(planned.outcome, legacy.outcome) << context;
+  EXPECT_EQ(planned.applied, legacy.applied) << context;
+  EXPECT_EQ(planned.rounds, legacy.rounds) << context;
+  EXPECT_EQ(planned.nulls, legacy.nulls) << context;
+  EXPECT_EQ(planned.hom_discoveries, legacy.hom_discoveries) << context;
+  EXPECT_EQ(planned.join_work, legacy.join_work) << context;
+  ASSERT_EQ(planned.atoms.size(), legacy.atoms.size()) << context;
+  for (std::size_t i = 0; i < planned.atoms.size(); ++i) {
+    ASSERT_TRUE(planned.atoms[i] == legacy.atoms[i])
+        << context << " atom " << i;
+  }
+  ASSERT_EQ(planned.stats.per_rule.size(), legacy.stats.per_rule.size())
+      << context;
+  for (std::size_t r = 0; r < planned.stats.per_rule.size(); ++r) {
+    EXPECT_EQ(planned.stats.per_rule[r].discovered,
+              legacy.stats.per_rule[r].discovered)
+        << context << " rule " << r;
+    EXPECT_EQ(planned.stats.per_rule[r].applied,
+              legacy.stats.per_rule[r].applied)
+        << context << " rule " << r;
+    EXPECT_EQ(planned.stats.per_rule[r].skipped_satisfied,
+              legacy.stats.per_rule[r].skipped_satisfied)
+        << context << " rule " << r;
+    // Plan activity is strictly a plan-on phenomenon.
+    EXPECT_EQ(legacy.stats.per_rule[r].plan_rotations, 0u)
+        << context << " rule " << r;
+  }
+  ASSERT_EQ(planned.stats.per_round.size(), legacy.stats.per_round.size())
+      << context;
+  for (std::size_t i = 0; i < planned.stats.per_round.size(); ++i) {
+    EXPECT_EQ(planned.stats.per_round[i].candidates,
+              legacy.stats.per_round[i].candidates)
+        << context << " round " << i;
+    EXPECT_EQ(planned.stats.per_round[i].applied,
+              legacy.stats.per_round[i].applied)
+        << context << " round " << i;
+    EXPECT_EQ(legacy.stats.per_round[i].plan_units, 0u)
+        << context << " round " << i;
+  }
+}
+
+/// A workload exercising every plan shape at once: a two-conjunct join
+/// (closure), a unary plannable rule with an existential multi-atom head,
+/// a constant in a body position, a repeated variable, and a
+/// three-conjunct non-plannable rule sharing predicates with the rest.
+ParsedProgram MixedWorkload() {
+  std::string text =
+      "e(X,Y), e(Y,Z) -> e(X,Z).\n"
+      "e(X,Y) -> p(X,W), q(W), e(Y,W).\n"
+      "p(X,Y), q(Y) -> r(X).\n"
+      "e(n0,X) -> s(X).\n"
+      "e(X,X) -> loop(X).\n"
+      "p(X,A), q(A), r(X) -> t(X).\n";
+  for (int i = 0; i < 8; ++i) {
+    text += "e(n" + std::to_string(i) + ", n" + std::to_string(i + 1) +
+            ").\n";
+  }
+  return MustParse(text);
+}
+
+TEST(JoinPlanTest, BitIdenticalAcrossVariantsAndOrders) {
+  ParsedProgram program = MixedWorkload();
+  for (ChaseVariant variant :
+       {ChaseVariant::kOblivious, ChaseVariant::kSemiOblivious,
+        ChaseVariant::kRestricted}) {
+    for (TriggerOrder order :
+         {TriggerOrder::kFifo, TriggerOrder::kDatalogFirst,
+          TriggerOrder::kRandom}) {
+      ChaseOptions options;
+      options.variant = variant;
+      options.order = order;
+      options.order_seed = 0x9e3779b97f4a7c15ull;
+      options.max_atoms = 4000;
+      options.max_steps = 4000;
+      ExpectTwinsIdentical(program, options,
+                           std::string(ChaseVariantName(variant)) +
+                               "/order=" +
+                               std::to_string(static_cast<int>(order)));
+    }
+  }
+}
+
+TEST(JoinPlanTest, BitIdenticalUnderStepCap) {
+  ParsedProgram program = MixedWorkload();
+  for (ChaseVariant variant :
+       {ChaseVariant::kOblivious, ChaseVariant::kSemiOblivious,
+        ChaseVariant::kRestricted}) {
+    for (uint64_t cap : {1u, 7u, 23u}) {
+      ChaseOptions options;
+      options.variant = variant;
+      options.max_steps = cap;
+      ExpectTwinsIdentical(program, options,
+                           std::string(ChaseVariantName(variant)) +
+                               "/max_steps=" + std::to_string(cap));
+    }
+  }
+}
+
+TEST(JoinPlanTest, BitIdenticalUnderHomDiscoveryCap) {
+  ParsedProgram program = MixedWorkload();
+  for (ChaseVariant variant :
+       {ChaseVariant::kOblivious, ChaseVariant::kSemiOblivious,
+        ChaseVariant::kRestricted}) {
+    for (uint64_t cap : {1u, 9u, 40u, 150u}) {
+      ChaseOptions options;
+      options.variant = variant;
+      options.max_hom_discoveries = cap;
+      options.max_atoms = 4000;
+      options.max_steps = 4000;
+      ExpectTwinsIdentical(program, options,
+                           std::string(ChaseVariantName(variant)) +
+                               "/max_homs=" + std::to_string(cap));
+    }
+  }
+}
+
+TEST(JoinPlanTest, BitIdenticalUnderJoinWorkCap) {
+  // The cap that makes visit-accounting parity observable: a plan run
+  // that charged even one visit more or less than the backtracking
+  // search would trip the cap on a different round and diverge.
+  ParsedProgram program = MixedWorkload();
+  for (ChaseVariant variant :
+       {ChaseVariant::kOblivious, ChaseVariant::kSemiOblivious,
+        ChaseVariant::kRestricted}) {
+    for (uint64_t cap : {1u, 30u, 111u, 500u, 2000u}) {
+      ChaseOptions options;
+      options.variant = variant;
+      options.max_join_work = cap;
+      options.max_atoms = 4000;
+      options.max_steps = 4000;
+      ExpectTwinsIdentical(program, options,
+                           std::string(ChaseVariantName(variant)) +
+                               "/max_join_work=" + std::to_string(cap));
+    }
+  }
+}
+
+TEST(JoinPlanTest, BitIdenticalAcrossThreadCounts) {
+  // Plan-on parallel rounds must agree with plan-on serial rounds and —
+  // transitively — with the legacy serial engine. Cutover 0 forces the
+  // pool on so small rounds exercise the parallel merge too.
+  ParsedProgram program = MixedWorkload();
+  ChaseOptions base;
+  base.max_atoms = 4000;
+  base.max_steps = 4000;
+  base.parallel_cutover_work = 0;
+  TwinRun serial = RunTwin(program, base, true);
+  for (uint32_t threads : {2u, 4u}) {
+    ChaseOptions options = base;
+    options.discovery_threads = threads;
+    TwinRun parallel = RunTwin(program, options, true);
+    EXPECT_EQ(parallel.outcome, serial.outcome) << threads;
+    EXPECT_EQ(parallel.applied, serial.applied) << threads;
+    EXPECT_EQ(parallel.hom_discoveries, serial.hom_discoveries) << threads;
+    EXPECT_EQ(parallel.join_work, serial.join_work) << threads;
+    ASSERT_EQ(parallel.atoms.size(), serial.atoms.size()) << threads;
+    for (std::size_t i = 0; i < parallel.atoms.size(); ++i) {
+      ASSERT_TRUE(parallel.atoms[i] == serial.atoms[i])
+          << threads << " atom " << i;
+    }
+    ExpectTwinsIdentical(program, options,
+                         "threads=" + std::to_string(threads));
+  }
+}
+
+// -------------------------------------------------------------------------
+// Fault-injection abort points: a plan-on run must stop with the same
+// outcome and the same instance as plan-off at every deterministic abort.
+// Counters accrued mid-discovery (hom_discoveries) may legitimately
+// differ on aborted rounds — collect-then-merge engines discard pending
+// work wholesale — so they are not compared here, mirroring the
+// parallel-discovery contract.
+
+void ExpectAbortTwinsAgree(const ParsedProgram& program, ChaseOptions options,
+                           const std::string& context) {
+  TwinRun planned = RunTwin(program, options, true);
+  TwinRun legacy = RunTwin(program, options, false);
+  EXPECT_EQ(planned.outcome, legacy.outcome) << context;
+  EXPECT_EQ(planned.applied, legacy.applied) << context;
+  ASSERT_EQ(planned.atoms.size(), legacy.atoms.size()) << context;
+  for (std::size_t i = 0; i < planned.atoms.size(); ++i) {
+    ASSERT_TRUE(planned.atoms[i] == legacy.atoms[i])
+        << context << " atom " << i;
+  }
+}
+
+TEST(JoinPlanTest, FaultAtDiscoveryUnitAbortsIdentically) {
+  ParsedProgram program = MixedWorkload();
+  for (uint64_t ordinal : {0u, 3u, 7u}) {
+    ChaseOptions options;
+    options.max_atoms = 4000;
+    options.max_steps = 4000;
+    options.fault_injector = [ordinal](FaultSite site, uint64_t o) {
+      return site == FaultSite::kDiscovery && o == ordinal
+                 ? InjectedFault::kCancel
+                 : InjectedFault::kNone;
+    };
+    ExpectAbortTwinsAgree(program, options,
+                          "discovery-ordinal=" + std::to_string(ordinal));
+  }
+}
+
+TEST(JoinPlanTest, FaultAtRoundStartAbortsIdentically) {
+  ParsedProgram program = MixedWorkload();
+  for (uint64_t round : {0u, 1u, 2u}) {
+    ChaseOptions options;
+    options.max_atoms = 4000;
+    options.max_steps = 4000;
+    options.fault_injector = [round](FaultSite site, uint64_t o) {
+      return site == FaultSite::kRoundStart && o == round
+                 ? InjectedFault::kDeadline
+                 : InjectedFault::kNone;
+    };
+    // Round boundaries are outside the discovery phase: full bit-identity
+    // holds there, counters included.
+    ExpectTwinsIdentical(program, options,
+                         "round-start=" + std::to_string(round));
+  }
+}
+
+TEST(JoinPlanTest, FaultAtTriggerApplyAbortsIdentically) {
+  ParsedProgram program = MixedWorkload();
+  for (uint64_t ordinal : {0u, 2u, 9u}) {
+    ChaseOptions options;
+    options.max_atoms = 4000;
+    options.max_steps = 4000;
+    options.fault_injector = [ordinal](FaultSite site, uint64_t o) {
+      return site == FaultSite::kTriggerApply && o == ordinal
+                 ? InjectedFault::kResourceLimit
+                 : InjectedFault::kNone;
+    };
+    // Apply-phase aborts happen after discovery merged completely: full
+    // bit-identity, counters included.
+    ExpectTwinsIdentical(program, options,
+                         "trigger-apply=" + std::to_string(ordinal));
+  }
+}
+
+// -------------------------------------------------------------------------
+// Plan stats surface.
+
+TEST(JoinPlanTest, StatsReportPlanActivity) {
+  ParsedProgram program = MixedWorkload();
+  ChaseOptions options;
+  options.max_atoms = 4000;
+  options.max_steps = 4000;
+
+  TwinRun planned = RunTwin(program, options, true);
+  EXPECT_EQ(planned.stats.plannable_rules, 5u);
+  uint64_t plan_units = 0, fallback_units = 0, binding_rows = 0;
+  for (const RoundStats& round : planned.stats.per_round) {
+    plan_units += round.plan_units;
+    fallback_units += round.fallback_units;
+    binding_rows += round.binding_rows;
+  }
+  EXPECT_GT(plan_units, 0u);
+  // The three-conjunct rule keeps the backtracking path busy every round.
+  EXPECT_GT(fallback_units, 0u);
+  EXPECT_GT(binding_rows, 0u);
+  // The closure rule executed plans and recorded its chosen order.
+  EXPECT_GT(planned.stats.per_rule[0].plan_rotations, 0u);
+  EXPECT_EQ(planned.stats.per_rule[0].plan_order.size(), 2u);
+  // The non-plannable rule never rotated.
+  EXPECT_EQ(planned.stats.per_rule[5].plan_rotations, 0u);
+  EXPECT_TRUE(planned.stats.per_rule[5].plan_order.empty());
+
+  TwinRun legacy = RunTwin(program, options, false);
+  // Plannability is reported either way; execution counters are zero off.
+  EXPECT_EQ(legacy.stats.plannable_rules, 5u);
+  for (const RoundStats& round : legacy.stats.per_round) {
+    EXPECT_EQ(round.plan_units, 0u);
+    EXPECT_EQ(round.binding_rows, 0u);
+  }
+}
+
+// -------------------------------------------------------------------------
+// Direct executor check: enumeration order is the id-lexicographic order
+// the backtracking search produces, including semi-naive range clipping.
+
+TEST(PlanExecutorTest, EnumeratesInIdLexOrderWithDeltaPivot) {
+  ParsedProgram program = MustParse(
+      "e(X,Y), e(Y,Z) -> e(X,Z).\n"
+      "e(a,b). e(b,c). e(c,d).\n");
+  Instance instance;
+  for (const Atom& atom : program.facts) instance.Insert(atom);
+  JoinPlanSet plans = JoinPlanSet::Compile(program.rules);
+  const RuleJoinPlan& plan = plans.plan(0);
+  PlanExecutor executor(instance);
+  BindingSegment scratch, out;
+
+  // Watermark 0: everything is delta. Pivot 0 with the kDeltaOnly/kAll
+  // split enumerates both chain joins (a,b,c) and (b,c,d) in id order.
+  const uint64_t kUnlimited = std::numeric_limits<uint64_t>::max();
+  PlanExecutor::UnitStatus status =
+      executor.ExecuteUnit(plan, /*pivot=*/0,
+                           ChooseFirstConjunct(instance, plan),
+                           /*watermark=*/0, kUnlimited, kUnlimited,
+                           /*governor=*/nullptr, &scratch, &out);
+  EXPECT_FALSE(status.budget_exhausted);
+  ASSERT_EQ(status.rows, 2u);
+  ASSERT_EQ(out.rows(), 2u);
+  // Row 0 is the (a,b,c) join: X=a, Y=b, Z=c in slot order.
+  EXPECT_EQ(out.row(0)[plan.orders[0][0].ops[0].slot],
+            instance.atom(0).args[0]);
+
+  // Pivot 1 with watermark past the whole instance: empty delta, no rows,
+  // and the charge reflects the visits a backtracking search would spend
+  // discovering that (it scans the unclipped chosen list).
+  BindingSegment out2;
+  status = executor.ExecuteUnit(plan, /*pivot=*/1,
+                                ChooseFirstConjunct(instance, plan),
+                                /*watermark=*/instance.size(), kUnlimited,
+                                kUnlimited, nullptr, &scratch, &out2);
+  EXPECT_EQ(out2.rows(), 0u);
+  EXPECT_GT(status.charge, 0u);
+}
+
+}  // namespace
+}  // namespace gchase

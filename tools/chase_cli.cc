@@ -16,6 +16,11 @@
 //                 list (per-rule counters, per-round timings, peaks)
 //     --threads=N parallel trigger discovery with N workers (default 1;
 //                 the result is bit-identical for every N)
+//     --join-plans=on|off  compiled set-at-a-time join plans for trigger
+//                 discovery (default on); off routes every rule through
+//                 the legacy backtracking search. The result is
+//                 bit-identical either way — this is a performance
+//                 toggle and the differential-testing baseline
 //     --deadline-ms=N  wall-clock budget; an expired run stops at its
 //                 next cooperative checkpoint with the partial instance
 //                 and stats intact
@@ -196,6 +201,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <file.dlgp> [restricted|semi-oblivious|"
                  "oblivious] [max_atoms] [--dot] [--stats] [--threads=N] "
+                 "[--join-plans=on|off] "
                  "[--deadline-ms=N] [--max-memory-mb=N] [--decide] "
                  "[--trace=FILE] [--trace-categories=LIST] "
                  "[--metrics-json=FILE]\n",
@@ -218,6 +224,7 @@ int main(int argc, char** argv) {
   bool want_dot = false;
   bool want_stats = false;
   bool want_decide = false;
+  bool join_plans = true;
   uint32_t threads = 1;
   int64_t deadline_ms = -1;
   uint64_t max_memory_bytes = 0;
@@ -251,6 +258,17 @@ int main(int argc, char** argv) {
       flusher.metrics_path = argv[i] + 15;
       if (flusher.metrics_path.empty()) {
         std::fprintf(stderr, "--metrics-json needs a file path\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--join-plans=", 13) == 0) {
+      const char* value = argv[i] + 13;
+      if (std::strcmp(value, "on") == 0) {
+        join_plans = true;
+      } else if (std::strcmp(value, "off") == 0) {
+        join_plans = false;
+      } else {
+        std::fprintf(stderr, "--join-plans needs 'on' or 'off', got '%s'\n",
+                     value);
         return 2;
       }
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
@@ -303,6 +321,7 @@ int main(int argc, char** argv) {
   options.max_atoms = 10000;
   options.track_provenance = want_dot;
   options.discovery_threads = threads;
+  options.join_plans = join_plans;
   if (deadline_ms >= 0) options.deadline = Deadline::AfterMillis(deadline_ms);
   options.cancel = g_cancel;
   options.max_memory_bytes = max_memory_bytes;
