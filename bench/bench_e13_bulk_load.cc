@@ -1,0 +1,361 @@
+// Experiment E13 — memory-mapped columnar EDB bulk load: the PR that
+// separates immutable input facts from chase-derived deltas behind the
+// pluggable EDB interface (storage/edb.h), with a dictionary-encoded
+// columnar store, a CSV/DLGP bulk loader that bypasses the per-atom
+// parser (storage/bulk_load.h), and a zero-copy mmap snapshot format
+// (storage/edb_snapshot.h).
+//
+// For every (profile, size) workload the same deterministic fact stream
+// (generator/fact_emitter.h) is loaded three ways:
+//
+//   - csv_load:    bulk CSV loader into the columnar EDB;
+//   - parser_load: the same facts as DLGP text through ParseProgram —
+//     the per-atom baseline the loader claims >= 5x against (skipped at
+//     10M, where materializing 10M Atom objects is the point being
+//     avoided);
+//   - mmap_load:   OpenEdbSnapshot over the snapshot written from the
+//     CSV-loaded EDB (snapshot_write is its own row).
+//
+// Each loaded database then seeds a full bounded chase
+// (BoundedFactRules: guarded, existential-free, O(|edge|) derivations)
+// under an 8 GiB budget. Bit-identity is asserted on every workload: the
+// EDB-seeded, mmap-seeded and parser-seeded runs must produce the same
+// instance fingerprint (atom-by-atom, order included) — a `NO` here is a
+// correctness bug, and the bench aborts on it.
+//
+// Writes machine-readable results to BENCH_e13.json in the working
+// directory ("storage" rows keyed (workload, op), comparable by
+// scripts/bench_compare.py). `--smoke` restricts to the 50k workloads
+// (the perf-smoke tier of the nightly gate).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/memory_budget.h"
+#include "base/timer.h"
+#include "bench/bench_util.h"
+#include "chase/chase.h"
+#include "generator/fact_emitter.h"
+#include "model/parser.h"
+#include "storage/bulk_load.h"
+#include "storage/edb.h"
+#include "storage/edb_snapshot.h"
+
+namespace gchase {
+namespace {
+
+/// Budget every load+chase pair runs under; the 10M row completing
+/// within it is part of the experiment's claim.
+constexpr uint64_t kBudgetBytes = uint64_t{8} << 30;
+
+struct E13Workload {
+  std::string name;  // "chain/1M" — the row key
+  FactProfile profile;
+  uint64_t atoms;
+  /// Run the per-atom parser baseline (off at 10M, where materializing
+  /// that many Atom objects is exactly what the loader avoids).
+  bool parser_baseline;
+};
+
+std::string TempPath(const std::string& workload, const char* suffix) {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string path = tmp != nullptr ? tmp : "/tmp";
+  path += "/gchase_e13_";
+  for (char c : workload) path += c == '/' ? '_' : c;
+  path += suffix;
+  return path;
+}
+
+/// Order-sensitive instance fingerprint: FNV over (predicate, arity,
+/// terms) in atom-id order — equal fingerprints mean the runs agreed
+/// atom for atom, id for id.
+uint64_t InstanceFingerprint(const Instance& instance) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t value) {
+    h ^= value;
+    h *= 1099511628211ULL;
+  };
+  for (AtomView atom : instance.atoms()) {
+    mix(atom.predicate);
+    mix(atom.arity());
+    for (Term t : atom.args) mix(t.raw());
+  }
+  return h;
+}
+
+struct ChaseResult {
+  double total_seconds = 0.0;
+  double load_seconds = 0.0;
+  uint64_t atoms = 0;
+  uint64_t fingerprint = 0;
+};
+
+/// Full bounded chase seeded from an EDB, under its own 8 GiB budget
+/// shared with whatever the EDB already charged it.
+ChaseResult ChaseFromEdb(const RuleSet& rules, Vocabulary* vocabulary,
+                         const EdbDatabase& edb,
+                         std::shared_ptr<MemoryBudget> budget,
+                         uint64_t max_atoms) {
+  ChaseOptions options;
+  options.max_atoms = max_atoms;
+  options.memory_budget = std::move(budget);
+  WallTimer timer;
+  ChaseRun run(rules, options, edb, vocabulary);
+  GCHASE_CHECK(run.seed_status().ok());
+  ChaseOutcome outcome = run.Execute();
+  GCHASE_CHECK(outcome == ChaseOutcome::kTerminated);
+  ChaseResult result;
+  result.total_seconds = timer.ElapsedSeconds();
+  result.load_seconds = run.stats().load_seconds;
+  result.atoms = run.instance().size();
+  result.fingerprint = InstanceFingerprint(run.instance());
+  return result;
+}
+
+void RunTable(bool smoke) {
+  bench_util::Banner(
+      "E13: memory-mapped columnar EDB bulk load",
+      "the dictionary-encoded bulk loader beats the per-atom parser by "
+      ">= 5x at 1M atoms, the mmap snapshot loads in ~O(validation) "
+      "time, and every path seeds a bit-identical chase");
+  std::printf("budget = %llu MiB per load+chase pair%s\n\n",
+              static_cast<unsigned long long>(kBudgetBytes >> 20),
+              smoke ? " [smoke grid]" : "");
+
+  std::vector<E13Workload> workloads = {
+      {"chain/50k", FactProfile::kChain, 50000, true},
+      {"star/50k", FactProfile::kStar, 50000, true},
+  };
+  if (!smoke) {
+    workloads.push_back({"chain/1M", FactProfile::kChain, 1000000, true});
+    workloads.push_back({"star/1M", FactProfile::kStar, 1000000, true});
+    workloads.push_back({"chain/10M", FactProfile::kChain, 10000000, false});
+  }
+  const uint32_t reps = smoke ? 3 : 2;
+
+  std::string json =
+      "{\n  \"experiment\": \"E13 mmap columnar EDB bulk load\",\n";
+  json += "  \"smoke\": ";
+  json += smoke ? "true" : "false";
+  json += ",\n  \"budget_bytes\": " + std::to_string(kBudgetBytes);
+  json += ",\n  \"storage\": [\n";
+  bool first_row = true;
+  auto row = [&](const std::string& workload, const char* op,
+                 const std::string& fields) {
+    if (!first_row) json += ",\n";
+    first_row = false;
+    json += "    {\"workload\": \"" + workload + "\", \"op\": \"" + op +
+            "\", " + fields + "}";
+  };
+
+  std::printf("%-10s %-13s %-10s %-12s %-9s %-9s\n", "workload", "op",
+              "ms", "rows", "MB/s", "identical");
+  bool all_identical = true;
+  for (const E13Workload& workload : workloads) {
+    const std::string csv_path = TempPath(workload.name, ".csv");
+    const std::string dlgp_path = TempPath(workload.name, ".dlgp");
+    const std::string snap_path = TempPath(workload.name, ".gsnap");
+    FactEmitterOptions emit;
+    emit.profile = workload.profile;
+    emit.num_atoms = workload.atoms;
+    emit.seed = bench_util::kSeedBase;
+    GCHASE_CHECK(EmitFactFile(emit, csv_path).ok());
+
+    StatusOr<ParsedProgram> rules_only = ParseProgram(BoundedFactRules());
+    GCHASE_CHECK(rules_only.ok());
+    const uint64_t max_atoms = 4 * workload.atoms + 16;
+
+    // csv_load (best of reps; the kept EDB is the last loaded one) ...
+    auto budget_csv = std::make_shared<MemoryBudget>(kBudgetBytes);
+    std::unique_ptr<InMemoryEdb> edb;
+    double csv_seconds = 0.0;
+    uint64_t csv_bytes = 0;
+    for (uint32_t r = 0; r < reps; ++r) {
+      edb.reset();  // release the previous rep's budget charge first
+      BulkLoadOptions load_options;
+      load_options.budget = budget_csv.get();
+      load_options.schema = &rules_only->vocabulary.schema;
+      StatusOr<std::unique_ptr<InMemoryEdb>> loaded =
+          LoadCsvFactsFile(csv_path, load_options);
+      GCHASE_CHECK(loaded.ok());
+      GCHASE_CHECK(!(*loaded)->load_stats().memory_exceeded);
+      GCHASE_CHECK((*loaded)->load_stats().rows == workload.atoms);
+      edb = std::move(*loaded);
+      const double seconds = edb->load_stats().seconds;
+      if (r == 0 || seconds < csv_seconds) csv_seconds = seconds;
+      csv_bytes = edb->load_stats().input_bytes;
+    }
+    const double csv_mb_s = csv_bytes / (csv_seconds * 1e6);
+    std::printf("%-10s %-13s %-10.2f %-12llu %-9.1f %-9s\n",
+                workload.name.c_str(), "csv_load", csv_seconds * 1e3,
+                static_cast<unsigned long long>(workload.atoms), csv_mb_s,
+                "-");
+    row(workload.name, "csv_load",
+        "\"load_ms\": " + bench_util::JsonNumber(csv_seconds * 1e3) +
+            ", \"rows\": " + std::to_string(workload.atoms) +
+            ", \"bytes\": " + std::to_string(csv_bytes) +
+            ", \"mb_per_s\": " + bench_util::JsonNumber(csv_mb_s));
+
+    // ... then the chase it seeds.
+    Vocabulary vocab_csv = rules_only->vocabulary;
+    ChaseResult chase_csv = ChaseFromEdb(rules_only->rules, &vocab_csv, *edb,
+                                         budget_csv, max_atoms);
+    std::printf("%-10s %-13s %-10.2f %-12llu %-9s %-9s\n",
+                workload.name.c_str(), "chase_edb",
+                chase_csv.total_seconds * 1e3,
+                static_cast<unsigned long long>(chase_csv.atoms), "-", "-");
+    row(workload.name, "chase_edb",
+        "\"total_ms\": " +
+            bench_util::JsonNumber(chase_csv.total_seconds * 1e3) +
+            ", \"atoms\": " + std::to_string(chase_csv.atoms));
+
+    // snapshot_write + mmap_load + the chase the mapping seeds.
+    double write_seconds = 0.0;
+    for (uint32_t r = 0; r < reps; ++r) {
+      WallTimer timer;
+      GCHASE_CHECK(WriteEdbSnapshot(*edb, snap_path).ok());
+      const double seconds = timer.ElapsedSeconds();
+      if (r == 0 || seconds < write_seconds) write_seconds = seconds;
+    }
+    row(workload.name, "snapshot_write",
+        "\"write_ms\": " + bench_util::JsonNumber(write_seconds * 1e3));
+    std::printf("%-10s %-13s %-10.2f %-12s %-9s %-9s\n",
+                workload.name.c_str(), "snapshot_write",
+                write_seconds * 1e3, "-", "-", "-");
+    edb.reset();  // drop the in-memory copy before mapping
+
+    auto budget_mmap = std::make_shared<MemoryBudget>(kBudgetBytes);
+    std::unique_ptr<EdbDatabase> mapped;
+    double mmap_seconds = 0.0;
+    for (uint32_t r = 0; r < reps; ++r) {
+      mapped.reset();
+      StatusOr<std::unique_ptr<EdbDatabase>> opened =
+          OpenEdbSnapshot(snap_path, budget_mmap.get());
+      GCHASE_CHECK(opened.ok());
+      mapped = std::move(*opened);
+      const double seconds = mapped->load_stats().seconds;
+      if (r == 0 || seconds < mmap_seconds) mmap_seconds = seconds;
+    }
+    row(workload.name, "mmap_load",
+        "\"load_ms\": " + bench_util::JsonNumber(mmap_seconds * 1e3) +
+            ", \"bytes\": " +
+            std::to_string(mapped->load_stats().input_bytes));
+    std::printf("%-10s %-13s %-10.2f %-12llu %-9s %-9s\n",
+                workload.name.c_str(), "mmap_load", mmap_seconds * 1e3,
+                static_cast<unsigned long long>(mapped->TotalRows()), "-",
+                "-");
+    Vocabulary vocab_mmap = rules_only->vocabulary;
+    ChaseResult chase_mmap = ChaseFromEdb(rules_only->rules, &vocab_mmap,
+                                          *mapped, budget_mmap, max_atoms);
+    mapped.reset();
+    bool identical = chase_mmap.fingerprint == chase_csv.fingerprint &&
+                     chase_mmap.atoms == chase_csv.atoms;
+
+    // parser_load baseline: the same facts as DLGP text through
+    // ParseProgram, then the chase it seeds.
+    if (workload.parser_baseline) {
+      emit.format = FactFileFormat::kDlgp;
+      GCHASE_CHECK(EmitFactFile(emit, dlgp_path).ok());
+      emit.format = FactFileFormat::kCsv;
+      double parser_seconds = 0.0;
+      StatusOr<ParsedProgram> program = Status::Internal("unset");
+      for (uint32_t r = 0; r < reps; ++r) {
+        program = Status::Internal("unset");  // drop the previous parse
+        WallTimer timer;
+        std::FILE* file = std::fopen(dlgp_path.c_str(), "rb");
+        GCHASE_CHECK(file != nullptr);
+        std::fseek(file, 0, SEEK_END);
+        std::string text(static_cast<std::size_t>(std::ftell(file)), '\0');
+        std::fseek(file, 0, SEEK_SET);
+        GCHASE_CHECK(std::fread(text.data(), 1, text.size(), file) ==
+                     text.size());
+        std::fclose(file);
+        program = ParseProgram(BoundedFactRules() + text);
+        GCHASE_CHECK(program.ok());
+        const double seconds = timer.ElapsedSeconds();
+        if (r == 0 || seconds < parser_seconds) parser_seconds = seconds;
+      }
+      const double speedup = parser_seconds / csv_seconds;
+      std::printf("%-10s %-13s %-10.2f %-12llu %-9s %-9s\n",
+                  workload.name.c_str(), "parser_load",
+                  parser_seconds * 1e3,
+                  static_cast<unsigned long long>(program->facts.size()),
+                  "-", "-");
+      std::printf("%-10s bulk speedup vs parser: %.2fx\n",
+                  workload.name.c_str(), speedup);
+      row(workload.name, "parser_load",
+          "\"load_ms\": " + bench_util::JsonNumber(parser_seconds * 1e3) +
+              ", \"bulk_speedup\": " + bench_util::JsonNumber(speedup));
+
+      ChaseOptions options;
+      options.max_atoms = max_atoms;
+      options.memory_budget = std::make_shared<MemoryBudget>(kBudgetBytes);
+      WallTimer timer;
+      ChaseRun run(program->rules, options, program->facts);
+      GCHASE_CHECK(run.Execute() == ChaseOutcome::kTerminated);
+      const double total_seconds = timer.ElapsedSeconds();
+      const uint64_t fingerprint = InstanceFingerprint(run.instance());
+      identical = identical && fingerprint == chase_csv.fingerprint &&
+                  run.instance().size() == chase_csv.atoms;
+      row(workload.name, "chase_parser",
+          "\"total_ms\": " + bench_util::JsonNumber(total_seconds * 1e3) +
+              ", \"atoms\": " + std::to_string(run.instance().size()));
+      std::printf("%-10s %-13s %-10.2f %-12u %-9s %-9s\n",
+                  workload.name.c_str(), "chase_parser", total_seconds * 1e3,
+                  run.instance().size(), "-", "-");
+    }
+
+    all_identical = all_identical && identical;
+    std::printf("%-10s bit-identity across load paths: %s\n\n",
+                workload.name.c_str(), identical ? "yes" : "NO");
+    // Every workload must agree before the file is worth committing.
+    GCHASE_CHECK(identical);
+    std::remove(csv_path.c_str());
+    std::remove(dlgp_path.c_str());
+    std::remove(snap_path.c_str());
+  }
+
+  json += "\n  ],\n  \"all_identical\": ";
+  json += all_identical ? "true" : "false";
+  json += "\n}\n";
+  std::FILE* out = std::fopen("BENCH_e13.json", "w");
+  if (out != nullptr) {
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("wrote BENCH_e13.json\n");
+  } else {
+    std::fprintf(stderr, "cannot write BENCH_e13.json\n");
+  }
+  std::printf(
+      "\nPrediction: csv_load >= 5x parser_load at 1M atoms (no Atom\n"
+      "materialization, no backtracking grammar — one dictionary probe\n"
+      "and two column appends per row), mmap_load orders of magnitude\n"
+      "below both (validation only, columns served from the mapping),\n"
+      "and identical=yes everywhere.\n");
+}
+
+}  // namespace
+}  // namespace gchase
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(args.size());
+  gchase::RunTable(smoke);
+  benchmark::Initialize(&argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -69,6 +69,9 @@ inline std::string ChaseStatsToJson(const ChaseStats& stats) {
   out += "\"discovery_threads\": " + JsonNumber(uint64_t{stats.discovery_threads});
   out += ", \"parallel_rounds\": " + JsonNumber(stats.parallel_rounds);
   out += ", \"plannable_rules\": " + JsonNumber(uint64_t{stats.plannable_rules});
+  out += ", \"load_ms\": " + JsonNumber(stats.load_seconds * 1e3);
+  out += ", \"edb_atoms\": " + JsonNumber(stats.edb_atoms);
+  out += ", \"load_bytes\": " + JsonNumber(stats.load_bytes);
   out += ", \"peak\": {";
   out += "\"atoms\": " + JsonNumber(stats.peak_atoms);
   out += ", \"position_index_keys\": " + JsonNumber(stats.peak_position_index_keys);

@@ -5,7 +5,8 @@
 # the governor/abort-path tests under ASan+UBSan (abort paths unwind
 # partially-built state, exactly where lifetime bugs hide), then the perf
 # smoke against the committed E10 baseline, then a short differential
-# fuzzing campaign (see docs/fuzzing.md).
+# fuzzing campaign (see docs/fuzzing.md), then the 1M-atom EDB bulk-load
+# smoke (the same gate CI's bulk-load-smoke job runs).
 #
 # Fails fast: the first failing tier stops the run and becomes the exit
 # code, so callers (and CI logs) can tell tiers apart at a glance:
@@ -15,12 +16,13 @@
 #   12  asan      abort-path leak/UB check failed
 #   13  perf      bench smoke failed or regressed vs BENCH_e10.json
 #   14  fuzz      differential-oracle campaign found a violation
+#   15  bulkload  1M-atom EDB bulk-load smoke failed
 #    2  usage     unknown flag
 #
 # A summary table of tier outcomes is printed on every exit path.
 #
 # Usage: scripts/verify.sh [--skip-tsan] [--skip-asan] [--skip-perf]
-#                          [--skip-fuzz]
+#                          [--skip-fuzz] [--skip-bulkload]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,18 +30,20 @@ skip_tsan=0
 skip_asan=0
 skip_perf=0
 skip_fuzz=0
+skip_bulkload=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) skip_tsan=1 ;;
     --skip-asan) skip_asan=1 ;;
     --skip-perf) skip_perf=1 ;;
     --skip-fuzz) skip_fuzz=1 ;;
+    --skip-bulkload) skip_bulkload=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
 
-tier_names=(tier-1 tsan asan perf fuzz)
-tier_codes=(10 11 12 13 14)
+tier_names=(tier-1 tsan asan perf fuzz bulkload)
+tier_codes=(10 11 12 13 14 15)
 declare -A tier_status
 for name in "${tier_names[@]}"; do tier_status[$name]=skipped; done
 
@@ -120,9 +124,9 @@ tier_asan() {
   cmake --preset asan &&
   cmake --build build-asan -j"$(nproc)" \
     --target governor_test egd_test chase_limits_test decider_test \
-             join_plan_test memory_budget_test &&
+             join_plan_test memory_budget_test edb_test &&
   (cd build-asan && ctest -j"$(nproc)" \
-    -R 'Governor|Deadline|Cancellation|FaultInjection|Egd|ChaseLimits|Decider|JoinPlan|BindingSegment|PlanExecutor|MemoryBudget|InstanceBudget|ChaseMemory')
+    -R 'Governor|Deadline|Cancellation|FaultInjection|Egd|ChaseLimits|Decider|JoinPlan|BindingSegment|PlanExecutor|MemoryBudget|InstanceBudget|ChaseMemory|BulkLoad|EdbSeed|EdbSnapshot')
 }
 
 tier_perf() {
@@ -134,15 +138,45 @@ tier_perf() {
   # baseline rows are ignored by the comparator. E12's binary also
   # asserts plan-vs-backtracking bit-identity on every row.
   cmake --build --preset default -j"$(nproc)" \
-    --target bench_e10_storage_executor bench_e12_join_plans &&
+    --target bench_e10_storage_executor bench_e12_join_plans \
+             bench_e13_bulk_load &&
   (cd build/bench && ./bench_e10_storage_executor --smoke --benchmark_filter=none) &&
   (cd build/bench && ./bench_e12_join_plans --smoke --benchmark_filter=none) &&
+  (cd build/bench && ./bench_e13_bulk_load --smoke --benchmark_filter=none) &&
   { [[ ! -f BENCH_e10.json ]] ||
     python3 scripts/bench_compare.py BENCH_e10.json build/bench/BENCH_e10.json \
       --threshold 0.50; } &&
   { [[ ! -f BENCH_e12.json ]] ||
     python3 scripts/bench_compare.py BENCH_e12.json build/bench/BENCH_e12.json \
+      --threshold 0.50; } &&
+  { [[ ! -f BENCH_e13.json ]] ||
+    python3 scripts/bench_compare.py BENCH_e13.json build/bench/BENCH_e13.json \
       --threshold 0.50; }
+}
+
+tier_bulkload() {
+  # Tier 6 (bulk-load smoke): mirror of the CI bulk-load-smoke job. A
+  # deterministic 1M-atom CSV goes through edb_gen -> chase_cli
+  # --load-csv under a 4 GiB budget; the run must exit 0 and the stats
+  # JSON must carry the load-phase fields (1M EDB atoms, a real byte
+  # count, no budget denials).
+  cmake --build --preset default -j"$(nproc)" --target chase_cli edb_gen &&
+  ./build/tools/edb_gen --profile=chain --atoms=1000000 --seed=13 \
+    --out=build/bulkload-smoke.csv --rules-out=build/bulkload-rules.dlgp &&
+  ./build/tools/chase_cli build/bulkload-rules.dlgp restricted 100000000 \
+    --load-csv=build/bulkload-smoke.csv --max-memory-mb=4096 --stats \
+    > build/bulkload-stats.json &&
+  python3 - <<'EOF'
+import json
+stats = json.load(open("build/bulkload-stats.json"))
+assert stats["edb_atoms"] == 1000000, stats["edb_atoms"]
+assert stats["load_bytes"] > 10_000_000, stats["load_bytes"]
+assert stats["load_ms"] > 0, stats["load_ms"]
+assert stats["memory"]["denials"] == 0, stats["memory"]
+mb_s = stats["load_bytes"] / 1e6 / (stats["load_ms"] / 1e3)
+print(f"bulk-load smoke OK: {stats['edb_atoms']} atoms in "
+      f"{stats['load_ms']:.0f} ms ({mb_s:.0f} MB/s)")
+EOF
 }
 
 tier_fuzz() {
@@ -160,5 +194,6 @@ if [[ "$skip_tsan" == 0 ]]; then run_tier tsan tier_tsan; fi
 if [[ "$skip_asan" == 0 ]]; then run_tier asan tier_asan; fi
 if [[ "$skip_perf" == 0 ]]; then run_tier perf tier_perf; fi
 if [[ "$skip_fuzz" == 0 ]]; then run_tier fuzz tier_fuzz; fi
+if [[ "$skip_bulkload" == 0 ]]; then run_tier bulkload tier_bulkload; fi
 
 echo "verify: OK"

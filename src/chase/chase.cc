@@ -11,6 +11,7 @@
 #include "base/timer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/edb.h"
 
 namespace gchase {
 
@@ -73,8 +74,7 @@ std::size_t ChaseRun::KeyHash::operator()(
   return HashRange(key.begin(), key.end());
 }
 
-ChaseRun::ChaseRun(const RuleSet& rules, ChaseOptions options,
-                   const std::vector<Atom>& database)
+ChaseRun::ChaseRun(const RuleSet& rules, ChaseOptions options)
     : rules_(rules),
       options_(std::move(options)),
       memory_budget_(EffectiveBudget(options_)),
@@ -99,6 +99,13 @@ ChaseRun::ChaseRun(const RuleSet& rules, ChaseOptions options,
     stats_.discovery_threads =
         std::min(stats_.discovery_threads, options_.executor->worker_count());
   }
+}
+
+ChaseRun::ChaseRun(const RuleSet& rules, ChaseOptions options,
+                   const std::vector<Atom>& database)
+    : ChaseRun(rules, std::move(options)) {
+  GCHASE_TRACE_SPAN(TraceCategory::kChase, "chase.load", database.size());
+  WallTimer load_timer;
   // Pre-size for the whole database load (as the apply phase does per
   // round): a large EDB would otherwise rehash the dedup table and
   // position index repeatedly mid-seed.
@@ -113,6 +120,28 @@ ChaseRun::ChaseRun(const RuleSet& rules, ChaseOptions options,
       (void)id;
     }
   }
+  stats_.load_seconds = load_timer.ElapsedSeconds();
+  stats_.edb_atoms = instance_.size();
+}
+
+ChaseRun::ChaseRun(const RuleSet& rules, ChaseOptions options,
+                   const EdbDatabase& edb, Vocabulary* vocabulary)
+    : ChaseRun(rules, std::move(options)) {
+  GCHASE_TRACE_SPAN(TraceCategory::kChase, "chase.load", edb.TotalRows());
+  WallTimer seed_timer;
+  EdbSeedStats seed;
+  seed_status_ =
+      SeedInstanceFromEdb(edb, vocabulary, &instance_, memory_budget_.get(),
+                          &seed);
+  if (seed_status_.ok() && options_.track_provenance) {
+    provenance_.assign(instance_.size(), AtomProvenance{});
+  }
+  seed_denied_ = seed.budget_denied || edb.load_stats().memory_exceeded;
+  // The loader's own parse/open time is part of the load phase the
+  // caller sees, so fold it in.
+  stats_.load_seconds = edb.load_stats().seconds + seed_timer.ElapsedSeconds();
+  stats_.load_bytes = edb.load_stats().input_bytes;
+  stats_.edb_atoms = instance_.size();
 }
 
 std::vector<uint32_t> ChaseRun::TriggerKey(uint32_t rule_index,
@@ -829,7 +858,16 @@ void ChaseRun::UpdateStatsPeaks() {
 
 ChaseOutcome ChaseRun::Execute(const AtomObserver& observer) {
   GCHASE_CHECK_MSG(!executed_, "ChaseRun::Execute called twice");
+  GCHASE_CHECK_MSG(seed_status_.ok(),
+                   "ChaseRun::Execute on a failed seed (check seed_status())");
   executed_ = true;
+  if (seed_denied_) {
+    // The EDB load or seed already tripped the budget: surface the same
+    // outcome a mid-run trip would, with the seeded prefix and the load
+    // stats intact.
+    UpdateStatsPeaks();
+    return ChaseOutcome::kMemoryBudgetExceeded;
+  }
   // Last-resort containment: the budget's pre-size denials make an
   // allocator failure unreachable in the governed paths, but an
   // unbudgeted run (or a budget set above physical memory) can still hit
@@ -1116,6 +1154,10 @@ void PublishChaseMetrics(const ChaseStats& stats, MetricsRegistry* registry) {
   sink.Gauge("chase.memory_budget_bytes")
       ->SetMax(static_cast<int64_t>(stats.memory_budget_bytes));
   sink.Counter("chase.memory_denials")->Add(stats.memory_denials);
+  sink.Counter("chase.load_us")
+      ->Add(static_cast<uint64_t>(stats.load_seconds * 1e6));
+  sink.Counter("chase.load_bytes")->Add(stats.load_bytes);
+  sink.Counter("chase.load_atoms")->Add(stats.edb_atoms);
 }
 
 bool IsModelOf(const Instance& instance, const RuleSet& rules) {

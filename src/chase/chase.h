@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "base/governor.h"
+#include "base/status.h"
 #include "base/thread_pool.h"
 #include "chase/batch_apply.h"
 #include "chase/join_plan.h"
@@ -331,6 +332,15 @@ struct ChaseStats {
   /// Pre-size requests the budget denied (each denial stops the run, so
   /// this exceeds 1 only for a shared budget).
   uint64_t memory_denials = 0;
+  /// Load-phase observability (serialized as load_ms / edb_atoms /
+  /// load_bytes): wall time of seeding the instance from the database —
+  /// for an EDB-backed run this includes the bulk loader's parse (or
+  /// snapshot open) time —, distinct database atoms seeded, and input
+  /// bytes the loader consumed (0 for an in-memory std::vector<Atom>
+  /// database).
+  double load_seconds = 0.0;
+  uint64_t edb_atoms = 0;
+  uint64_t load_bytes = 0;
 };
 
 /// A single chase execution. Construct, Execute() once, then inspect.
@@ -340,11 +350,31 @@ struct ChaseStats {
 /// previous round (pivot decomposition), filters them through the
 /// variant's dedup key, and applies the survivors FIFO. This realizes the
 /// fairness condition of the chase definition.
+class EdbDatabase;
+struct Vocabulary;
+
 class ChaseRun {
  public:
   /// `rules` must outlive the run. `database` atoms must be ground.
   ChaseRun(const RuleSet& rules, ChaseOptions options,
            const std::vector<Atom>& database);
+
+  /// Seeds from a pre-built EDB (see storage/edb.h): the dictionary is
+  /// interned into `vocabulary` in dictionary order and every table is
+  /// block-inserted through Instance::TryAddBatch — constant ids, atom
+  /// ids and the whole downstream run are bit-identical to the
+  /// std::vector<Atom> constructor over the same fact stream. Check
+  /// seed_status() before Execute(): a predicate arity conflict between
+  /// `rules` and the EDB (or a corrupt snapshot) surfaces there. A
+  /// budget denial of the seed reserve — or an EDB whose own load
+  /// already tripped the budget — is not an error: Execute() then
+  /// returns kMemoryBudgetExceeded immediately, partial stats intact.
+  ChaseRun(const RuleSet& rules, ChaseOptions options, const EdbDatabase& edb,
+           Vocabulary* vocabulary);
+
+  /// Ok unless the EDB constructor failed to seed (see above). Execute()
+  /// on a run with a failed seed is a checked error.
+  const Status& seed_status() const { return seed_status_; }
 
   /// Observer invoked after each newly derived atom; return false to abort
   /// the run (outcome kAborted). May inspect the run through the getters.
@@ -385,6 +415,11 @@ class ChaseRun {
   }
 
  private:
+  /// Shared construction tail: everything but the seeding (budget
+  /// attachment, stats setup, plan compilation). The public constructors
+  /// delegate here, then seed.
+  ChaseRun(const RuleSet& rules, ChaseOptions options);
+
   /// A discovered, deduplicated trigger awaiting application.
   struct PendingTrigger {
     uint32_t rule;
@@ -551,6 +586,13 @@ class ChaseRun {
   uint64_t next_null_ = 0;
   bool executed_ = false;
   bool abort_requested_ = false;
+  /// Set when the EDB seed was budget-denied (or the EDB's own load
+  /// tripped the budget): Execute() returns kMemoryBudgetExceeded at its
+  /// first checkpoint, with whatever prefix was seeded intact.
+  bool seed_denied_ = false;
+  /// Non-OK when the EDB constructor could not seed (arity conflict,
+  /// corrupt snapshot); see seed_status().
+  Status seed_status_;
 };
 
 /// Convenience result bundle for RunChase(). Carries every counter the

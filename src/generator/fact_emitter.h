@@ -1,0 +1,57 @@
+#ifndef GCHASE_GENERATOR_FACT_EMITTER_H_
+#define GCHASE_GENERATOR_FACT_EMITTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/status.h"
+
+namespace gchase {
+
+/// Deterministic large-scale fact-file emitter for the bulk-load
+/// experiments (E13) and the CI load-smoke gate. Unlike
+/// GenerateRandomDatabase this never materializes Atom objects — rows
+/// stream straight to a buffered FILE*, so emitting 10M facts costs a
+/// few hundred MB of file, not gigabytes of heap.
+
+enum class FactFileFormat { kCsv, kDlgp };
+
+/// The graph shape the facts describe. Both profiles emit binary
+/// `edge/2` facts plus a sprinkle of unary `seed/1` facts, grouped by
+/// predicate (seed block first) so the loader's one-entry table cache
+/// hits on every row:
+///  - kChain: edge(n_i, n_{i+1}) over a pool of num_atoms nodes — long
+///    paths, low fan-out;
+///  - kStar: edge(h_j, n_i) from num_atoms/1024 hubs — high fan-out,
+///    few distinct first columns.
+enum class FactProfile { kChain, kStar };
+
+struct FactEmitterOptions {
+  FactProfile profile = FactProfile::kChain;
+  /// Total facts to emit (edge + seed rows). Rows are distinct by
+  /// construction, so this is exact.
+  uint64_t num_atoms = 0;
+  /// Seeds the node-label permutation: different seeds produce files
+  /// with the same shape but disjoint constant names.
+  uint64_t seed = 0;
+  FactFileFormat format = FactFileFormat::kCsv;
+};
+
+/// Parses "chain" / "star".
+StatusOr<FactProfile> FactProfileFromName(const std::string& name);
+
+/// Writes the fact file described by `options` to `path`. Output is a
+/// pure function of `options` — byte-identical across runs and
+/// platforms. Fails with kInternal on I/O errors.
+Status EmitFactFile(const FactEmitterOptions& options,
+                    const std::string& path);
+
+/// The bounded companion rule set for the emitted facts, in the
+/// library's rule syntax: every rule is guarded and existential-free, so
+/// the chase terminates after deriving O(num_atoms) atoms — big enough
+/// to exercise the full pipeline, bounded enough for a CI gate.
+std::string BoundedFactRules();
+
+}  // namespace gchase
+
+#endif  // GCHASE_GENERATOR_FACT_EMITTER_H_

@@ -1,0 +1,68 @@
+#ifndef GCHASE_STORAGE_BULK_LOAD_H_
+#define GCHASE_STORAGE_BULK_LOAD_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "base/memory_budget.h"
+#include "base/status.h"
+#include "model/schema.h"
+#include "storage/edb.h"
+
+namespace gchase {
+
+/// Bulk fact loaders: stream a CSV or DLGP fact file straight into a
+/// dictionary-encoded InMemoryEdb, bypassing the per-atom parser path
+/// (no tokenizer state machine, no per-fact Atom, no per-fact Status).
+/// A loaded EDB seeds a chase through SeedInstanceFromEdb with constant
+/// ids bit-identical to parsing the same facts (first-appearance intern
+/// order is preserved end to end).
+///
+/// CSV format, one fact per line:
+///
+///     predicate,arg1,arg2
+///     # comment (also blank lines are skipped)
+///     edge,n0,n1
+///     alpha            <- a zero-ary fact
+///
+/// Values are taken verbatim (no quoting layer): a value must not
+/// contain ',' or a newline. A predicate's arity is fixed by its first
+/// row (or by `BulkLoadOptions::schema` when given); later rows of a
+/// different width fail with the offending line number.
+///
+/// The DLGP loader accepts the fact subset of the parser's syntax —
+/// `pred(arg1,arg2).` with '%' comments — and rejects rules and EGDs
+/// (anything with '->' or '='), so a rules+facts program must go through
+/// ParseProgram instead.
+
+struct BulkLoadOptions {
+  /// Charged for the EDB's retained bytes and polled between rows; a trip
+  /// stops the load early with load_stats().memory_exceeded set and the
+  /// loaded prefix intact (not an error).
+  MemoryBudget* budget = nullptr;
+  /// Optional declared schema: a row whose predicate exists here with a
+  /// different arity fails even if it is the predicate's first row.
+  const Schema* schema = nullptr;
+};
+
+/// Parses CSV facts from `text`. On success the EDB carries load stats
+/// (wall time, bytes, rows); errors name the 1-based line.
+StatusOr<std::unique_ptr<InMemoryEdb>> LoadCsvFacts(
+    std::string_view text, const BulkLoadOptions& options = {});
+
+/// Reads `path` and parses it as CSV facts.
+StatusOr<std::unique_ptr<InMemoryEdb>> LoadCsvFactsFile(
+    const std::string& path, const BulkLoadOptions& options = {});
+
+/// Parses DLGP facts (no rules) from `text`.
+StatusOr<std::unique_ptr<InMemoryEdb>> LoadDlgpFacts(
+    std::string_view text, const BulkLoadOptions& options = {});
+
+/// Reads `path` and parses it as DLGP facts.
+StatusOr<std::unique_ptr<InMemoryEdb>> LoadDlgpFactsFile(
+    const std::string& path, const BulkLoadOptions& options = {});
+
+}  // namespace gchase
+
+#endif  // GCHASE_STORAGE_BULK_LOAD_H_

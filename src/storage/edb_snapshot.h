@@ -1,0 +1,52 @@
+#ifndef GCHASE_STORAGE_EDB_SNAPSHOT_H_
+#define GCHASE_STORAGE_EDB_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "base/memory_budget.h"
+#include "base/status.h"
+#include "storage/edb.h"
+
+namespace gchase {
+
+/// Single-file columnar EDB snapshot, designed to be memory-mapped and
+/// read zero-copy. Layout (little-endian, every section 8-byte aligned):
+///
+///     header (64 bytes):
+///       u64 magic "GCHEDB1\0"    u32 version (1)    u32 num_tables
+///       u64 num_terms            u64 file_size (self-check)
+///       u64 dict_offsets_pos     u64 dict_bytes_pos u64 dict_bytes_len
+///       u64 toc_pos
+///     toc: num_tables x { u64 name_pos, u32 name_len, u32 arity,
+///                         u64 rows, u64 columns_pos }
+///     dict offsets: (num_terms + 1) x u64   (name i = bytes
+///                   [offsets[i], offsets[i+1]) of the blob below)
+///     dict bytes:   the concatenated name blob
+///     table names:  concatenated (addressed by the toc)
+///     columns:      per table, `arity` arrays of `rows` x u32, each
+///                   array padded to 8 bytes
+///
+/// OpenEdbSnapshot validates magic, version, the recorded file size
+/// (catches truncation), every section bound and the monotonicity of the
+/// dictionary offsets before exposing a single pointer, so a corrupt or
+/// truncated file is an error, never UB. On POSIX the file is mmap'd
+/// (MAP_PRIVATE) and columns are served straight from the mapping; where
+/// mmap is unavailable (or fails) the file is read into one aligned heap
+/// buffer instead — same layout, same validation, one extra copy.
+
+/// Writes `edb` to `path` in the format above. Works for any
+/// EdbDatabase implementation (the dictionary blob is re-serialized
+/// through NameOf). Fails with kInternal on I/O errors.
+Status WriteEdbSnapshot(const EdbDatabase& edb, const std::string& path);
+
+/// Opens a snapshot written by WriteEdbSnapshot. When `budget` is
+/// non-null the mapping (or fallback buffer) bytes are charged to it for
+/// the database's lifetime. The returned database's load stats carry the
+/// open+validate wall time and the file size.
+StatusOr<std::unique_ptr<EdbDatabase>> OpenEdbSnapshot(
+    const std::string& path, MemoryBudget* budget = nullptr);
+
+}  // namespace gchase
+
+#endif  // GCHASE_STORAGE_EDB_SNAPSHOT_H_

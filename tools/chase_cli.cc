@@ -5,6 +5,7 @@
 //   ./build/tools/chase_cli <file.dlgp> [variant] [max_atoms]
 //                           [--dot] [--stats] [--threads=N]
 //                           [--deadline-ms=N] [--max-memory-mb=N]
+//                           [--load-csv=FILE] [--edb-dir=DIR]
 //                           [--decide] [--trace=FILE]
 //                           [--trace-categories=LIST]
 //                           [--metrics-json=FILE]
@@ -29,6 +30,16 @@
 //                 with the partial instance and stats intact, and the
 //                 partial result is bit-identical to a prefix of the
 //                 uncapped run
+//     --load-csv=FILE  bulk-load the database from a CSV fact file
+//                 (predicate,arg1,...; see storage/bulk_load.h) instead
+//                 of the program's inline facts. The loader bypasses the
+//                 per-atom parser; the chase result is bit-identical to
+//                 running the same facts inline. With --max-memory-mb
+//                 the loader and the chase share one budget, so a load
+//                 that trips it exits 6 with partial load stats.
+//     --edb-dir=DIR  snapshot cache: opens DIR/edb.gsnap (memory-mapped
+//                 columnar EDB) when present; otherwise loads --load-csv
+//                 and writes the snapshot there for the next run
 //     --decide:   instead of chasing the input database, run the full
 //                 termination analysis on the rule set: the exact/probe
 //                 decider cascade for both the oblivious and the
@@ -62,6 +73,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <thread>
 
@@ -75,6 +88,9 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
+#include "storage/bulk_load.h"
+#include "storage/edb.h"
+#include "storage/edb_snapshot.h"
 #include "termination/decider.h"
 #include "termination/restricted_probe.h"
 
@@ -202,7 +218,8 @@ int main(int argc, char** argv) {
                  "usage: %s <file.dlgp> [restricted|semi-oblivious|"
                  "oblivious] [max_atoms] [--dot] [--stats] [--threads=N] "
                  "[--join-plans=on|off] "
-                 "[--deadline-ms=N] [--max-memory-mb=N] [--decide] "
+                 "[--deadline-ms=N] [--max-memory-mb=N] "
+                 "[--load-csv=FILE] [--edb-dir=DIR] [--decide] "
                  "[--trace=FILE] [--trace-categories=LIST] "
                  "[--metrics-json=FILE]\n",
                  argv[0]);
@@ -225,6 +242,8 @@ int main(int argc, char** argv) {
   bool want_stats = false;
   bool want_decide = false;
   bool join_plans = true;
+  std::string load_csv_path;
+  std::string edb_dir;
   uint32_t threads = 1;
   int64_t deadline_ms = -1;
   uint64_t max_memory_bytes = 0;
@@ -252,6 +271,18 @@ int main(int argc, char** argv) {
                      "--trace-categories: unknown category in '%s' "
                      "(known: chase,pool,decider,storage,fuzz)\n",
                      argv[i] + 19);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--load-csv=", 11) == 0) {
+      load_csv_path = argv[i] + 11;
+      if (load_csv_path.empty()) {
+        std::fprintf(stderr, "--load-csv needs a file path\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--edb-dir=", 10) == 0) {
+      edb_dir = argv[i] + 10;
+      if (edb_dir.empty()) {
+        std::fprintf(stderr, "--edb-dir needs a directory path\n");
         return 2;
       }
     } else if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) {
@@ -339,11 +370,81 @@ int main(int argc, char** argv) {
   }
   if (argc > 3) options.max_atoms = std::strtoull(argv[3], nullptr, 10);
 
+  // EDB-backed seeding: resolve the database source before constructing
+  // the run so the loader and the chase share one memory budget (a load
+  // that trips it surfaces as exit 6, like a mid-run trip).
+  std::unique_ptr<EdbDatabase> edb;
+  if (!load_csv_path.empty() || !edb_dir.empty()) {
+    if (max_memory_bytes > 0 && options.memory_budget == nullptr) {
+      options.memory_budget = std::make_shared<MemoryBudget>(max_memory_bytes);
+    }
+    MemoryBudget* budget = options.memory_budget.get();
+    const std::string snapshot_path = edb_dir + "/edb.gsnap";
+    if (!edb_dir.empty()) {
+      StatusOr<std::unique_ptr<EdbDatabase>> opened =
+          OpenEdbSnapshot(snapshot_path, budget);
+      if (opened.ok()) {
+        edb = std::move(*opened);
+        std::fprintf(stderr, "%% database memory-mapped from %s\n",
+                     snapshot_path.c_str());
+      } else if (opened.status().code() != StatusCode::kNotFound) {
+        // A snapshot that exists but fails validation is an error, not a
+        // cache miss — silently rebuilding would hide corruption.
+        std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+        return 1;
+      }
+    }
+    if (edb == nullptr) {
+      if (load_csv_path.empty()) {
+        std::fprintf(stderr,
+                     "--edb-dir: %s not found and no --load-csv to build it "
+                     "from\n",
+                     snapshot_path.c_str());
+        return 2;
+      }
+      BulkLoadOptions load_options;
+      load_options.budget = budget;
+      load_options.schema = &parsed->vocabulary.schema;
+      StatusOr<std::unique_ptr<InMemoryEdb>> loaded =
+          LoadCsvFactsFile(load_csv_path, load_options);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+        return 1;
+      }
+      edb = std::move(*loaded);
+      if (!edb_dir.empty() && !edb->load_stats().memory_exceeded) {
+        Status written = WriteEdbSnapshot(*edb, snapshot_path);
+        if (written.ok()) {
+          std::fprintf(stderr, "%% snapshot written to %s\n",
+                       snapshot_path.c_str());
+        } else {
+          std::fprintf(stderr, "%% cannot write snapshot: %s\n",
+                       written.ToString().c_str());
+        }
+      }
+    }
+    if (!parsed->facts.empty()) {
+      std::fprintf(stderr,
+                   "%% note: %zu inline facts in %s ignored (the database "
+                   "comes from the EDB)\n",
+                   parsed->facts.size(), argv[1]);
+    }
+  }
+
   WallTimer timer;
-  ChaseRun run(parsed->rules, options, parsed->facts);
-  ChaseOutcome outcome = run.Execute();
+  std::optional<ChaseRun> run;
+  if (edb != nullptr) {
+    run.emplace(parsed->rules, options, *edb, &parsed->vocabulary);
+    if (!run->seed_status().ok()) {
+      std::fprintf(stderr, "%s\n", run->seed_status().ToString().c_str());
+      return 1;
+    }
+  } else {
+    run.emplace(parsed->rules, options, parsed->facts);
+  }
+  ChaseOutcome outcome = run->Execute();
   double seconds = timer.ElapsedSeconds();
-  PublishChaseMetrics(run.stats());
+  PublishChaseMetrics(run->stats());
 
   const bool aborted = outcome == ChaseOutcome::kDeadlineExceeded ||
                        outcome == ChaseOutcome::kCancelled ||
@@ -354,11 +455,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%% run stopped early: %s after %.3fms\n",
                  ChaseOutcomeName(outcome), seconds * 1e3);
     std::fprintf(stderr, "%% partial stats: %s\n",
-                 gchase::bench_util::ChaseStatsToJson(run.stats()).c_str());
+                 gchase::bench_util::ChaseStatsToJson(run->stats()).c_str());
   }
 
   if (want_dot) {
-    StatusOr<ChaseForest> forest = ChaseForest::Build(run);
+    StatusOr<ChaseForest> forest = ChaseForest::Build(*run);
     if (!forest.ok()) {
       std::fprintf(stderr, "%s\n", forest.status().ToString().c_str());
       return 1;
@@ -370,19 +471,19 @@ int main(int argc, char** argv) {
 
   if (want_stats) {
     std::printf("%s\n",
-                gchase::bench_util::ChaseStatsToJson(run.stats()).c_str());
+                gchase::bench_util::ChaseStatsToJson(run->stats()).c_str());
     return ExitCodeFor(outcome);
   }
 
   std::printf("%% variant=%s outcome=%s atoms=%u triggers=%llu nulls=%llu "
               "rounds=%llu time=%.3fms\n",
               ChaseVariantName(options.variant), ChaseOutcomeName(outcome),
-              run.instance().size(),
-              static_cast<unsigned long long>(run.applied_triggers()),
-              static_cast<unsigned long long>(run.nulls_created()),
-              static_cast<unsigned long long>(run.rounds()),
+              run->instance().size(),
+              static_cast<unsigned long long>(run->applied_triggers()),
+              static_cast<unsigned long long>(run->nulls_created()),
+              static_cast<unsigned long long>(run->rounds()),
               seconds * 1e3);
-  for (gchase::AtomView atom : run.instance().atoms()) {
+  for (gchase::AtomView atom : run->instance().atoms()) {
     std::printf("%s.\n",
                 AtomToString(atom.ToAtom(), parsed->vocabulary).c_str());
   }
