@@ -3,6 +3,7 @@
 
 Usage:
     scripts/check_trace.py TRACE.json [--require-categories=a,b,c]
+                           [--summary=TRACE.json.summary.json]
 
 Checks, in order:
   1. the file parses as JSON and has a non-empty "traceEvents" array;
@@ -14,7 +15,12 @@ Checks, in order:
      for saturated buffers, so an unbalanced file is a real bug);
   4. with --require-categories, every named category contributed at
      least one event (CI uses this to prove the chase, pool and decider
-     layers all actually recorded).
+     layers all actually recorded);
+  5. with --summary, the flame sidecar written next to the trace is
+     validated: top-level dropped_events/threads/spans keys, every span
+     row carries name/count/total_ns/max_ns with count >= 1 and
+     max_ns <= total_ns, rows sorted by total_ns descending, and every
+     sidecar span name actually appears in the trace.
 
 Exit status: 0 on a valid trace, 1 otherwise, with one line per problem
 on stderr. CI gates the trace-smoke step on it.
@@ -75,6 +81,43 @@ def check_events(events):
     return errors
 
 
+def check_summary(path, event_names):
+    """Validate the .summary.json flame sidecar against the trace."""
+    errors = 0
+    try:
+        with open(path, encoding="utf-8") as handle:
+            summary = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return fail(f"cannot parse summary {path}: {error}")
+    for key in ("dropped_events", "threads", "spans"):
+        if key not in summary:
+            errors += fail(f"summary missing key '{key}'")
+    spans = summary.get("spans")
+    if not isinstance(spans, list):
+        return errors + fail('summary "spans" missing or not an array')
+    previous_total = None
+    for index, span in enumerate(spans):
+        for key in ("name", "count", "total_ns", "max_ns"):
+            if key not in span:
+                errors += fail(f"summary span {index} missing '{key}': {span}")
+        if errors:
+            continue
+        if span["count"] < 1:
+            errors += fail(f"summary span {index} has count < 1: {span}")
+        if span["max_ns"] > span["total_ns"]:
+            errors += fail(f"summary span {index} has max_ns > total_ns: {span}")
+        if previous_total is not None and span["total_ns"] > previous_total:
+            errors += fail(
+                f"summary span {index} breaks total_ns descending order"
+            )
+        previous_total = span["total_ns"]
+        if span["name"] not in event_names:
+            errors += fail(
+                f"summary span '{span['name']}' never appears in the trace"
+            )
+    return errors
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace", help="Chrome-trace JSON file to validate")
@@ -82,6 +125,11 @@ def main():
         "--require-categories",
         default="",
         help="comma-separated categories that must each have >=1 event",
+    )
+    parser.add_argument(
+        "--summary",
+        default="",
+        help="also validate this .summary.json flame sidecar",
     )
     args = parser.parse_args()
 
@@ -108,12 +156,19 @@ def main():
                 f"(categories present: {sorted(c for c in seen if c)})"
             )
 
+    if args.summary:
+        errors += check_summary(
+            args.summary, {event.get("name") for event in events}
+        )
+
     dropped = data.get("otherData", {}).get("dropped_events", 0)
     if errors == 0:
+        summary_note = " (summary OK)" if args.summary else ""
         print(
             f"check_trace: OK — {len(events)} events, "
             f"{len({(e['pid'], e['tid']) for e in events})} thread(s), "
-            f"{dropped} dropped, categories: {sorted(c for c in seen if c)}"
+            f"{dropped} dropped, categories: "
+            f"{sorted(c for c in seen if c)}{summary_note}"
         )
     return 1 if errors else 0
 

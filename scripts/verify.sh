@@ -6,7 +6,10 @@
 # partially-built state, exactly where lifetime bugs hide), then the perf
 # smoke against the committed E10 baseline, then a short differential
 # fuzzing campaign (see docs/fuzzing.md), then the 1M-atom EDB bulk-load
-# smoke (the same gate CI's bulk-load-smoke job runs).
+# smoke (the same gate CI's bulk-load-smoke job runs), then the run-report
+# smoke: one instrumented chase run whose stats + metrics + trace-summary
+# artifacts must merge into a markdown run report with the expected
+# sections (the same gate CI's report-smoke job runs).
 #
 # Fails fast: the first failing tier stops the run and becomes the exit
 # code, so callers (and CI logs) can tell tiers apart at a glance:
@@ -17,12 +20,13 @@
 #   13  perf      bench smoke failed or regressed vs BENCH_e10.json
 #   14  fuzz      differential-oracle campaign found a violation
 #   15  bulkload  1M-atom EDB bulk-load smoke failed
+#   16  report    instrumented run or report generation failed
 #    2  usage     unknown flag
 #
 # A summary table of tier outcomes is printed on every exit path.
 #
 # Usage: scripts/verify.sh [--skip-tsan] [--skip-asan] [--skip-perf]
-#                          [--skip-fuzz] [--skip-bulkload]
+#                          [--skip-fuzz] [--skip-bulkload] [--skip-report]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +35,7 @@ skip_asan=0
 skip_perf=0
 skip_fuzz=0
 skip_bulkload=0
+skip_report=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) skip_tsan=1 ;;
@@ -38,12 +43,13 @@ for arg in "$@"; do
     --skip-perf) skip_perf=1 ;;
     --skip-fuzz) skip_fuzz=1 ;;
     --skip-bulkload) skip_bulkload=1 ;;
+    --skip-report) skip_report=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
 
-tier_names=(tier-1 tsan asan perf fuzz bulkload)
-tier_codes=(10 11 12 13 14 15)
+tier_names=(tier-1 tsan asan perf fuzz bulkload report)
+tier_codes=(10 11 12 13 14 15 16)
 declare -A tier_status
 for name in "${tier_names[@]}"; do tier_status[$name]=skipped; done
 
@@ -112,7 +118,7 @@ tier_tsan() {
     --target chase_test chase_limits_test chase_parallel_test governor_test \
              obs_test join_plan_test memory_budget_test &&
   (cd build-tsan && ctest -j"$(nproc)" \
-    -R 'ParallelDiscovery|ChaseStats|NullCap|RandomOrderSeeding|ChaseTest|ChaseLimits|Governor|Deadline|Cancellation|FaultInjection|Tracer|ObsGovernor|ThreadPool|JoinPlan|BindingSegment|PlanExecutor|MemoryBudget|InstanceBudget|ChaseMemory')
+    -R 'ParallelDiscovery|ChaseStats|NullCap|RandomOrderSeeding|ChaseTest|ChaseLimits|Governor|Deadline|Cancellation|FaultInjection|Tracer|ObsGovernor|ThreadPool|JoinPlan|BindingSegment|PlanExecutor|MemoryBudget|InstanceBudget|ChaseMemory|Histogram|PerfCounters|Progress')
 }
 
 tier_asan() {
@@ -189,11 +195,59 @@ tier_fuzz() {
     --corpus-dir=tests/fuzz_corpus --json=-
 }
 
+tier_report() {
+  # Tier 7 (report smoke): one fully-instrumented run — latency
+  # histograms, perf phase attribution (gracefully degraded where the
+  # container has no PMU access), heartbeat, trace + flame sidecar —
+  # merged by scripts/report.py into the markdown run report CI uploads
+  # as an artifact. Asserts the histogram keys the profiling layer must
+  # populate and validates the trace + sidecar shapes.
+  cmake --build --preset default -j"$(nproc)" --target chase_cli &&
+  ./build/tools/chase_cli examples/rules/company.dlgp restricted 100000 \
+    --progress=200 --trace=build/report-trace.json \
+    --metrics-json=build/report-metrics.json \
+    --stats > build/report-stats.json &&
+  python3 scripts/check_trace.py build/report-trace.json \
+    --require-categories=chase,storage \
+    --summary=build/report-trace.json.summary.json &&
+  python3 - <<'PYEOF' &&
+import json
+metrics = json.load(open("build/report-metrics.json"))
+hists = metrics["histograms"]
+for key in ("chase.round_ns", "chase.apply_ns", "chase.discovery_ns",
+            "chase.batch_flush_ns", "chase.head_check_ns"):
+    assert key in hists, f"missing histogram {key}"
+    assert hists[key]["count"] > 0, f"empty histogram {key}"
+    for stat in ("p50", "p90", "p99", "max", "mean"):
+        assert stat in hists[key], f"{key} missing {stat}"
+perf = metrics["perf"]
+assert "available" in perf and "phases" in perf, perf.keys()
+for phase in ("discovery", "apply", "dedup_growth", "decider", "load"):
+    assert phase in perf["phases"], f"missing perf phase {phase}"
+print("report smoke: histograms and perf section OK "
+      f"(perf available={perf['available']}, "
+      f"hardware={perf.get('hardware_events')})")
+PYEOF
+  python3 scripts/report.py --stats=build/report-stats.json \
+    --metrics=build/report-metrics.json \
+    --summary=build/report-trace.json.summary.json \
+    --out=build/report.md &&
+  python3 - <<'PYEOF'
+report = open("build/report.md").read()
+for section in ("# Chase run report", "## Run summary",
+                "## Latency histograms", "## Hardware counters by phase",
+                "## Counters and gauges", "## Trace flame summary"):
+    assert section in report, f"report missing section: {section}"
+print(f"report smoke OK: build/report.md ({len(report)} bytes)")
+PYEOF
+}
+
 run_tier tier-1 tier1
 if [[ "$skip_tsan" == 0 ]]; then run_tier tsan tier_tsan; fi
 if [[ "$skip_asan" == 0 ]]; then run_tier asan tier_asan; fi
 if [[ "$skip_perf" == 0 ]]; then run_tier perf tier_perf; fi
 if [[ "$skip_fuzz" == 0 ]]; then run_tier fuzz tier_fuzz; fi
 if [[ "$skip_bulkload" == 0 ]]; then run_tier bulkload tier_bulkload; fi
+if [[ "$skip_report" == 0 ]]; then run_tier report tier_report; fi
 
 echo "verify: OK"

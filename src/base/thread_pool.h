@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/histogram.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace gchase {
@@ -91,6 +93,9 @@ class ThreadPool {
       return;
     }
     GCHASE_TRACE_SPAN(TraceCategory::kPool, "pool.job", num_units);
+    static MetricHistogram* const job_hist =
+        MetricsRegistry::Global().Histogram("pool.job_ns");
+    LatencyTimer job_timer(job_hist);
     std::lock_guard<std::mutex> job_lock(job_mutex_);
     // Publish the job before any chunk becomes visible: a straggler from
     // the previous job may pick up these chunks through a slot mutex, and

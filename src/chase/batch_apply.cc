@@ -14,6 +14,8 @@
 #include <algorithm>
 
 #include "chase/chase.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/instance.h"
 
@@ -50,6 +52,9 @@ bool ChaseRun::ApplyPendingBatch(const std::vector<PendingTrigger>& pending,
     if (block.empty()) return;
     GCHASE_TRACE_SPAN(TraceCategory::kChase, "chase.batch_flush",
                       block.atoms());
+    static MetricHistogram* const flush_hist =
+        MetricsRegistry::Global().Histogram("chase.batch_flush_ns");
+    LatencyTimer flush_timer(flush_hist);
     round->batch_blocks += block.FlushInto(&instance_);
     block.Clear();
   };

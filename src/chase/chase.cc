@@ -9,7 +9,10 @@
 #include "base/hash.h"
 #include "base/rng.h"
 #include "base/timer.h"
+#include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "storage/edb.h"
 
@@ -104,7 +107,8 @@ ChaseRun::ChaseRun(const RuleSet& rules, ChaseOptions options)
 ChaseRun::ChaseRun(const RuleSet& rules, ChaseOptions options,
                    const std::vector<Atom>& database)
     : ChaseRun(rules, std::move(options)) {
-  GCHASE_TRACE_SPAN(TraceCategory::kChase, "chase.load", database.size());
+  GCHASE_TRACE_SPAN_PERF(TraceCategory::kChase, "chase.load", database.size(),
+                         PerfPhase::kLoad);
   WallTimer load_timer;
   // Pre-size for the whole database load (as the apply phase does per
   // round): a large EDB would otherwise rehash the dedup table and
@@ -127,7 +131,8 @@ ChaseRun::ChaseRun(const RuleSet& rules, ChaseOptions options,
 ChaseRun::ChaseRun(const RuleSet& rules, ChaseOptions options,
                    const EdbDatabase& edb, Vocabulary* vocabulary)
     : ChaseRun(rules, std::move(options)) {
-  GCHASE_TRACE_SPAN(TraceCategory::kChase, "chase.load", edb.TotalRows());
+  GCHASE_TRACE_SPAN_PERF(TraceCategory::kChase, "chase.load", edb.TotalRows(),
+                         PerfPhase::kLoad);
   WallTimer seed_timer;
   EdbSeedStats seed;
   seed_status_ =
@@ -179,6 +184,9 @@ std::vector<uint32_t> ChaseRun::TriggerKeyRow(uint32_t rule_index,
 ChaseRun::HeadCheck ChaseRun::CheckHeadSatisfied(const Tgd& rule,
                                                  const Binding& binding,
                                                  ChaseOutcome* outcome) {
+  static MetricHistogram* const head_check_hist =
+      MetricsRegistry::Global().Histogram("chase.head_check_ns");
+  LatencyTimer head_check_timer(head_check_hist);
   // Cooperative checkpoint at the check boundary: a run that is out of
   // budget stops *before* starting a potentially pathological search, and
   // tests can abort deterministically inside the check phase.
@@ -458,6 +466,10 @@ std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverSerial(
         *stopped = true;
         break;
       }
+      static MetricHistogram* const unit_hist =
+          MetricsRegistry::Global().Histogram(
+              "chase.discovery_unit_fallback_ns");
+      LatencyTimer unit_timer(unit_hist);
       HomSearchOptions search;
       search.watermark = watermark;
       search.ranges.assign(body_size, MatchRange::kAll);
@@ -559,6 +571,9 @@ std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverParallel(
                           std::memory_order_relaxed);
       return;
     }
+    static MetricHistogram* const unit_hist =
+        MetricsRegistry::Global().Histogram("chase.discovery_unit_fallback_ns");
+    LatencyTimer unit_timer(unit_hist);
     const Tgd& rule = rules_.rule(unit.rule);
     const std::size_t body_size = rule.body().size();
     HomomorphismFinder finder(instance_);
@@ -725,6 +740,12 @@ std::vector<ChaseRun::PendingTrigger> ChaseRun::DiscoverPlanned(
                           std::memory_order_relaxed);
       return;
     }
+    static MetricHistogram* const plan_unit_hist =
+        MetricsRegistry::Global().Histogram("chase.discovery_unit_plan_ns");
+    static MetricHistogram* const fallback_unit_hist =
+        MetricsRegistry::Global().Histogram("chase.discovery_unit_fallback_ns");
+    LatencyTimer unit_timer(unit.planned ? plan_unit_hist
+                                         : fallback_unit_hist);
     if (unit.planned) {
       BindingSegment scratch;
       scratch.SetMemoryBudget(memory_budget_.get());
@@ -907,7 +928,8 @@ ChaseOutcome ChaseRun::ExecuteLoop(const AtomObserver& observer) {
     ChaseOutcome stop_outcome = ChaseOutcome::kTerminated;
     std::vector<PendingTrigger> pending;
     {
-      GCHASE_TRACE_SPAN(TraceCategory::kChase, "chase.discovery", rounds_);
+      GCHASE_TRACE_SPAN_PERF(TraceCategory::kChase, "chase.discovery", rounds_,
+                             PerfPhase::kDiscovery);
       pending = DiscoverTriggers(watermark, &discovery_capped,
                                  &discovery_stopped, &stop_outcome);
     }
@@ -1004,7 +1026,8 @@ ChaseOutcome ChaseRun::ExecuteLoop(const AtomObserver& observer) {
     // oracles) — so this is purely an execution-strategy choice.
     phase_timer.Restart();
     const uint64_t applied_before = applied_triggers_;
-    GCHASE_TRACE_SPAN(TraceCategory::kChase, "chase.apply", rounds_ - 1);
+    GCHASE_TRACE_SPAN_PERF(TraceCategory::kChase, "chase.apply", rounds_ - 1,
+                           PerfPhase::kApply);
     const bool use_batch = options_.batch_apply && observer == nullptr &&
                            !options_.track_provenance;
     bool apply_ok = true;
@@ -1058,6 +1081,26 @@ ChaseOutcome ChaseRun::ExecuteLoop(const AtomObserver& observer) {
     round.applied = applied_triggers_ - applied_before;
     round.apply_seconds = phase_timer.ElapsedSeconds();
     round.total_seconds = round_timer.ElapsedSeconds();
+    // Latency distributions ride on the per-round timers the stats layer
+    // already reads — no extra clock calls, just three records per round.
+    if (ProfilingEnabled()) {
+      static MetricHistogram* const round_hist =
+          MetricsRegistry::Global().Histogram("chase.round_ns");
+      static MetricHistogram* const apply_hist =
+          MetricsRegistry::Global().Histogram("chase.apply_ns");
+      static MetricHistogram* const discovery_hist =
+          MetricsRegistry::Global().Histogram("chase.discovery_ns");
+      round_hist->Record(static_cast<uint64_t>(round.total_seconds * 1e9));
+      apply_hist->Record(static_cast<uint64_t>(round.apply_seconds * 1e9));
+      discovery_hist->Record(
+          static_cast<uint64_t>(round.discovery_seconds * 1e9));
+    }
+    if (ProgressEnabled()) {
+      ProgressCounters& pc = GlobalProgress();
+      pc.rounds.store(rounds_, std::memory_order_relaxed);
+      pc.atoms.store(instance_.size(), std::memory_order_relaxed);
+      pc.triggers.store(applied_triggers_, std::memory_order_relaxed);
+    }
     UpdateStatsPeaks();
     if (!apply_ok) return outcome;
     if (discovery_capped) return ChaseOutcome::kResourceLimit;

@@ -6,6 +6,7 @@
 
 #include "base/timer.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 
 namespace gchase {
@@ -51,6 +52,9 @@ FuzzReport RunFuzz(const FuzzRunnerOptions& options) {
     }
     GCHASE_TRACE_SPAN(TraceCategory::kFuzz, "fuzz.trial", trial);
     ++report.trials_started;
+    if (ProgressEnabled()) {
+      GlobalProgress().trials_started.fetch_add(1, std::memory_order_relaxed);
+    }
     FuzzCase fuzz_case =
         MakeFuzzCase(options.seed, trial, options.case_options);
     if (options.verbose) {
@@ -139,12 +143,18 @@ FuzzReport RunFuzz(const FuzzRunnerOptions& options) {
                      violation.detail.c_str());
       }
       report.violations.push_back(std::move(violation));
+      if (ProgressEnabled()) {
+        GlobalProgress().trials_failed.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     if (budget_died) {
       report.stopped_early = true;
       break;
     }
     ++report.trials_run;
+    if (ProgressEnabled()) {
+      GlobalProgress().trials_run.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   report.elapsed_seconds = timer.ElapsedSeconds();

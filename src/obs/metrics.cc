@@ -1,6 +1,16 @@
 #include "obs/metrics.h"
 
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+
 namespace gchase {
+
+// Out-of-line so unique_ptr<MetricHistogram> can live behind the forward
+// declaration in the header.
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
 
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* const registry = new MetricsRegistry();
@@ -28,6 +38,34 @@ MetricGauge* MetricsRegistry::Gauge(std::string_view name) {
   return it->second.get();
 }
 
+MetricHistogram* MetricsRegistry::Histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<MetricHistogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricHistogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void MetricsRegistry::SetJsonSection(std::string_view name,
+                                     std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (provider) {
+    sections_[std::string(name)] = std::move(provider);
+  } else {
+    const auto it = sections_.find(name);
+    if (it != sections_.end()) sections_.erase(it);
+  }
+}
+
 uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);
@@ -41,23 +79,46 @@ int64_t MetricsRegistry::GaugeValue(std::string_view name) const {
 }
 
 std::string MetricsRegistry::SnapshotJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::string out = "{\n  \"counters\": {";
-  bool first = true;
-  for (const auto& [name, counter] : counters_) {
-    if (!first) out += ",";
-    first = false;
-    out += "\n    \"" + name + "\": " + std::to_string(counter->value());
+  // Build the map-backed parts under the lock, but call section
+  // providers after releasing it so a provider may consult the registry
+  // without deadlocking.
+  std::string out;
+  std::vector<std::pair<std::string, std::function<std::string()>>> sections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, counter] : counters_) {
+      if (!first) out += ",";
+      first = false;
+      out += "\n    \"" + name + "\": " + std::to_string(counter->value());
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"gauges\": {";
+    first = true;
+    for (const auto& [name, gauge] : gauges_) {
+      if (!first) out += ",";
+      first = false;
+      out += "\n    \"" + name + "\": " + std::to_string(gauge->value());
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"histograms\": {";
+    first = true;
+    for (const auto& [name, histogram] : histograms_) {
+      if (!first) out += ",";
+      first = false;
+      out += "\n    \"" + name + "\": " + histogram->SnapshotJsonObject();
+    }
+    out += first ? "}" : "\n  }";
+    sections.reserve(sections_.size());
+    for (const auto& [name, provider] : sections_) {
+      sections.emplace_back(name, provider);
+    }
   }
-  out += first ? "},\n" : "\n  },\n";
-  out += "  \"gauges\": {";
-  first = true;
-  for (const auto& [name, gauge] : gauges_) {
-    if (!first) out += ",";
-    first = false;
-    out += "\n    \"" + name + "\": " + std::to_string(gauge->value());
+  for (const auto& [name, provider] : sections) {
+    out += ",\n  \"" + name + "\": " + provider();
   }
-  out += first ? "}\n}\n" : "\n  }\n}\n";
+  out += "\n}\n";
   return out;
 }
 
@@ -68,6 +129,9 @@ void MetricsRegistry::Reset() {
   }
   for (auto& [name, gauge] : gauges_) {
     gauge->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
   }
 }
 

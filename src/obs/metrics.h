@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -10,6 +11,8 @@
 #include <string_view>
 
 namespace gchase {
+
+class MetricHistogram;
 
 /// Monotonic counter. Pointer-stable once registered: callers cache the
 /// pointer and bump it lock-free from any thread.
@@ -57,24 +60,40 @@ class MetricsRegistry {
  public:
   /// Default-constructible so tests (and batch tools) can use private
   /// registries; production code publishes into Global().
-  MetricsRegistry() = default;
+  MetricsRegistry();
+  ~MetricsRegistry();
 
   static MetricsRegistry& Global();
 
-  /// Finds or registers a counter/gauge. The returned pointer is stable
-  /// for the registry's lifetime (values are node-owned).
+  /// Finds or registers a counter/gauge/histogram. The returned pointer
+  /// is stable for the registry's lifetime (values are node-owned).
   MetricCounter* Counter(std::string_view name);
   MetricGauge* Gauge(std::string_view name);
+  MetricHistogram* Histogram(std::string_view name);
+
+  /// Histogram by name, or nullptr when never registered (for tests and
+  /// snapshot assertions without forcing registration).
+  MetricHistogram* FindHistogram(std::string_view name) const;
 
   /// Convenience lookups for tests and snapshot assertions; 0 when the
   /// name was never registered.
   uint64_t CounterValue(std::string_view name) const;
   int64_t GaugeValue(std::string_view name) const;
 
-  /// JSON snapshot: {"counters": {name: value, ...}, "gauges": {...}},
-  /// names sorted, every value a plain integer. Cheap enough to emit at
-  /// any abort point — it reads two maps under a lock and never blocks a
-  /// writer (writers touch only their cached atomic).
+  /// Registers (or replaces) an extra top-level snapshot section: the
+  /// provider's returned string is spliced into SnapshotJson() verbatim
+  /// as `"name": <value>` and must therefore be one valid JSON value.
+  /// This is how the perf-counter layer publishes its per-phase section
+  /// without metrics depending on perf. A null provider unregisters.
+  void SetJsonSection(std::string_view name,
+                      std::function<std::string()> provider);
+
+  /// JSON snapshot: {"counters": {name: value, ...}, "gauges": {...},
+  /// "histograms": {name: {count,p50,p90,p99,max,mean}, ...}, plus one
+  /// key per registered section}, names sorted, every leaf a plain
+  /// integer. Cheap enough to emit at any abort point — it reads the
+  /// maps under a lock and never blocks a writer (writers touch only
+  /// their cached atomic).
   std::string SnapshotJson() const;
 
   /// Zeroes every registered value (registrations survive). For tests
@@ -86,6 +105,9 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<MetricCounter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<MetricGauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<MetricHistogram>, std::less<>>
+      histograms_;
+  std::map<std::string, std::function<std::string()>, std::less<>> sections_;
 };
 
 }  // namespace gchase

@@ -39,6 +39,55 @@ void AppendEvent(std::string* out, const TraceEvent& event, uint32_t pid,
   *out += "}";
 }
 
+struct FlameRow {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t max_ns = 0;
+};
+
+/// Shared fold for the table and JSON forms: match B/E pairs per thread
+/// (spans never cross threads), take 'X' durations as-is, count 'i' as
+/// zero-duration hits; sort by total descending.
+std::vector<std::pair<std::string, FlameRow>> FoldFlameRows(
+    const std::vector<Tracer::ThreadEvents>& threads) {
+  std::map<std::string, FlameRow> rows;
+  auto fold = [&rows](const char* name, uint64_t dur_ns) {
+    FlameRow& row = rows[name];
+    ++row.count;
+    row.total_ns += dur_ns;
+    row.max_ns = std::max(row.max_ns, dur_ns);
+  };
+  for (const Tracer::ThreadEvents& thread : threads) {
+    std::vector<const TraceEvent*> stack;
+    for (const TraceEvent& event : thread.events) {
+      switch (event.phase) {
+        case TracePhase::kBegin:
+          stack.push_back(&event);
+          break;
+        case TracePhase::kEnd:
+          if (!stack.empty()) {
+            const TraceEvent* begin = stack.back();
+            stack.pop_back();
+            fold(begin->name, event.ts_ns - begin->ts_ns);
+          }
+          break;
+        case TracePhase::kComplete:
+          fold(event.name, event.dur_ns);
+          break;
+        case TracePhase::kInstant:
+          fold(event.name, 0);
+          break;
+      }
+    }
+  }
+  std::vector<std::pair<std::string, FlameRow>> sorted(rows.begin(),
+                                                       rows.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ns > b.second.total_ns;
+  });
+  return sorted;
+}
+
 }  // namespace
 
 std::string TraceToChromeJson(const std::vector<Tracer::ThreadEvents>& threads,
@@ -63,48 +112,7 @@ std::string TraceToChromeJson(const std::vector<Tracer::ThreadEvents>& threads,
 
 std::string TraceFlameSummary(
     const std::vector<Tracer::ThreadEvents>& threads) {
-  struct Row {
-    uint64_t count = 0;
-    uint64_t total_ns = 0;
-    uint64_t max_ns = 0;
-  };
-  std::map<std::string, Row> rows;
-  auto fold = [&rows](const char* name, uint64_t dur_ns) {
-    Row& row = rows[name];
-    ++row.count;
-    row.total_ns += dur_ns;
-    row.max_ns = std::max(row.max_ns, dur_ns);
-  };
-  for (const Tracer::ThreadEvents& thread : threads) {
-    // Per-thread begin stack: spans never cross threads, so matching the
-    // innermost open begin of the same name reconstructs durations.
-    std::vector<const TraceEvent*> stack;
-    for (const TraceEvent& event : thread.events) {
-      switch (event.phase) {
-        case TracePhase::kBegin:
-          stack.push_back(&event);
-          break;
-        case TracePhase::kEnd:
-          if (!stack.empty()) {
-            const TraceEvent* begin = stack.back();
-            stack.pop_back();
-            fold(begin->name, event.ts_ns - begin->ts_ns);
-          }
-          break;
-        case TracePhase::kComplete:
-          fold(event.name, event.dur_ns);
-          break;
-        case TracePhase::kInstant:
-          fold(event.name, 0);
-          break;
-      }
-    }
-  }
-
-  std::vector<std::pair<std::string, Row>> sorted(rows.begin(), rows.end());
-  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
-    return a.second.total_ns > b.second.total_ns;
-  });
+  const auto sorted = FoldFlameRows(threads);
 
   std::string out;
   char line[160];
@@ -121,8 +129,40 @@ std::string TraceFlameSummary(
   return out;
 }
 
+std::string TraceFlameSummaryJson(
+    const std::vector<Tracer::ThreadEvents>& threads) {
+  uint64_t dropped = 0;
+  for (const Tracer::ThreadEvents& thread : threads) {
+    dropped += thread.dropped;
+  }
+  std::string out = "{\"dropped_events\": " + std::to_string(dropped);
+  out += ", \"threads\": " + std::to_string(threads.size());
+  out += ", \"spans\": [\n";
+  bool first = true;
+  for (const auto& [name, row] : FoldFlameRows(threads)) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  {\"name\": \"" + name + "\"";
+    out += ", \"count\": " + std::to_string(row.count);
+    out += ", \"total_ns\": " + std::to_string(row.total_ns);
+    out += ", \"max_ns\": " + std::to_string(row.max_ns);
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
 bool WriteGlobalTrace(const std::string& path) {
   const std::string json = TraceToChromeJson(Tracer::Global().Collect());
+  std::ofstream out(path);
+  if (!out) return false;
+  out << json;
+  out.close();
+  return static_cast<bool>(out);
+}
+
+bool WriteGlobalTraceSummary(const std::string& path) {
+  const std::string json = TraceFlameSummaryJson(Tracer::Global().Collect());
   std::ofstream out(path);
   if (!out) return false;
   out << json;

@@ -23,10 +23,22 @@ std::string TraceToChromeJson(const std::vector<Tracer::ThreadEvents>& threads,
 /// B/E pairs are matched per thread; unclosed spans are ignored.
 std::string TraceFlameSummary(const std::vector<Tracer::ThreadEvents>& threads);
 
+/// Machine-readable form of the flame summary (the stderr table above
+/// is for eyes only): {"dropped_events": N, "threads": T, "spans":
+/// [{"name": ..., "count": ..., "total_ns": ..., "max_ns": ...}, ...]},
+/// spans sorted by total_ns descending. Written as the `.summary.json`
+/// sidecar next to the Chrome trace and validated by check_trace.py.
+std::string TraceFlameSummaryJson(
+    const std::vector<Tracer::ThreadEvents>& threads);
+
 /// Collects the global tracer's buffers and writes the Chrome-trace JSON
 /// to `path`. Returns false on I/O failure. Safe to call after an
 /// aborted run: collection reads whatever was published before the stop.
 bool WriteGlobalTrace(const std::string& path);
+
+/// Collects the global tracer's buffers and writes the flame-summary
+/// JSON sidecar to `path`. Returns false on I/O failure.
+bool WriteGlobalTraceSummary(const std::string& path);
 
 }  // namespace gchase
 

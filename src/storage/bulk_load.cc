@@ -7,6 +7,9 @@
 #include <vector>
 
 #include "base/timer.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 
 namespace gchase {
@@ -100,6 +103,9 @@ Status ParseCsvInto(std::string_view text, const BulkLoadOptions& options,
   bool budget_tripped = false;
 
   auto flush = [&]() -> Status {
+    static MetricHistogram* const batch_hist =
+        MetricsRegistry::Global().Histogram("storage.load_batch_ns");
+    LatencyTimer batch_timer(batch_hist);
     ids.resize(fields.size());
     if (!fields.empty() &&
         !edb->InternTermBatch(fields.data(), ids.data(), fields.size())) {
@@ -306,7 +312,8 @@ using ParseFn = Status (*)(std::string_view, const BulkLoadOptions&,
 StatusOr<std::unique_ptr<InMemoryEdb>> LoadFacts(
     std::string_view text, const BulkLoadOptions& options, ParseFn parse,
     const char* span_name) {
-  GCHASE_TRACE_SPAN(TraceCategory::kStorage, span_name, text.size());
+  GCHASE_TRACE_SPAN_PERF(TraceCategory::kStorage, span_name, text.size(),
+                         PerfPhase::kLoad);
   WallTimer timer;
   auto edb = std::make_unique<InMemoryEdb>();
   edb->SetMemoryBudget(options.budget);

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 
 namespace gchase {
@@ -50,7 +53,11 @@ void Instance::GrowDedup(std::size_t want) {
   if (capacity == dedup_ids_.size()) return;
   // Span only inside the actual-grow branch: the early-outs above are
   // the TryAdd fast path and must stay untraced.
-  GCHASE_TRACE_SPAN(TraceCategory::kStorage, "storage.grow_dedup", capacity);
+  GCHASE_TRACE_SPAN_PERF(TraceCategory::kStorage, "storage.grow_dedup",
+                         capacity, PerfPhase::kDedupGrowth);
+  static MetricHistogram* const grow_hist =
+      MetricsRegistry::Global().Histogram("storage.dedup_grow_ns");
+  LatencyTimer grow_timer(grow_hist);
   const uint64_t bytes_before = VectorBytes(dedup_hashes_) + VectorBytes(dedup_ids_);
   std::vector<uint64_t> old_hashes = std::move(dedup_hashes_);
   std::vector<AtomId> old_ids = std::move(dedup_ids_);

@@ -5,6 +5,9 @@
 
 #include "base/timer.h"
 #include "model/printer.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 
 namespace gchase {
@@ -140,8 +143,12 @@ StatusOr<DeciderResult> DecideTerminationWithFallback(
   exact.deadline =
       Deadline::Earlier(options.deadline, options.deadline.Slice(0.75));
   StatusOr<DeciderResult> first = [&] {
-    GCHASE_TRACE_SPAN(TraceCategory::kDecider, "decider.exact",
-                      static_cast<uint64_t>(variant));
+    GCHASE_TRACE_SPAN_PERF(TraceCategory::kDecider, "decider.exact",
+                           static_cast<uint64_t>(variant),
+                           PerfPhase::kDecider);
+    static MetricHistogram* const phase_hist =
+        MetricsRegistry::Global().Histogram("decider.phase_ns");
+    LatencyTimer phase_timer(phase_hist);
     return DecideTermination(rules, vocabulary, variant, exact);
   }();
   if (!first.ok()) return first;
@@ -160,8 +167,12 @@ StatusOr<DeciderResult> DecideTerminationWithFallback(
       std::min<uint64_t>(options.max_hom_discoveries, 1ull << 20);
   probe.max_join_work = std::min<uint64_t>(options.max_join_work, 1ull << 24);
   StatusOr<DeciderResult> second = [&] {
-    GCHASE_TRACE_SPAN(TraceCategory::kDecider, "decider.probe",
-                      static_cast<uint64_t>(variant));
+    GCHASE_TRACE_SPAN_PERF(TraceCategory::kDecider, "decider.probe",
+                           static_cast<uint64_t>(variant),
+                           PerfPhase::kDecider);
+    static MetricHistogram* const phase_hist =
+        MetricsRegistry::Global().Histogram("decider.phase_ns");
+    LatencyTimer phase_timer(phase_hist);
     return DecideTermination(rules, vocabulary, variant, probe);
   }();
   if (!second.ok()) return second;

@@ -8,13 +8,23 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "base/thread_pool.h"
 #include "chase/chase.h"
 #include "gtest/gtest.h"
+#include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "tests/test_util.h"
@@ -469,6 +479,347 @@ TEST(ObsGovernorTest, AbortedChaseStillFlushesTraceAndMetrics) {
   EXPECT_EQ(registry.CounterValue("chase.triggers_applied"), 3u);
   EXPECT_NE(registry.SnapshotJson().find("\"chase.rounds\""),
             std::string::npos);
+}
+
+// -------------------------------------------------------------------------
+// Latency histograms.
+
+TEST(HistogramTest, SmallValuesBucketExactly) {
+  // Values below kSubBuckets occupy one bucket each: no quantization.
+  for (uint64_t v = 0; v < MetricHistogram::kSubBuckets; ++v) {
+    EXPECT_EQ(MetricHistogram::BucketIndex(v), v);
+    EXPECT_EQ(MetricHistogram::BucketLowerBound(v), v);
+    EXPECT_EQ(MetricHistogram::BucketUpperBound(v), v);
+  }
+}
+
+TEST(HistogramTest, BucketBoundsRoundTrip) {
+  // Every value lands in a bucket whose [lower, upper] range contains
+  // it, and consecutive buckets tile the value space without gaps.
+  std::vector<uint64_t> probes;
+  for (int shift = 0; shift < 63; ++shift) {
+    const uint64_t p = uint64_t{1} << shift;
+    probes.push_back(p - 1);
+    probes.push_back(p);
+    probes.push_back(p + 1);
+  }
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 1000; ++i) probes.push_back(rng());
+  for (uint64_t value : probes) {
+    const std::size_t index = MetricHistogram::BucketIndex(value);
+    ASSERT_LT(index, MetricHistogram::kNumBuckets) << "value " << value;
+    EXPECT_LE(MetricHistogram::BucketLowerBound(index), value);
+    EXPECT_GE(MetricHistogram::BucketUpperBound(index), value);
+  }
+  for (std::size_t index = 0; index + 1 < MetricHistogram::kNumBuckets;
+       ++index) {
+    EXPECT_EQ(MetricHistogram::BucketUpperBound(index) + 1,
+              MetricHistogram::BucketLowerBound(index + 1))
+        << "gap after bucket " << index;
+  }
+}
+
+TEST(HistogramTest, QuantilesMatchSortedOracle) {
+  // Log-normal-ish latencies: the shape latency data actually takes.
+  MetricHistogram hist;
+  std::mt19937_64 rng(42);
+  std::lognormal_distribution<double> dist(10.0, 2.0);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = static_cast<uint64_t>(dist(rng));
+    values.push_back(v);
+    hist.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(hist.count(), values.size());
+  EXPECT_EQ(hist.max(), values.back());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    // Same rank the implementation targets: ceil(q * count), >= 1.
+    const std::size_t rank = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(q * static_cast<double>(values.size()))));
+    const uint64_t truth = values[rank - 1];
+    const uint64_t reported = hist.ValueAtQuantile(q);
+    // Bucket upper bounds make quantiles conservative, never low, and
+    // the 16-sub-bucket octaves bound the overshoot at 1/16 relative.
+    EXPECT_GE(reported, truth) << "q=" << q;
+    EXPECT_LE(reported, truth + truth / 16 + 1) << "q=" << q;
+  }
+  EXPECT_EQ(hist.ValueAtQuantile(1.0), values.back());
+}
+
+TEST(HistogramTest, EmptyAndResetReadAsZero) {
+  MetricHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.ValueAtQuantile(0.5), 0u);
+  EXPECT_EQ(hist.mean(), 0u);
+  hist.Record(1000);
+  hist.Record(3000);
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_EQ(hist.mean(), 2000u);
+  EXPECT_EQ(hist.max(), 3000u);
+  hist.Reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.sum(), 0u);
+  EXPECT_EQ(hist.max(), 0u);
+  EXPECT_EQ(hist.ValueAtQuantile(0.99), 0u);
+}
+
+TEST(HistogramTest, SnapshotJsonObjectShape) {
+  MetricHistogram hist;
+  for (uint64_t v = 1; v <= 100; ++v) hist.Record(v * 1000);
+  const std::string json = hist.SnapshotJsonObject();
+  EXPECT_NE(json.find("\"count\": 100"), std::string::npos);
+  for (const char* key : {"\"p50\":", "\"p90\":", "\"p99\":", "\"max\":",
+                          "\"mean\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+// Run under TSan in CI: recording must be race-free from any number of
+// threads, and no observation may be lost.
+TEST(HistogramTest, ConcurrentRecordingLosesNothing) {
+  MetricHistogram hist;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        hist.Record(static_cast<uint64_t>(t) * kPerThread + i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(hist.count(), kThreads * kPerThread);
+  const uint64_t n = kThreads * kPerThread;
+  EXPECT_EQ(hist.sum(), n * (n - 1) / 2);
+  EXPECT_EQ(hist.max(), n - 1);
+}
+
+TEST(HistogramTest, LatencyTimerIsInertWhenProfilingOff) {
+  const bool was_enabled = ProfilingEnabled();
+  MetricHistogram hist;
+  SetProfilingEnabled(false);
+  { LatencyTimer timer(&hist); }
+  EXPECT_EQ(hist.count(), 0u) << "disabled profiling must not record";
+  { LatencyTimer null_timer(nullptr); }  // null histogram is always inert
+
+  SetProfilingEnabled(true);
+  { LatencyTimer timer(&hist); }
+  EXPECT_EQ(hist.count(), 1u);
+  SetProfilingEnabled(was_enabled);
+}
+
+TEST(HistogramTest, RegistrySnapshotsAndResetsHistograms) {
+  MetricsRegistry registry;
+  MetricHistogram* hist = registry.Histogram("test.latency_ns");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(registry.Histogram("test.latency_ns"), hist);  // find-or-create
+  EXPECT_EQ(registry.FindHistogram("never.registered"), nullptr);
+  hist->Record(500);
+  const std::string json = registry.SnapshotJson();
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.latency_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  registry.Reset();
+  EXPECT_EQ(hist->count(), 0u);
+}
+
+// -------------------------------------------------------------------------
+// Perf counters: availability is environment-dependent (CI containers
+// usually have no PMU and may block perf_event_open entirely), so these
+// tests assert the contract that must hold everywhere — stable snapshot
+// shape, graceful degradation, inert-when-disabled — and only check
+// live counting when the probe says it works.
+
+TEST(PerfCountersTest, SnapshotAlwaysListsEveryPhase) {
+  const std::string json = PerfSnapshotJson();
+  EXPECT_NE(json.find("\"available\":"), std::string::npos);
+  EXPECT_NE(json.find("\"hardware_events\":"), std::string::npos);
+  for (const char* phase :
+       {"discovery", "apply", "dedup_growth", "decider", "load"}) {
+    EXPECT_NE(json.find(std::string("\"") + phase + "\""), std::string::npos)
+        << phase;
+  }
+  for (const char* key :
+       {"\"scopes\":", "\"cycles\":", "\"instructions\":",
+        "\"cache_references\":", "\"cache_misses\":", "\"branch_misses\":",
+        "\"task_clock_ns\":", "\"ipc\":", "\"cache_miss_rate\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(PerfCountersTest, DisabledScopesAreInert) {
+  DisablePerfCounters();
+  ResetPerfCounters();
+  {
+    PerfPhaseScope scope(PerfPhase::kDecider);
+  }
+  EXPECT_EQ(PerfTotalsForPhase(PerfPhase::kDecider).scopes, 0u);
+}
+
+TEST(PerfCountersTest, EnableDegradesGracefullyOrCounts) {
+  ResetPerfCounters();
+  const bool available = EnablePerfCounters();
+  EXPECT_EQ(available, PerfCountersAvailable());
+  EXPECT_EQ(available, PerfCountersEnabled());
+  if (!available) {
+    // The unavailable path must still explain itself and stay inert.
+    EXPECT_FALSE(PerfUnavailableReason().empty());
+    {
+      PerfPhaseScope scope(PerfPhase::kDecider);
+    }
+    EXPECT_EQ(PerfTotalsForPhase(PerfPhase::kDecider).scopes, 0u);
+  } else {
+    {
+      PerfPhaseScope scope(PerfPhase::kDecider);
+      // Burn a little CPU so task-clock has something to see.
+      volatile uint64_t sink = 0;
+      for (uint64_t i = 0; i < 100000; ++i) sink = sink + i;
+    }
+    const PerfPhaseTotals totals = PerfTotalsForPhase(PerfPhase::kDecider);
+    EXPECT_EQ(totals.scopes, 1u);
+    if (PerfHardwareEventsAvailable()) {
+      EXPECT_GT(totals.events[kPerfCycles], 0u);
+      EXPECT_GT(totals.events[kPerfInstructions], 0u);
+    } else {
+      // Software fallback: task-clock still attributes on-CPU time and
+      // the snapshot says why the hardware columns are zero.
+      EXPECT_GT(totals.events[kPerfTaskClockNs], 0u);
+      EXPECT_FALSE(PerfUnavailableReason().empty());
+      EXPECT_NE(PerfSnapshotJson().find("\"hardware_reason\":"),
+                std::string::npos);
+    }
+    // Untouched phases stay zero.
+    EXPECT_EQ(PerfTotalsForPhase(PerfPhase::kLoad).scopes, 0u);
+  }
+  DisablePerfCounters();
+  ResetPerfCounters();
+  EXPECT_FALSE(PerfCountersEnabled());
+}
+
+// -------------------------------------------------------------------------
+// Progress heartbeat.
+
+TEST(ProgressTest, EnabledFlagTracksReporterLifetime) {
+  EXPECT_FALSE(ProgressEnabled());
+  ProgressReporter reporter;
+  ProgressReporter::Options options;
+  options.interval_ms = 3600 * 1000;  // never ticks on its own
+  ASSERT_TRUE(reporter.Start(options));
+  EXPECT_TRUE(ProgressEnabled());
+  EXPECT_TRUE(reporter.running());
+  reporter.Stop();
+  EXPECT_FALSE(ProgressEnabled());
+  EXPECT_FALSE(reporter.running());
+  // The final flush-on-stop sample always lands, even with no ticks.
+  EXPECT_EQ(reporter.samples_emitted(), 1u);
+  reporter.Stop();  // idempotent
+  EXPECT_EQ(reporter.samples_emitted(), 1u);
+}
+
+TEST(ProgressTest, StartFailsOnUnwritableNdjsonPath) {
+  ProgressReporter reporter;
+  ProgressReporter::Options options;
+  options.ndjson_path = "/nonexistent-directory/progress.ndjson";
+  EXPECT_FALSE(reporter.Start(options));
+  EXPECT_FALSE(reporter.running());
+  EXPECT_FALSE(ProgressEnabled());
+}
+
+TEST(ProgressTest, NdjsonCarriesCountersAndSamplers) {
+  const std::string path =
+      testing::TempDir() + "/gchase_progress_test.ndjson";
+  GlobalProgress().rounds.store(7, std::memory_order_relaxed);
+  GlobalProgress().atoms.store(1234, std::memory_order_relaxed);
+  GlobalProgress().triggers.store(55, std::memory_order_relaxed);
+
+  ProgressReporter reporter;
+  ProgressReporter::Options options;
+  options.mode = ProgressReporter::Mode::kChase;
+  options.interval_ms = 3600 * 1000;
+  options.ndjson_path = path;
+  options.in_use_bytes = [] { return uint64_t{4096}; };
+  options.budget_bytes = [] { return uint64_t{8192}; };
+  options.remaining_seconds = [] { return 9.5; };
+  ASSERT_TRUE(reporter.Start(options));
+  reporter.Stop();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"mode\": \"chase\""), std::string::npos);
+  EXPECT_NE(line.find("\"round\": 7"), std::string::npos);
+  EXPECT_NE(line.find("\"atoms\": 1234"), std::string::npos);
+  EXPECT_NE(line.find("\"triggers\": 55"), std::string::npos);
+  EXPECT_NE(line.find("\"in_use_bytes\": 4096"), std::string::npos);
+  EXPECT_NE(line.find("\"budget_bytes\": 8192"), std::string::npos);
+  EXPECT_NE(line.find("\"remaining_s\": 9.5"), std::string::npos);
+  EXPECT_EQ(std::count(line.begin(), line.end(), '{'),
+            std::count(line.begin(), line.end(), '}'));
+  std::remove(path.c_str());
+  GlobalProgress().rounds.store(0, std::memory_order_relaxed);
+  GlobalProgress().atoms.store(0, std::memory_order_relaxed);
+  GlobalProgress().triggers.store(0, std::memory_order_relaxed);
+}
+
+TEST(ProgressTest, FuzzModeReportsTrialTallies) {
+  const std::string path = testing::TempDir() + "/gchase_fuzz_test.ndjson";
+  GlobalProgress().trials_started.store(11, std::memory_order_relaxed);
+  GlobalProgress().trials_run.store(10, std::memory_order_relaxed);
+  GlobalProgress().trials_failed.store(2, std::memory_order_relaxed);
+
+  ProgressReporter reporter;
+  ProgressReporter::Options options;
+  options.mode = ProgressReporter::Mode::kFuzz;
+  options.interval_ms = 3600 * 1000;
+  options.ndjson_path = path;
+  ASSERT_TRUE(reporter.Start(options));
+  reporter.Stop();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"mode\": \"fuzz\""), std::string::npos);
+  EXPECT_NE(line.find("\"trials_started\": 11"), std::string::npos);
+  EXPECT_NE(line.find("\"trials_run\": 10"), std::string::npos);
+  EXPECT_NE(line.find("\"trials_failed\": 2"), std::string::npos);
+  std::remove(path.c_str());
+  GlobalProgress().trials_started.store(0, std::memory_order_relaxed);
+  GlobalProgress().trials_run.store(0, std::memory_order_relaxed);
+  GlobalProgress().trials_failed.store(0, std::memory_order_relaxed);
+}
+
+// Heartbeat ticks happen while work runs; run under TSan in CI against
+// concurrent engine-side counter stores.
+TEST(ProgressTest, TicksConcurrentlyWithCounterUpdates) {
+  ProgressReporter reporter;
+  ProgressReporter::Options options;
+  options.interval_ms = 1;
+  options.ndjson_path = testing::TempDir() + "/gchase_ticks_test.ndjson";
+  ASSERT_TRUE(reporter.Start(options));
+  for (int i = 0; i < 2000; ++i) {
+    if (ProgressEnabled()) {
+      GlobalProgress().atoms.fetch_add(1, std::memory_order_relaxed);
+      GlobalProgress().rounds.store(static_cast<uint64_t>(i),
+                                    std::memory_order_relaxed);
+    }
+    if (i == 1000) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  reporter.Stop();
+  EXPECT_GE(reporter.samples_emitted(), 1u);
+  std::remove(options.ndjson_path.c_str());
+  GlobalProgress().atoms.store(0, std::memory_order_relaxed);
+  GlobalProgress().rounds.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace

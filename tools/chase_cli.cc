@@ -49,12 +49,22 @@
 //                 a single traceable process
 //     --trace=FILE  record a Chrome-trace/Perfetto JSON of the run (load
 //                 it at ui.perfetto.dev); a flame summary of the spans
-//                 goes to stderr
+//                 goes to stderr, and a machine-readable copy to
+//                 FILE.summary.json
 //     --trace-categories=LIST  comma-separated subset of
 //                 chase,pool,decider,storage,fuzz (default: all)
 //     --metrics-json=FILE  write the process metrics registry snapshot
 //                 (chase.* counters including the parallel-discovery
-//                 fields, forest.* gauges) as JSON
+//                 fields, forest.* gauges, latency histograms and the
+//                 per-phase perf-counter section) as JSON. Also turns
+//                 the profiling layer on: round/apply/discovery latency
+//                 distributions and — where the kernel allows
+//                 perf_event_open — per-phase IPC and cache-miss rates
+//     --progress[=MS]  heartbeat: report round/atoms/atoms-per-second/
+//                 memory/deadline every MS milliseconds (default 1000)
+//                 as human-readable stderr lines
+//     --progress-file=FILE  write the heartbeat as NDJSON to FILE
+//                 instead of stderr (implies --progress)
 //
 // Ctrl-C (SIGINT) trips the run's cancellation token instead of killing
 // the process: the chase stops cooperatively and the partial result is
@@ -85,7 +95,10 @@
 #include "chase/forest.h"
 #include "model/parser.h"
 #include "model/printer.h"
+#include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "storage/bulk_load.h"
@@ -120,20 +133,28 @@ int ExitCodeFor(gchase::ChaseOutcome outcome) {
 }
 
 // Flushes the observability side-channels on every exit path (normal,
-// deadline, SIGINT): destructor order guarantees the trace file, flame
-// summary and metrics snapshot are written no matter which return fires.
-// Buffered events survive Tracer::Stop(), so an aborted run still flushes
-// everything it recorded.
+// deadline, SIGINT): destructor order guarantees the progress heartbeat's
+// final sample, the trace file, the flame-summary sidecar and the metrics
+// snapshot are written no matter which return fires. Buffered events
+// survive Tracer::Stop(), so an aborted run still flushes everything it
+// recorded.
 struct ObsFlusher {
   std::string trace_path;
   std::string metrics_path;
+  gchase::ProgressReporter progress;
 
   ~ObsFlusher() {
+    // The heartbeat first: its final sample reports where the run got to
+    // before the (possibly slow) trace serialization below.
+    progress.Stop();
     if (!trace_path.empty()) {
       gchase::Tracer::Global().Stop();
-      if (gchase::WriteGlobalTrace(trace_path)) {
+      const std::string summary_path = trace_path + ".summary.json";
+      if (gchase::WriteGlobalTrace(trace_path) &&
+          gchase::WriteGlobalTraceSummary(summary_path)) {
         std::fprintf(
-            stderr, "%% trace written to %s\n%s", trace_path.c_str(),
+            stderr, "%% trace written to %s (summary: %s)\n%s",
+            trace_path.c_str(), summary_path.c_str(),
             gchase::TraceFlameSummary(gchase::Tracer::Global().Collect())
                 .c_str());
       } else {
@@ -221,7 +242,8 @@ int main(int argc, char** argv) {
                  "[--deadline-ms=N] [--max-memory-mb=N] "
                  "[--load-csv=FILE] [--edb-dir=DIR] [--decide] "
                  "[--trace=FILE] [--trace-categories=LIST] "
-                 "[--metrics-json=FILE]\n",
+                 "[--metrics-json=FILE] [--progress[=MS]] "
+                 "[--progress-file=FILE]\n",
                  argv[0]);
     return 2;
   }
@@ -247,6 +269,8 @@ int main(int argc, char** argv) {
   uint32_t threads = 1;
   int64_t deadline_ms = -1;
   uint64_t max_memory_bytes = 0;
+  uint64_t progress_interval_ms = 0;  // 0 = heartbeat off.
+  std::string progress_file;
   uint32_t trace_categories = kAllTraceCategories;
   ObsFlusher flusher;
   std::vector<char*> args;
@@ -291,6 +315,21 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--metrics-json needs a file path\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      progress_interval_ms = 1000;
+    } else if (std::strncmp(argv[i], "--progress=", 11) == 0) {
+      progress_interval_ms = std::strtoull(argv[i] + 11, nullptr, 10);
+      if (progress_interval_ms == 0) {
+        std::fprintf(stderr, "--progress needs a positive interval in ms\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--progress-file=", 16) == 0) {
+      progress_file = argv[i] + 16;
+      if (progress_file.empty()) {
+        std::fprintf(stderr, "--progress-file needs a file path\n");
+        return 2;
+      }
+      if (progress_interval_ms == 0) progress_interval_ms = 1000;
     } else if (std::strncmp(argv[i], "--join-plans=", 13) == 0) {
       const char* value = argv[i] + 13;
       if (std::strcmp(value, "on") == 0) {
@@ -342,6 +381,43 @@ int main(int argc, char** argv) {
     trace_config.categories = trace_categories;
     Tracer::Global().Start(trace_config);
   }
+  // --metrics-json turns the profiling layer on with it: latency
+  // histograms start recording and the perf_event probe runs (degrading
+  // to an "unavailable" snapshot section when the kernel says no).
+  if (!flusher.metrics_path.empty()) {
+    SetProfilingEnabled(true);
+    EnablePerfCounters();
+  }
+
+  // One budget shared by the loader, the chase and the heartbeat (the
+  // run would otherwise create a private one the reporter cannot see).
+  std::shared_ptr<MemoryBudget> shared_budget;
+  if (max_memory_bytes > 0) {
+    shared_budget = std::make_shared<MemoryBudget>(max_memory_bytes);
+  }
+  if (progress_interval_ms > 0) {
+    ProgressReporter::Options popts;
+    popts.mode = ProgressReporter::Mode::kChase;
+    popts.interval_ms = progress_interval_ms;
+    popts.ndjson_path = progress_file;
+    if (shared_budget != nullptr) {
+      std::shared_ptr<MemoryBudget> budget = shared_budget;
+      popts.in_use_bytes = [budget] { return budget->in_use_bytes(); };
+      popts.budget_bytes = [budget] { return budget->hard_limit_bytes(); };
+    }
+    if (deadline_ms >= 0) {
+      const Deadline heartbeat_deadline = Deadline::AfterMillis(deadline_ms);
+      popts.remaining_seconds = [heartbeat_deadline] {
+        const double remaining = heartbeat_deadline.RemainingSeconds();
+        return remaining < 0.0 ? 0.0 : remaining;
+      };
+    }
+    if (!flusher.progress.Start(popts)) {
+      std::fprintf(stderr, "cannot write progress to %s\n",
+                   progress_file.c_str());
+      return 2;
+    }
+  }
 
   std::signal(SIGINT, HandleSigint);
   if (want_decide) {
@@ -356,6 +432,7 @@ int main(int argc, char** argv) {
   if (deadline_ms >= 0) options.deadline = Deadline::AfterMillis(deadline_ms);
   options.cancel = g_cancel;
   options.max_memory_bytes = max_memory_bytes;
+  options.memory_budget = shared_budget;
   if (argc > 2) {
     if (std::strcmp(argv[2], "oblivious") == 0) {
       options.variant = ChaseVariant::kOblivious;

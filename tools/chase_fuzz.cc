@@ -11,7 +11,8 @@
 //              [--corpus-dir=DIR] [--json=FILE] [--profile=sl|l|g|mixed]
 //              [--no-shrink] [--verbose] [--list-oracles]
 //              [--trace=FILE] [--trace-categories=LIST]
-//              [--metrics-json=FILE]
+//              [--metrics-json=FILE] [--progress[=MS]]
+//              [--progress-file=FILE]
 //     --trials=N            trials to run (default 100)
 //     --seed=S              campaign seed; same seed => bit-identical
 //                           campaign (default 1)
@@ -35,8 +36,15 @@
 //                           are enabled); flushed even on Ctrl-C
 //     --trace-categories=L  comma subset of chase,pool,decider,storage,
 //                           fuzz (default: all)
-//     --metrics-json=FILE   metrics registry snapshot (fuzz.* counters);
-//                           written even when the campaign stops early
+//     --metrics-json=FILE   metrics registry snapshot (fuzz.* counters,
+//                           latency histograms, per-phase perf section);
+//                           written even when the campaign stops early.
+//                           Also enables the profiling layer
+//     --progress[=MS]       heartbeat: trials started/run/failed and
+//                           trials/s every MS milliseconds (default
+//                           1000) on stderr — long campaigns are no
+//                           longer silent until the end
+//     --progress-file=FILE  heartbeat as NDJSON to FILE instead
 //
 // Exit codes: 0 all oracles passed, 1 usage/IO error, 2 violations
 // found, 3 campaign stopped early (total deadline / SIGINT) without
@@ -52,7 +60,10 @@
 #include <string>
 
 #include "fuzz/runner.h"
+#include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 
@@ -81,6 +92,8 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   uint32_t trace_categories = kAllTraceCategories;
   uint64_t total_deadline_ms = 0;
+  uint64_t progress_interval_ms = 0;  // 0 = heartbeat off.
+  std::string progress_file;
   std::string profile = "mixed";
 
   for (int i = 1; i < argc; ++i) {
@@ -127,6 +140,21 @@ int main(int argc, char** argv) {
       }
     } else if (std::strncmp(arg, "--metrics-json=", 15) == 0) {
       metrics_path = arg + 15;
+    } else if (std::strcmp(arg, "--progress") == 0) {
+      progress_interval_ms = 1000;
+    } else if (std::strncmp(arg, "--progress=", 11) == 0) {
+      progress_interval_ms = std::strtoull(arg + 11, nullptr, 10);
+      if (progress_interval_ms == 0) {
+        std::fprintf(stderr, "--progress needs a positive interval in ms\n");
+        return 1;
+      }
+    } else if (std::strncmp(arg, "--progress-file=", 16) == 0) {
+      progress_file = arg + 16;
+      if (progress_file.empty()) {
+        std::fprintf(stderr, "--progress-file needs a file path\n");
+        return 1;
+      }
+      if (progress_interval_ms == 0) progress_interval_ms = 1000;
     } else if (std::strncmp(arg, "--profile=", 10) == 0) {
       profile = arg + 10;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
@@ -170,8 +198,36 @@ int main(int argc, char** argv) {
     trace_config.categories = trace_categories;
     Tracer::Global().Start(trace_config);
   }
+  if (!metrics_path.empty()) {
+    SetProfilingEnabled(true);
+    EnablePerfCounters();
+  }
+
+  // Heartbeat for long campaigns: the nightly 15-minute job used to be
+  // silent until the very end — this reports trials started/run/failed
+  // (and trials/s) while it runs, with a final sample on any exit.
+  ProgressReporter progress;
+  if (progress_interval_ms > 0) {
+    ProgressReporter::Options popts;
+    popts.mode = ProgressReporter::Mode::kFuzz;
+    popts.interval_ms = progress_interval_ms;
+    popts.ndjson_path = progress_file;
+    if (total_deadline_ms > 0) {
+      const Deadline heartbeat_deadline = options.total_deadline;
+      popts.remaining_seconds = [heartbeat_deadline] {
+        const double remaining = heartbeat_deadline.RemainingSeconds();
+        return remaining < 0.0 ? 0.0 : remaining;
+      };
+    }
+    if (!progress.Start(popts)) {
+      std::fprintf(stderr, "cannot write progress to %s\n",
+                   progress_file.c_str());
+      return 1;
+    }
+  }
 
   FuzzReport report = RunFuzz(options);
+  progress.Stop();
 
   // Everything below runs on every exit path, including a SIGINT-cut
   // campaign: RunFuzz stops cooperatively and returns the partial report,
@@ -179,8 +235,11 @@ int main(int argc, char** argv) {
   PublishFuzzMetrics(report);
   if (!trace_path.empty()) {
     Tracer::Global().Stop();
-    if (WriteGlobalTrace(trace_path)) {
-      std::fprintf(stderr, "%% trace written to %s\n%s", trace_path.c_str(),
+    const std::string summary_path = trace_path + ".summary.json";
+    if (WriteGlobalTrace(trace_path) &&
+        WriteGlobalTraceSummary(summary_path)) {
+      std::fprintf(stderr, "%% trace written to %s (summary: %s)\n%s",
+                   trace_path.c_str(), summary_path.c_str(),
                    TraceFlameSummary(Tracer::Global().Collect()).c_str());
     } else {
       std::fprintf(stderr, "cannot write trace to %s\n", trace_path.c_str());
